@@ -1,0 +1,344 @@
+// Benchmark harness for the paper's evaluation.
+//
+// Figure benches (BenchmarkFig3…BenchmarkFig9) regenerate each figure of
+// Section V / Appendix D at a reduced scale and report the headline errors
+// as custom metrics (err/* = final test error of the named curve), so
+// `go test -bench Fig -benchmem` both times the harness and re-verifies
+// the paper's orderings. Run cmd/crowdml-bench for paper-scale tables.
+//
+// Micro benches (BenchmarkDevice*, BenchmarkServer*, BenchmarkComm*)
+// quantify the per-device and per-server costs analyzed in Section IV-B:
+// gradient computation per sample, Laplace noise per minibatch, the O(C·D)
+// server update, and the b/2 communication reduction.
+//
+// Ablation benches (BenchmarkAblation*) cover the design choices listed in
+// DESIGN.md §5.
+package crowdml_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/dataset"
+	"github.com/crowdml/crowdml/internal/experiments"
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/rng"
+	"github.com/crowdml/crowdml/internal/sim"
+	"github.com/crowdml/crowdml/internal/simnet"
+)
+
+// benchCfg is the reduced scale used by the figure benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.02, Trials: 1, Seed: 17, EvalPoints: 10}
+}
+
+// benchFigure runs one figure per iteration and reports each curve's final
+// error as a custom metric.
+func benchFigure(b *testing.B, run func(experiments.Config) (*experiments.Figure, error)) {
+	b.Helper()
+	var fig *experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range fig.Curves {
+		b.ReportMetric(c.Final(), "err/"+sanitizeMetric(c.Name))
+	}
+}
+
+func sanitizeMetric(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '=', r == '-', r == '.':
+			out = append(out, r)
+		case r == ' ', r == ',', r == '(', r == ')':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (activity recognition, learning-rate
+// sweep on the real framework stack).
+func BenchmarkFig3(b *testing.B) { benchFigure(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates Fig. 4 (central vs crowd vs decentralized,
+// digit task, no privacy or delay).
+func BenchmarkFig4(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates Fig. 5 (privacy ε⁻¹=0.1, minibatch sweep,
+// digit task).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates Fig. 6 (delay sweep under privacy, digit task).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Fig. 7 (Fig. 4 on the object task).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates Fig. 8 (Fig. 5 on the object task).
+func BenchmarkFig8(b *testing.B) { benchFigure(b, experiments.Fig8) }
+
+// BenchmarkFig9 regenerates Fig. 9 (Fig. 6 on the object task).
+func BenchmarkFig9(b *testing.B) { benchFigure(b, experiments.Fig9) }
+
+// ---- Section IV-B micro-benchmarks ----
+
+// mnistShape is the digit task's parameter shape (C=10, D=50).
+const (
+	mnistClasses = 10
+	mnistDim     = 50
+)
+
+func randomSample(r *rng.RNG) model.Sample {
+	x := make([]float64, mnistDim)
+	for i := range x {
+		x[i] = r.Uniform(-1, 1)
+	}
+	linalg.NormalizeL1(x)
+	return model.Sample{X: x, Y: r.Intn(mnistClasses)}
+}
+
+// BenchmarkDeviceGradientPerSample measures the per-sample gradient cost on
+// a device (Section IV-B1: "computation of a gradient per sample").
+func BenchmarkDeviceGradientPerSample(b *testing.B) {
+	r := rng.New(1)
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	w := model.NewParams(m)
+	g := model.NewParams(m)
+	s := randomSample(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Zero()
+		m.AddGradient(w, g, s)
+	}
+}
+
+// BenchmarkDeviceLaplacePerMinibatch measures the Laplace-noise generation
+// per minibatch (Section IV-B1: "generation of Laplace random noise per
+// minibatch").
+func BenchmarkDeviceLaplacePerMinibatch(b *testing.B) {
+	r := rng.New(2)
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	g := model.NewParams(m)
+	eps := privacy.FromInv(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		privacy.PerturbGradient(g, 20, 4, eps, r)
+	}
+}
+
+// BenchmarkServerUpdate measures the server's per-checkin cost — the O(C·D)
+// SGD update that keeps the server load minimal (Section IV-B1).
+func BenchmarkServerUpdate(b *testing.B) {
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	w := model.NewParams(m)
+	g := model.NewParams(m)
+	u := &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Update(w, g, i+1)
+	}
+}
+
+// BenchmarkServerCheckinFullPath measures the full authenticated checkin
+// path through the real server (Algorithm 2, Server Routine 2).
+func BenchmarkServerCheckinFullPath(b *testing.B) {
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	srv, err := core.NewServer(core.ServerConfig{
+		Model:   m,
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	token, err := srv.RegisterDevice("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &core.CheckinRequest{
+		Grad:        make([]float64, mnistClasses*mnistDim),
+		NumSamples:  20,
+		LabelCounts: make([]int, mnistClasses),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Checkin("bench", token, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommPayloadBytes reports the JSON checkin payload size per
+// sample for b ∈ {1, 20}: the b-fold communication reduction of
+// Section IV-B2 (each checkin carries one gradient regardless of b).
+func BenchmarkCommPayloadBytes(b *testing.B) {
+	for _, batch := range []int{1, 20} {
+		b.Run(fmt.Sprintf("b=%d", batch), func(b *testing.B) {
+			req := &core.CheckinRequest{
+				Grad:        make([]float64, mnistClasses*mnistDim),
+				NumSamples:  batch,
+				LabelCounts: make([]int, mnistClasses),
+			}
+			var payload []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				payload, err = json.Marshal(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(payload))/float64(batch), "bytes/sample")
+		})
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+func ablationTask(b *testing.B) (*dataset.Dataset, model.Model) {
+	b.Helper()
+	ds, err := dataset.MNISTLike(2000, 600, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, model.NewLogisticRegression(ds.Classes, ds.Dim)
+}
+
+func runAblation(b *testing.B, cfg sim.CrowdConfig) {
+	b.Helper()
+	var final float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunCrowd(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = res.Curve.Final()
+	}
+	b.ReportMetric(final, "finalerr")
+}
+
+// BenchmarkAblationMinibatch sweeps b under the Fig. 5 privacy level —
+// the noise/latency trade-off of Eq. (13).
+func BenchmarkAblationMinibatch(b *testing.B) {
+	ds, m := ablationTask(b)
+	for _, batch := range []int{1, 5, 10, 20, 50} {
+		b.Run(fmt.Sprintf("b=%d", batch), func(b *testing.B) {
+			runAblation(b, sim.CrowdConfig{
+				Model: m, Train: ds.Train, Test: ds.Test,
+				Devices: 50, Minibatch: batch,
+				Schedule: optimizer.InvSqrt{C: experiments.DefaultRate},
+				Budget:   privacy.Budget{Gradient: privacy.FromInv(0.1)},
+				Passes:   3, EvalSubset: 300, Seed: 5,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationSchedule compares the Eq. (5) schedule against a
+// constant rate and the AdaGrad updater of Remark 3.
+func BenchmarkAblationSchedule(b *testing.B) {
+	ds, m := ablationTask(b)
+	base := sim.CrowdConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Devices: 50, Minibatch: 1,
+		Passes: 3, EvalSubset: 300, Seed: 5,
+	}
+	b.Run("invsqrt", func(b *testing.B) {
+		cfg := base
+		cfg.Schedule = optimizer.InvSqrt{C: experiments.DefaultRate}
+		runAblation(b, cfg)
+	})
+	b.Run("constant", func(b *testing.B) {
+		cfg := base
+		cfg.Schedule = optimizer.Constant{C: 5}
+		runAblation(b, cfg)
+	})
+	b.Run("invt", func(b *testing.B) {
+		cfg := base
+		cfg.Schedule = optimizer.InvT{C: 200}
+		runAblation(b, cfg)
+	})
+	b.Run("adagrad", func(b *testing.B) {
+		cfg := base
+		cfg.Schedule = optimizer.InvSqrt{C: 1} // unused by custom updater
+		cfg.Updater = &optimizer.AdaGrad{Eta: 0.3}
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkAblationProjection toggles the Π_W projection of Eq. (3).
+func BenchmarkAblationProjection(b *testing.B) {
+	ds, m := ablationTask(b)
+	for _, radius := range []float64{0, 5, 50} {
+		b.Run(fmt.Sprintf("R=%g", radius), func(b *testing.B) {
+			runAblation(b, sim.CrowdConfig{
+				Model: m, Train: ds.Train, Test: ds.Test,
+				Devices: 50, Minibatch: 1,
+				Schedule: optimizer.InvSqrt{C: experiments.DefaultRate},
+				Radius:   radius,
+				Passes:   3, EvalSubset: 300, Seed: 5,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationBudgetSplit compares spending everything on the
+// gradient against also sanitizing the progress counters (Appendix B
+// Remark 1: the counters do not feed learning, so their budget should not
+// change the error).
+func BenchmarkAblationBudgetSplit(b *testing.B) {
+	ds, m := ablationTask(b)
+	budgets := map[string]privacy.Budget{
+		"gradient-only": {Gradient: privacy.FromInv(0.1)},
+		"with-counters": {
+			Gradient:   privacy.FromInv(0.1),
+			ErrCount:   privacy.Eps(0.01),
+			LabelCount: privacy.Eps(0.001),
+		},
+	}
+	for name, budget := range budgets {
+		b.Run(name, func(b *testing.B) {
+			runAblation(b, sim.CrowdConfig{
+				Model: m, Train: ds.Train, Test: ds.Test,
+				Devices: 50, Minibatch: 20,
+				Schedule: optimizer.InvSqrt{C: experiments.DefaultRate},
+				Budget:   budgets[name],
+				Passes:   3, EvalSubset: 300, Seed: 5,
+			})
+			_ = budget
+		})
+	}
+}
+
+// BenchmarkAblationStale compares applying stale gradients (the paper's
+// behaviour, backed by the delayed-SGD convergence results it cites)
+// against dropping them at the server.
+func BenchmarkAblationStale(b *testing.B) {
+	ds, m := ablationTask(b)
+	for _, drop := range []int{0, 10} {
+		name := "apply-stale"
+		if drop > 0 {
+			name = fmt.Sprintf("drop-over-%d", drop)
+		}
+		b.Run(name, func(b *testing.B) {
+			runAblation(b, sim.CrowdConfig{
+				Model: m, Train: ds.Train, Test: ds.Test,
+				Devices: 50, Minibatch: 1,
+				Schedule:           optimizer.InvSqrt{C: experiments.DefaultRate},
+				Delay:              simnet.Uniform{Max: 100},
+				StaleDropThreshold: drop,
+				Passes:             3, EvalSubset: 300, Seed: 5,
+			})
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Command crowdml-server runs a Crowd-ML learning server over HTTP — the
+// central component of the paper's prototype (Section V-A, there an
+// Apache/MySQL/Django deployment). It serves:
+//
+//   - /v1/checkout, /v1/checkin — the device protocol of Algorithm 2;
+//   - /v1/stats — differentially private progress statistics (JSON);
+//   - /v1/register — device enrollment, guarded by -enroll-key;
+//   - /portal — the public task page with live DP statistics.
+//
+// With -state-dir, the server checkpoints its learning state to disk and
+// resumes from the latest checkpoint on restart (the MySQL durability role
+// in the original prototype).
+//
+// Example: a 3-class activity-recognition task over 64-bin FFT features:
+//
+//	crowdml-server -addr :8080 -classes 3 -dim 64 -rate 10 \
+//	    -enroll-key join -state-dir /var/lib/crowdml
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	crowdml "github.com/crowdml/crowdml"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		classes    = flag.Int("classes", 3, "number of classes C")
+		dim        = flag.Int("dim", 64, "feature dimensionality D")
+		modelName  = flag.String("model", "logreg", "model: logreg or svm")
+		rate       = flag.Float64("rate", 10, "learning-rate constant c in η(t)=c/√t")
+		radius     = flag.Float64("radius", 0, "projection-ball radius R (0 disables)")
+		tmax       = flag.Int("tmax", 0, "maximum iterations Tmax (0 = unbounded)")
+		rho        = flag.Float64("target-error", 0, "stop when error estimate ≤ ρ (0 disables)")
+		enrollKey  = flag.String("enroll-key", "", "enrollment key; empty disables self-enrollment")
+		devices    = flag.Int("preregister", 0, "pre-register this many devices and print their tokens")
+		stateDir   = flag.String("state-dir", "", "checkpoint directory (empty disables persistence)")
+		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -state-dir")
+		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal")
+		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal")
+	)
+	flag.Parse()
+
+	var m crowdml.Model
+	switch *modelName {
+	case "logreg":
+		m = crowdml.NewLogisticRegression(*classes, *dim)
+	case "svm":
+		m = crowdml.NewLinearSVM(*classes, *dim)
+	default:
+		return fmt.Errorf("unknown model %q (want logreg or svm)", *modelName)
+	}
+
+	cfg := crowdml.ServerConfig{
+		Model:       m,
+		Updater:     crowdml.NewSGD(crowdml.InvSqrt{C: *rate}, *radius),
+		Tmax:        *tmax,
+		TargetError: *rho,
+	}
+
+	// Restore from checkpoints, journal checkins, and save periodically.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	close(stop) // re-made below only when persistence is on
+	close(done)
+	var (
+		fs      *crowdml.FileStore
+		journal interface {
+			Append(crowdml.JournalEntry) error
+			Close() error
+		}
+	)
+	if *stateDir != "" {
+		var err error
+		fs, err = crowdml.NewFileStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		journal, err = fs.OpenJournal()
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		cfg.OnCheckin = func(deviceID string, iteration int, req *crowdml.CheckinRequest) {
+			var norm1 float64
+			for _, v := range req.Grad {
+				if v < 0 {
+					norm1 -= v
+				} else {
+					norm1 += v
+				}
+			}
+			entry := crowdml.JournalEntry{
+				AtUnixMillis: time.Now().UnixMilli(),
+				DeviceID:     deviceID,
+				Iteration:    iteration,
+				NumSamples:   req.NumSamples,
+				ErrCount:     req.ErrCount,
+				GradNorm1:    norm1,
+			}
+			if err := journal.Append(entry); err != nil {
+				log.Printf("journal append failed: %v", err)
+			}
+		}
+	}
+
+	server, err := crowdml.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	if fs != nil {
+		cp, err := fs.Load()
+		switch {
+		case err == nil:
+			if err := server.ImportState(cp.State); err != nil {
+				return fmt.Errorf("restore checkpoint: %w", err)
+			}
+			log.Printf("restored checkpoint at iteration %d", cp.State.Iteration)
+		case errors.Is(err, crowdml.ErrNoCheckpoint):
+			log.Printf("no checkpoint in %s; starting fresh", *stateDir)
+		default:
+			return err
+		}
+		stop = make(chan struct{})
+		done = make(chan struct{})
+		go func() {
+			defer close(done)
+			ticker := time.NewTicker(*saveEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := fs.Save(server.ExportState(), time.Now()); err != nil {
+						log.Printf("checkpoint failed: %v", err)
+					}
+				case <-stop:
+					if err := fs.Save(server.ExportState(), time.Now()); err != nil {
+						log.Printf("final checkpoint failed: %v", err)
+					}
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+		}()
+	}
+
+	for i := 0; i < *devices; i++ {
+		id := fmt.Sprintf("device-%03d", i)
+		token, err := server.RegisterDevice(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "registered %s token=%s\n", id, token)
+	}
+
+	var labels []string
+	if *taskLabels != "" {
+		labels = strings.Split(*taskLabels, ",")
+	} else {
+		for k := 0; k < *classes; k++ {
+			labels = append(labels, fmt.Sprintf("class %d", k))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", crowdml.NewHTTPHandler(server, *enrollKey))
+	mux.Handle("/portal", crowdml.NewPortal(server, crowdml.TaskInfo{
+		Name:       *taskName,
+		Objective:  "Collectively learn a shared classifier from device data with local differential privacy.",
+		SensorData: "Device-local features; only noise-sanitized gradients and counters ever leave a device.",
+		Labels:     labels,
+		Algorithm:  fmt.Sprintf("%s via privacy-preserving distributed SGD (η(t)=%g/√t)", m.Name(), *rate),
+	}))
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("crowdml-server: %s model, C=%d D=%d, listening on %s (portal at /portal)",
+		*modelName, *classes, *dim, *addr)
+	return httpServer.ListenAndServe()
+}

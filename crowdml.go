@@ -1,0 +1,187 @@
+package crowdml
+
+import (
+	"net/http"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/portal"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/transport"
+)
+
+// Sample is one (feature vector, target) pair. Classification models read
+// Y; the ridge regressor reads T. For the differential-privacy guarantees
+// to hold, features must satisfy ‖X‖₁ ≤ 1 (normalize with NormalizeL1).
+type Sample = model.Sample
+
+// Model is a learnable classifier or predictor; see NewLogisticRegression,
+// NewLinearSVM and NewRidgeRegression.
+type Model = model.Model
+
+// NewLogisticRegression returns the paper's Table I model: C-class
+// logistic regression over D-dimensional features, gradient sensitivity 4.
+func NewLogisticRegression(classes, dim int) Model {
+	return model.NewLogisticRegression(classes, dim)
+}
+
+// NewLinearSVM returns a C-class linear SVM with the Crammer–Singer hinge
+// subgradient (sensitivity 4).
+func NewLinearSVM(classes, dim int) Model {
+	return model.NewLinearSVM(classes, dim)
+}
+
+// NewRidgeRegression returns a D-dimensional linear regressor whose
+// gradient residual is clipped to ±residualClip (sensitivity
+// 2·residualClip); errTolerance defines its misclassification indicator.
+func NewRidgeRegression(dim int, residualClip, errTolerance float64) Model {
+	return model.NewRidgeRegression(dim, residualClip, errTolerance)
+}
+
+// Eps is a differential-privacy level ε; the zero value disables noise
+// (the paper's ε⁻¹ = 0 setting).
+type Eps = privacy.Eps
+
+// FromInv converts the paper's ε⁻¹ parametrization into an Eps
+// (FromInv(0.1) is ε = 10; FromInv(0) disables privacy).
+func FromInv(inv float64) Eps { return privacy.FromInv(inv) }
+
+// Budget is the per-device privacy budget: ε_g for gradients, ε_e for the
+// error count, ε_yk for each label count; the composed level is
+// ε = ε_g + ε_e + C·ε_yk.
+type Budget = privacy.Budget
+
+// Schedule maps server iteration t to the learning rate η(t).
+type Schedule = optimizer.Schedule
+
+// InvSqrt is the paper's default schedule η(t) = c/√t (Eq. 5).
+type InvSqrt = optimizer.InvSqrt
+
+// Constant is a fixed learning rate.
+type Constant = optimizer.Constant
+
+// InvT is the η(t) = c/t schedule for strongly convex risks.
+type InvT = optimizer.InvT
+
+// Updater applies one server-side parameter update (Eq. 3).
+type Updater = optimizer.Updater
+
+// NewSGD returns the projected-SGD updater of Eq. (3); radius ≤ 0 disables
+// the projection Π_W.
+func NewSGD(schedule Schedule, radius float64) Updater {
+	return &optimizer.SGD{Schedule: schedule, Radius: radius}
+}
+
+// NewAdaGrad returns the adaptive per-coordinate updater of Remark 3
+// (robust to outlier gradients from malignant devices).
+func NewAdaGrad(eta, radius float64) Updater {
+	return &optimizer.AdaGrad{Eta: eta, Radius: radius}
+}
+
+// Server is the Crowd-ML server (Algorithm 2). Safe for concurrent use.
+type Server = core.Server
+
+// ServerConfig configures a Server.
+type ServerConfig = core.ServerConfig
+
+// NewServer constructs a server.
+func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
+
+// Device is a Crowd-ML device (Algorithm 1). Not safe for concurrent use.
+type Device = core.Device
+
+// DeviceConfig configures a Device.
+type DeviceConfig = core.DeviceConfig
+
+// NewDevice constructs a device.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return core.NewDevice(cfg) }
+
+// Transport connects devices to a server.
+type Transport = core.Transport
+
+// CheckoutResponse and CheckinRequest are the framework's wire messages.
+type (
+	CheckoutResponse = core.CheckoutResponse
+	CheckinRequest   = core.CheckinRequest
+)
+
+// Sentinel errors returned by Server and Device methods.
+var (
+	ErrAuth       = core.ErrAuth
+	ErrStopped    = core.ErrStopped
+	ErrBadCheckin = core.ErrBadCheckin
+	ErrBufferFull = core.ErrBufferFull
+)
+
+// NewLoopback returns an in-process Transport wrapping the server.
+func NewLoopback(s *Server) Transport { return transport.NewLoopback(s) }
+
+// NewHTTPClient returns a Transport speaking to baseURL over HTTP
+// (nil client = 30 s timeout default). Its Register method enrolls via the
+// server's enrollment endpoint.
+func NewHTTPClient(baseURL string, client *http.Client) *transport.HTTPClient {
+	return transport.NewHTTPClient(baseURL, client)
+}
+
+// NewHTTPHandler exposes a server over HTTP (checkout, checkin, stats).
+// If enrollKey is non-empty, a /v1/register endpoint is enabled so devices
+// holding the key can self-enroll.
+func NewHTTPHandler(s *Server, enrollKey string) http.Handler {
+	h := transport.NewHandler(s)
+	h.EnableEnrollment(enrollKey)
+	return h
+}
+
+// NormalizeL1 scales x in place to unit L1 norm — the feature
+// normalization required by the privacy analysis (Theorem 1 assumes
+// ‖x‖₁ ≤ 1).
+func NormalizeL1(x []float64) {
+	var n float64
+	for _, v := range x {
+		if v < 0 {
+			n -= v
+		} else {
+			n += v
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// ServerState is a serializable snapshot of the server's learning state
+// (parameters, iteration counter, per-device progress counters); see
+// Server.ExportState and Server.ImportState. Device credentials are never
+// part of the state.
+type ServerState = core.ServerState
+
+// TaskInfo describes a crowd-learning task for the Web portal: objective,
+// sensory data, labels, algorithm, and privacy budget — the transparency
+// details of the paper's Section V-A portal.
+type TaskInfo = portal.TaskInfo
+
+// NewPortal returns an http.Handler serving the public task page with
+// differentially private live statistics (error rate, label distribution).
+func NewPortal(s *Server, info TaskInfo) http.Handler {
+	return portal.New(s, info)
+}
+
+// FileStore persists server checkpoints and checkin journals under a
+// directory — the file-backed stand-in for the paper's MySQL state store.
+type FileStore = store.FileStore
+
+// NewFileStore opens (creating if needed) a checkpoint directory.
+func NewFileStore(dir string) (*FileStore, error) { return store.NewFileStore(dir) }
+
+// ErrNoCheckpoint is returned by FileStore.Load when nothing has been
+// saved yet.
+var ErrNoCheckpoint = store.ErrNoCheckpoint
+
+// JournalEntry is one audit record in the checkin journal: which device
+// contributed which sanitized aggregate at which iteration.
+type JournalEntry = store.JournalEntry

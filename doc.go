@@ -1,0 +1,45 @@
+// Package crowdml is a Go implementation of Crowd-ML, the
+// privacy-preserving machine-learning framework for crowds of smart
+// devices of Hamm, Champion, Chen, Belkin and Xuan (ICDCS 2015,
+// arXiv:1501.02484).
+//
+// Crowd-ML learns a shared classifier or predictor from data that never
+// leaves the participating devices unsanitized: each device buffers its own
+// sensor samples, computes a minibatch-averaged gradient locally, adds
+// calibrated Laplace noise (local ε-differential privacy), and checks the
+// noisy gradient in to a lightweight server that runs asynchronous
+// stochastic gradient descent.
+//
+// # Architecture
+//
+//	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
+//	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria.
+//	Device  — Algorithm 1: sample buffering (minibatch b, cap B), gradient
+//	          computation, local sanitization, check-in with retry.
+//	Privacy — Eq. (10) gradient perturbation, Eqs. (11)–(12) count
+//	          sanitization, ε = ε_g + ε_e + C·ε_yk composition.
+//	Models  — multiclass logistic regression (Table I), linear SVM,
+//	          ridge regression — anything with a bounded-sensitivity
+//	          (sub)gradient fits the framework.
+//
+// # Quick start
+//
+//	m := crowdml.NewLogisticRegression(3, 64)
+//	server, _ := crowdml.NewServer(crowdml.ServerConfig{
+//		Model:   m,
+//		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
+//	})
+//	token, _ := server.RegisterDevice("phone-1")
+//	device, _ := crowdml.NewDevice(crowdml.DeviceConfig{
+//		ID: "phone-1", Token: token, Model: m,
+//		Transport: crowdml.NewLoopback(server),
+//		Minibatch: 1,
+//		Budget:    crowdml.Budget{Gradient: crowdml.FromInv(0.1)},
+//	})
+//	_ = device.AddSample(ctx, crowdml.Sample{X: features, Y: label})
+//
+// See examples/ for runnable programs (quickstart, activity recognition,
+// a digit-recognition simulation study, and a real HTTP cluster), and
+// cmd/crowdml-bench for the harness that regenerates every figure of the
+// paper's evaluation.
+package crowdml

@@ -1,0 +1,136 @@
+// HTTP cluster — the networked prototype end to end on one machine: a
+// Crowd-ML server listening on localhost, and a crowd of device processes
+// (goroutines here, but each speaking real HTTP through the same client a
+// separate process would use) enrolling with the enrollment key, streaming
+// privately sanitized activity-recognition gradients, and driving the
+// shared model. The server's public /v1/stats endpoint is polled like the
+// paper's Web portal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	crowdml "github.com/crowdml/crowdml"
+	"github.com/crowdml/crowdml/internal/activity"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		devices   = 8
+		perDevice = 60
+		enrollKey = "demo-enroll-key"
+	)
+	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
+	server, err := crowdml.NewServer(crowdml.ServerConfig{
+		Model:   m,
+		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Handler:           crowdml.NewHTTPHandler(server, enrollKey),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("server listening on %s\n", baseURL)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, devices)
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- runDevice(ctx, baseURL, enrollKey, i, perDevice)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Poll the public stats endpoint, portal-style.
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Iteration     int       `json:"iteration"`
+		ErrorEstimate *float64  `json:"errorEstimate"`
+		PriorEstimate []float64 `json:"priorEstimate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("\nportal stats after %d device contributions:\n", devices*perDevice)
+	fmt.Printf("  server iterations: %d\n", stats.Iteration)
+	if stats.ErrorEstimate != nil {
+		fmt.Printf("  online error:      %.3f\n", *stats.ErrorEstimate)
+	}
+	fmt.Printf("  activity prior:    %.2v\n", stats.PriorEstimate)
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-serveErr // http.ErrServerClosed after a clean shutdown
+	return nil
+}
+
+func runDevice(ctx context.Context, baseURL, enrollKey string, idx, samples int) error {
+	id := fmt.Sprintf("phone-%02d", idx)
+	client := crowdml.NewHTTPClient(baseURL, nil)
+	token, err := client.Register(ctx, id, enrollKey)
+	if err != nil {
+		return fmt.Errorf("%s enroll: %w", id, err)
+	}
+	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
+	device, err := crowdml.NewDevice(crowdml.DeviceConfig{
+		ID: id, Token: token, Model: m,
+		Transport: client,
+		Minibatch: 5,
+		Budget:    crowdml.Budget{Gradient: crowdml.FromInv(0.1)},
+		Seed:      uint64(idx + 1),
+	})
+	if err != nil {
+		return err
+	}
+	gen := activity.NewGenerator(uint64(100 + idx))
+	for n := 0; n < samples; n++ {
+		s, err := gen.Next()
+		if err != nil {
+			return err
+		}
+		if err := device.AddSample(ctx, s); err != nil {
+			return fmt.Errorf("%s sample %d: %w", id, n, err)
+		}
+	}
+	fmt.Printf("  %s: %d samples in %d checkins\n", id, samples, device.Checkins())
+	return nil
+}

@@ -1,0 +1,143 @@
+package activity
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+)
+
+func TestNextProducesValidSamples(t *testing.T) {
+	g := NewGenerator(1)
+	for i := 0; i < 50; i++ {
+		s, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.X) != FeatureDim {
+			t.Fatalf("feature dim %d, want %d", len(s.X), FeatureDim)
+		}
+		if s.Y < 0 || s.Y >= NumClasses {
+			t.Fatalf("label %d", s.Y)
+		}
+		if n := linalg.Norm1(s.X); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("‖x‖₁ = %v, want 1", n)
+		}
+	}
+}
+
+func TestLabelChangeTriggered(t *testing.T) {
+	g := NewGenerator(2)
+	prev := -1
+	for i := 0; i < 200; i++ {
+		s, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Y == prev {
+			t.Fatalf("sample %d repeated label %d", i, s.Y)
+		}
+		prev = s.Y
+	}
+}
+
+func TestStreamLengthAndDeterminism(t *testing.T) {
+	a, err := NewGenerator(7).Stream(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(7).Stream(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 20 {
+		t.Fatalf("length %d", len(a))
+	}
+	for i := range a {
+		if a[i].Y != b[i].Y || !linalg.Equal(a[i].X, b[i].X, 0) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestFeaturesRejectsBadWindow(t *testing.T) {
+	if _, err := Features(make([]float64, 10)); err == nil {
+		t.Error("expected error for short window")
+	}
+}
+
+func TestClassesAreSpectrallyDistinct(t *testing.T) {
+	// The mean feature vectors of different activities must differ far more
+	// than within-activity variation — otherwise Fig. 3's fast convergence
+	// could not reproduce.
+	g := NewGenerator(3)
+	means := make([][]float64, NumClasses)
+	const per = 200
+	for c := 0; c < NumClasses; c++ {
+		mu := make([]float64, FeatureDim)
+		for i := 0; i < per; i++ {
+			x, err := Features(g.rawWindow(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			linalg.Axpy(1, x, mu)
+		}
+		linalg.Scale(1.0/per, mu)
+		means[c] = mu
+	}
+	for a := 0; a < NumClasses; a++ {
+		for b := a + 1; b < NumClasses; b++ {
+			diff := make([]float64, FeatureDim)
+			linalg.Sub(means[a], means[b], diff)
+			if linalg.Norm1(diff) < 0.1 {
+				t.Errorf("classes %s and %s spectrally similar (L1 gap %v)",
+					Names[a], Names[b], linalg.Norm1(diff))
+			}
+		}
+	}
+}
+
+// The 3-class task must be learnable with only tens of samples — the
+// paper's Fig. 3 converges after ~50 samples across 7 devices.
+func TestActivityTaskLearnableQuickly(t *testing.T) {
+	g := NewGenerator(4)
+	m := model.NewLogisticRegression(NumClasses, FeatureDim)
+	w := model.NewParams(m)
+	train, err := g.Stream(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range train {
+		grad := model.NewParams(m)
+		m.AddGradient(w, grad, s)
+		// L1-normalized spectra have per-element magnitude ~1/64, so the
+		// effective gradient scale is small; c ≈ 20 in η(t) = c/√t is the
+		// well-tuned setting (cf. Fig. 3's learning-rate sweep).
+		w.AddScaled(-20.0/math.Sqrt(float64(i+1)), grad)
+	}
+	test, err := g.Stream(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for _, s := range test {
+		if m.Misclassified(w, s) {
+			errs++
+		}
+	}
+	if frac := float64(errs) / 200; frac > 0.15 {
+		t.Errorf("activity error after 100 samples = %v, want < 0.15", frac)
+	}
+}
+
+func TestNamesCoverClasses(t *testing.T) {
+	if len(Names) != NumClasses {
+		t.Fatal("Names/NumClasses mismatch")
+	}
+	for _, n := range Names {
+		if n == "" {
+			t.Error("empty class name")
+		}
+	}
+}

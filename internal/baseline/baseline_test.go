@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/dataset"
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func smallTask(t *testing.T) (*dataset.Dataset, model.Model) {
+	t.Helper()
+	ds, err := dataset.MNISTLike(3000, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, model.NewLogisticRegression(ds.Classes, ds.Dim)
+}
+
+func TestSplitEvenly(t *testing.T) {
+	p := SplitEvenly(privacy.Eps(10))
+	if float64(p.Features) != 5 || float64(p.Labels) != 5 {
+		t.Errorf("split = %+v, want 5/5", p)
+	}
+	zero := SplitEvenly(0)
+	if zero.Features.Enabled() || zero.Labels.Enabled() {
+		t.Error("disabled total should disable both parts")
+	}
+}
+
+func TestPerturbDatasetDisabledIsCopy(t *testing.T) {
+	ds, _ := smallTask(t)
+	out := PerturbDataset(ds.Train[:10], ds.Classes, InputPerturbation{}, rng.New(1))
+	for i := range out {
+		if out[i].Y != ds.Train[i].Y || !linalg.Equal(out[i].X, ds.Train[i].X, 0) {
+			t.Fatal("disabled perturbation changed data")
+		}
+		if &out[i].X[0] == &ds.Train[i].X[0] {
+			t.Fatal("perturbed dataset must not alias originals")
+		}
+	}
+}
+
+func TestPerturbDatasetChangesData(t *testing.T) {
+	ds, _ := smallTask(t)
+	p := SplitEvenly(privacy.Eps(2))
+	out := PerturbDataset(ds.Train[:200], ds.Classes, p, rng.New(1))
+	flips := 0
+	for i := range out {
+		if linalg.Equal(out[i].X, ds.Train[i].X, 1e-12) {
+			t.Fatal("features unperturbed")
+		}
+		if out[i].Y != ds.Train[i].Y {
+			flips++
+		}
+	}
+	// At ε_y = 1, keep probability = e^0.5/(e^0.5+9) ≈ 0.155 → most flip.
+	if flips < 100 {
+		t.Errorf("only %d/200 labels flipped at ε_y=1", flips)
+	}
+}
+
+func TestRunBatchCleanReachesLowError(t *testing.T) {
+	ds, m := smallTask(t)
+	errRate, err := RunBatch(BatchConfig{Model: m, Train: ds.Train, Test: ds.Test, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.2 {
+		t.Errorf("clean batch error = %v, want < 0.2", errRate)
+	}
+}
+
+func TestRunBatchPrivacyDegrades(t *testing.T) {
+	ds, m := smallTask(t)
+	clean, err := RunBatch(BatchConfig{Model: m, Train: ds.Train, Test: ds.Test, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := RunBatch(BatchConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Perturbation: SplitEvenly(privacy.FromInv(0.1)), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant input noise of Appendix C has no mitigation — this is
+	// the paper's core argument for gradient perturbation (Section IV-A).
+	if private < clean+0.2 {
+		t.Errorf("perturbed batch %v should be far worse than clean %v", private, clean)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := RunBatch(BatchConfig{}); err == nil {
+		t.Error("expected error for missing model")
+	}
+	_, m := smallTask(t)
+	if _, err := RunBatch(BatchConfig{Model: m}); err == nil {
+		t.Error("expected error for empty training set")
+	}
+}
+
+func TestRunSGDCleanConverges(t *testing.T) {
+	ds, m := smallTask(t)
+	curve, err := RunSGD(SGDConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Schedule: optimizer.InvSqrt{C: 50}, Passes: 2,
+		EvalSubset: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Final() > 0.2 {
+		t.Errorf("clean central SGD final = %v, want < 0.2", curve.Final())
+	}
+}
+
+func TestRunSGDPerturbedNearChance(t *testing.T) {
+	ds, m := smallTask(t)
+	curve, err := RunSGD(SGDConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Perturbation: SplitEvenly(privacy.FromInv(0.1)),
+		Minibatch:    10,
+		Schedule:     optimizer.InvSqrt{C: 50}, Passes: 2,
+		EvalSubset: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 5: Central SGD on perturbed inputs sits near chance (~0.9)
+	// regardless of b.
+	if curve.Final() < 0.6 {
+		t.Errorf("perturbed central SGD final = %v, want near chance", curve.Final())
+	}
+}
+
+func TestRunSGDValidation(t *testing.T) {
+	ds, m := smallTask(t)
+	if _, err := RunSGD(SGDConfig{Train: ds.Train}); err == nil {
+		t.Error("expected error for missing model/schedule")
+	}
+	if _, err := RunSGD(SGDConfig{Model: m, Schedule: optimizer.InvSqrt{C: 1}}); err == nil {
+		t.Error("expected error for empty training set")
+	}
+}
+
+func TestRunSGDMinibatchUpdateCount(t *testing.T) {
+	// b=5 over 100 samples: eval grid must still cover the full x range.
+	ds, m := smallTask(t)
+	curve, err := RunSGD(SGDConfig{
+		Model: m, Train: ds.Train[:100], Test: ds.Test[:50],
+		Minibatch: 5, Schedule: optimizer.InvSqrt{C: 50},
+		EvalEvery: 25, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Len() != 4 {
+		t.Errorf("curve points = %d, want 4", curve.Len())
+	}
+	if last := curve.X[curve.Len()-1]; math.Abs(last-100) > 1e-9 {
+		t.Errorf("last x = %v, want 100", last)
+	}
+}

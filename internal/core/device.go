@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+// DeviceConfig configures a Crowd-ML device (Algorithm 1 inputs).
+type DeviceConfig struct {
+	// ID identifies the device to the server. Required.
+	ID string
+	// Token is the authentication token from Server.RegisterDevice.
+	Token string
+	// Model must match the server's model. Required.
+	Model model.Model
+	// Transport connects the device to the server. Required.
+	Transport Transport
+	// Minibatch is b, the number of samples that triggers a checkout
+	// (Device Routine 1). Must be ≥ 1; defaults to 1.
+	Minibatch int
+	// MaxBuffer is B, the secure local buffer cap; sample collection
+	// pauses at this size to prevent resource outage. Defaults to 8×b.
+	MaxBuffer int
+	// Lambda is the regularization weight λ of Eq. (2).
+	Lambda float64
+	// Budget sets the local differential-privacy levels (Device Routine 3).
+	// The zero value disables all perturbation, the "ε⁻¹ = 0" setting.
+	Budget privacy.Budget
+	// HoldoutFraction, if positive, sets aside this fraction of each
+	// minibatch as device-local test data (Remark 2): only those samples
+	// feed the misclassification counter, and their gradients are excluded
+	// from the average. Note the server-side error estimate ΣN_e/ΣN_s is
+	// then scaled down by roughly this fraction, since N_s still counts
+	// every sample.
+	HoldoutFraction float64
+	// Seed seeds the device's private noise/holdout randomness. Devices
+	// with equal seeds produce identical noise streams; give every device
+	// a distinct seed.
+	Seed uint64
+	// SecureNoise switches the sanitization noise to a cryptographically
+	// secure source (crypto/rand). Production deployments should set this:
+	// the DP guarantee assumes unpredictable noise. Seed is ignored for
+	// noise generation when set (holdout selection also becomes
+	// non-deterministic).
+	SecureNoise bool
+}
+
+// Device is the device side of Crowd-ML (Algorithm 1). It is not safe for
+// concurrent use: a physical device processes its own sensor stream
+// sequentially, and simulations give each virtual device its own instance.
+type Device struct {
+	cfg DeviceConfig
+	rng *rng.RNG
+
+	buffer []model.Sample
+	// dropped counts samples discarded because the buffer was full.
+	dropped int
+	// checkins counts successful flushes.
+	checkins int
+	// done latches once the server reports the task has stopped.
+	done bool
+}
+
+// NewDevice constructs a device, validating the configuration.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("core: DeviceConfig.ID is required")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: DeviceConfig.Model is required")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("core: DeviceConfig.Transport is required")
+	}
+	if cfg.Minibatch < 1 {
+		cfg.Minibatch = 1
+	}
+	if cfg.MaxBuffer < cfg.Minibatch {
+		cfg.MaxBuffer = 8 * cfg.Minibatch
+	}
+	if cfg.HoldoutFraction < 0 || cfg.HoldoutFraction >= 1 {
+		return nil, fmt.Errorf("core: HoldoutFraction %v outside [0,1)", cfg.HoldoutFraction)
+	}
+	noise := rng.New(cfg.Seed ^ 0xc2b2ae3d27d4eb4f)
+	if cfg.SecureNoise {
+		noise = rng.NewSecure()
+	}
+	return &Device{
+		cfg:    cfg,
+		rng:    noise,
+		buffer: make([]model.Sample, 0, cfg.Minibatch),
+	}, nil
+}
+
+// Done reports whether the server has told this device the task is over.
+func (d *Device) Done() bool { return d.done }
+
+// Buffered returns the current number of buffered samples (n_s).
+func (d *Device) Buffered() int { return len(d.buffer) }
+
+// Dropped returns the number of samples discarded due to a full buffer.
+func (d *Device) Dropped() int { return d.dropped }
+
+// Checkins returns the number of successful checkins so far.
+func (d *Device) Checkins() int { return d.checkins }
+
+// AddSample implements Device Routine 1: buffer the sample and, when the
+// minibatch threshold b is reached, attempt a checkout+checkin round trip.
+//
+// Per the paper's Remark 1, communication failures are non-critical: the
+// sample stays buffered and the flush is retried on the next AddSample.
+// The returned error reports such a failure (so callers can log or back
+// off) but the device remains usable. ErrBufferFull means the sample was
+// discarded because the buffer hit its cap B.
+func (d *Device) AddSample(ctx context.Context, s model.Sample) error {
+	if d.done {
+		return ErrStopped
+	}
+	if len(d.buffer) >= d.cfg.MaxBuffer {
+		d.dropped++
+		return ErrBufferFull
+	}
+	d.buffer = append(d.buffer, s)
+	if len(d.buffer) >= d.cfg.Minibatch {
+		return d.Flush(ctx)
+	}
+	return nil
+}
+
+// Flush implements Device Routines 2 and 3: check out the current
+// parameters, compute per-sample predictions and the averaged regularized
+// gradient, sanitize everything with the local privacy mechanisms, and
+// check the results in. On any communication failure the buffer is
+// retained for a later retry.
+func (d *Device) Flush(ctx context.Context) error {
+	if len(d.buffer) == 0 {
+		return nil
+	}
+	co, err := d.cfg.Transport.Checkout(ctx, d.cfg.ID, d.cfg.Token)
+	if err != nil {
+		return fmt.Errorf("checkout: %w", err)
+	}
+	if co.Done {
+		d.done = true
+		return ErrStopped
+	}
+	classes, dim := d.cfg.Model.Shape()
+	w, err := linalg.NewMatrixFrom(classes, dim, co.Params)
+	if err != nil {
+		return fmt.Errorf("checkout params: %w", err)
+	}
+
+	// Device Routine 2: predictions, counters, gradient. With a holdout
+	// fraction (Remark 2), the misclassification counter is computed only
+	// from the held-out samples, whose gradients are excluded from the
+	// average; the server's error estimate then reflects generalization
+	// rather than training error. Without holdout, every sample feeds
+	// both the counter and the gradient, exactly as Algorithm 1 reads.
+	ns := len(d.buffer)
+	ne := 0
+	nky := make([]int, classes)
+	holdout := d.cfg.HoldoutFraction > 0
+	training := d.buffer
+	if holdout {
+		training = make([]model.Sample, 0, ns)
+	}
+	for _, s := range d.buffer {
+		nky[s.Y]++
+		heldOut := holdout && d.rng.Float64() < d.cfg.HoldoutFraction
+		if !holdout || heldOut {
+			if d.cfg.Model.Misclassified(w, s) {
+				ne++
+			}
+		}
+		if holdout && !heldOut {
+			training = append(training, s)
+		}
+	}
+	g := optimizer.AverageGradient(d.cfg.Model, w, training, d.cfg.Lambda)
+	if g == nil {
+		// Every sample was held out; send a zero gradient so the counters
+		// still reach the server.
+		g = model.NewParams(d.cfg.Model)
+	}
+
+	// Device Routine 3: sanitize with the local mechanisms.
+	privacy.PerturbGradient(g, len(training), d.cfg.Model.GradientSensitivity(),
+		d.cfg.Budget.Gradient, d.rng)
+	req := &CheckinRequest{
+		Grad:        g.Data(),
+		NumSamples:  ns,
+		ErrCount:    privacy.SanitizeCount(ne, d.cfg.Budget.ErrCount, d.rng),
+		LabelCounts: privacy.SanitizeCounts(nky, d.cfg.Budget.LabelCount, d.rng),
+		Version:     co.Version,
+	}
+	if err := d.cfg.Transport.Checkin(ctx, d.cfg.ID, d.cfg.Token, req); err != nil {
+		return fmt.Errorf("checkin: %w", err)
+	}
+
+	// Reset n_s, n_e, n^k_y (end of Device Routine 2).
+	d.buffer = d.buffer[:0]
+	d.checkins++
+	return nil
+}

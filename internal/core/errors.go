@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+var (
+	// ErrAuth is returned when a device's credentials are rejected
+	// (Algorithm 2 authenticates every checkout and checkin).
+	ErrAuth = errors.New("crowdml: authentication failed")
+
+	// ErrStopped is returned when the server's stopping criteria
+	// (t ≥ Tmax or error estimate ≤ ρ) have been met.
+	ErrStopped = errors.New("crowdml: learning task has stopped")
+
+	// ErrBadCheckin is returned when a checkin payload is malformed
+	// (wrong gradient length or label-count arity).
+	ErrBadCheckin = errors.New("crowdml: malformed checkin")
+
+	// ErrBufferFull is returned by Device.AddSample when the secure local
+	// buffer has reached its maximum size B and collection is paused
+	// (Device Routine 1: "stop collection to prevent resource outage").
+	ErrBufferFull = errors.New("crowdml: device buffer full")
+)

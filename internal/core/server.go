@@ -1,0 +1,283 @@
+package core
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+)
+
+// ServerConfig configures a Crowd-ML server (Algorithm 2 inputs).
+type ServerConfig struct {
+	// Model defines the classifier (C, h, l of Eq. 2). Required.
+	Model model.Model
+	// Updater applies the parameter update of Eq. (3); required.
+	// The paper's default is SGD with η(t) = c/√t.
+	Updater optimizer.Updater
+	// Tmax is the maximum number of iterations (checkins); 0 means
+	// unbounded.
+	Tmax int
+	// TargetError is the desired overall error ρ; the server stops when
+	// the running estimate ΣN_e/ΣN_s drops to ρ or below. 0 disables.
+	TargetError float64
+	// MinSamplesForStop is the minimum ΣN_s before the ρ criterion is
+	// evaluated, so a couple of lucky early checkins cannot stop the task.
+	// Defaults to 10× the model's class count when zero.
+	MinSamplesForStop int
+	// InitParams optionally seeds the parameter matrix ("Init: randomized
+	// w" in Algorithm 2). Nil starts from zero, which is a valid (and
+	// deterministic) initialization for the convex models in this repo.
+	InitParams *linalg.Matrix
+	// OnCheckin, if non-nil, is invoked after every successfully applied
+	// checkin with the device ID, the resulting iteration number, and the
+	// sanitized request (safe to log: it only ever contains sanitized
+	// data). It runs under the server lock — keep it fast, e.g. hand off
+	// to a store.Journal.
+	OnCheckin func(deviceID string, iteration int, req *CheckinRequest)
+}
+
+// DeviceStats are the server's per-device progress counters from
+// Algorithm 2: N^m_s, N^m_e and N^{k,m}_y.
+type DeviceStats struct {
+	// Samples is N^m_s, the total (unperturbed) sample count.
+	Samples int
+	// Errors is N^m_e, the accumulated sanitized misclassification count.
+	Errors int
+	// LabelCounts is N^{k,m}_y per class, accumulated sanitized counts.
+	LabelCounts []int
+	// Checkins counts completed checkins from this device.
+	Checkins int
+	// StalenessSum accumulates (t_apply − t_checkout) over checkins, for
+	// latency analysis (Section IV-B3).
+	StalenessSum int
+}
+
+// Server is the Crowd-ML server of Algorithm 2. It is safe for concurrent
+// use by many devices; a single mutex guards the parameter vector, which is
+// appropriate because the update itself is O(C·D) and the paper's design
+// goal is a minimal server load (Section IV-B1).
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	w        *linalg.Matrix
+	t        int // iteration counter (completed checkins)
+	stopped  bool
+	devices  map[string]*DeviceStats
+	tokens   map[string]string
+	totalNs  int
+	totalNe  int
+	totalNky []int
+}
+
+// NewServer constructs a server. It returns an error if the config is
+// incomplete or the initial parameters have the wrong shape.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: ServerConfig.Model is required")
+	}
+	if cfg.Updater == nil {
+		return nil, fmt.Errorf("core: ServerConfig.Updater is required")
+	}
+	classes, _ := cfg.Model.Shape()
+	if cfg.MinSamplesForStop == 0 {
+		cfg.MinSamplesForStop = 10 * classes
+	}
+	w := model.NewParams(cfg.Model)
+	if cfg.InitParams != nil {
+		if err := w.CopyFrom(cfg.InitParams); err != nil {
+			return nil, fmt.Errorf("core: init params: %w", err)
+		}
+	}
+	return &Server{
+		cfg:      cfg,
+		w:        w,
+		devices:  make(map[string]*DeviceStats),
+		tokens:   make(map[string]string),
+		totalNky: make([]int, classes),
+	}, nil
+}
+
+// RegisterDevice enrolls a device and returns its authentication token
+// (the Web-portal "join task" step of Section V-A). Registering an already
+// known device rotates its token.
+func (s *Server) RegisterDevice(deviceID string) (token string, err error) {
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		return "", fmt.Errorf("core: token generation: %w", err)
+	}
+	token = hex.EncodeToString(buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[deviceID] = token
+	if _, ok := s.devices[deviceID]; !ok {
+		classes, _ := s.cfg.Model.Shape()
+		s.devices[deviceID] = &DeviceStats{LabelCounts: make([]int, classes)}
+	}
+	return token, nil
+}
+
+// authenticate verifies a device's token under the lock.
+func (s *Server) authenticate(deviceID, token string) error {
+	want, ok := s.tokens[deviceID]
+	if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(token)) != 1 {
+		return ErrAuth
+	}
+	return nil
+}
+
+// Checkout implements Server Routine 1: authenticate and hand out the
+// current parameters. A stopped server still answers (with Done set) so
+// devices learn to stand down.
+func (s *Server) Checkout(deviceID, token string) (*CheckoutResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.authenticate(deviceID, token); err != nil {
+		return nil, err
+	}
+	return &CheckoutResponse{
+		Params:  linalg.Copy(s.w.Data()),
+		Version: s.t,
+		Done:    s.stoppedLocked(),
+	}, nil
+}
+
+// Checkin implements Server Routine 2: authenticate, accumulate the
+// device's counters, and apply the SGD update w ← w − η(t)·ĝ.
+func (s *Server) Checkin(deviceID, token string, req *CheckinRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.authenticate(deviceID, token); err != nil {
+		return err
+	}
+	if s.stoppedLocked() {
+		return ErrStopped
+	}
+	classes, dim := s.cfg.Model.Shape()
+	if len(req.Grad) != classes*dim {
+		return fmt.Errorf("gradient length %d, want %d: %w",
+			len(req.Grad), classes*dim, ErrBadCheckin)
+	}
+	if len(req.LabelCounts) != classes {
+		return fmt.Errorf("label counts length %d, want %d: %w",
+			len(req.LabelCounts), classes, ErrBadCheckin)
+	}
+	if req.NumSamples < 0 {
+		return fmt.Errorf("negative sample count: %w", ErrBadCheckin)
+	}
+
+	st := s.devices[deviceID]
+	st.Samples += req.NumSamples
+	st.Errors += req.ErrCount
+	for k, c := range req.LabelCounts {
+		st.LabelCounts[k] += c
+		s.totalNky[k] += c
+	}
+	st.Checkins++
+	st.StalenessSum += s.t - req.Version
+	s.totalNs += req.NumSamples
+	s.totalNe += req.ErrCount
+
+	g, err := linalg.NewMatrixFrom(classes, dim, req.Grad)
+	if err != nil {
+		return fmt.Errorf("%v: %w", err, ErrBadCheckin)
+	}
+	s.t++
+	s.cfg.Updater.Update(s.w, g, s.t)
+	if s.cfg.OnCheckin != nil {
+		s.cfg.OnCheckin(deviceID, s.t, req)
+	}
+	return nil
+}
+
+// stoppedLocked evaluates the Algorithm 2 stopping criteria under the lock.
+func (s *Server) stoppedLocked() bool {
+	if s.stopped {
+		return true
+	}
+	if s.cfg.Tmax > 0 && s.t >= s.cfg.Tmax {
+		s.stopped = true
+		return true
+	}
+	if s.cfg.TargetError > 0 && s.totalNs >= s.cfg.MinSamplesForStop {
+		if est := float64(s.totalNe) / float64(s.totalNs); est <= s.cfg.TargetError {
+			s.stopped = true
+			return true
+		}
+	}
+	return false
+}
+
+// Stopped reports whether the stopping criteria have been met.
+func (s *Server) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stoppedLocked()
+}
+
+// Stop forces the task to end (administrative shutdown).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+}
+
+// Iteration returns the server iteration counter t.
+func (s *Server) Iteration() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t
+}
+
+// Params returns a snapshot copy of the current parameter matrix.
+func (s *Server) Params() *linalg.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Clone()
+}
+
+// ErrEstimate returns the running error estimate ΣN_e/ΣN_s of Eq. (14).
+// The second return is false until any samples have been reported.
+func (s *Server) ErrEstimate() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.totalNs == 0 {
+		return 0, false
+	}
+	return float64(s.totalNe) / float64(s.totalNs), true
+}
+
+// PriorEstimate returns the running class-prior estimate P̂(y=k) of
+// Eq. (14). The second return is false until any samples have been
+// reported.
+func (s *Server) PriorEstimate() ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.totalNs == 0 {
+		return nil, false
+	}
+	out := make([]float64, len(s.totalNky))
+	for k, c := range s.totalNky {
+		out[k] = float64(c) / float64(s.totalNs)
+	}
+	return out, true
+}
+
+// DeviceStats returns a copy of the per-device counters, or false if the
+// device is unknown.
+func (s *Server) DeviceStats(deviceID string) (DeviceStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.devices[deviceID]
+	if !ok {
+		return DeviceStats{}, false
+	}
+	cp := *st
+	cp.LabelCounts = append([]int(nil), st.LabelCounts...)
+	return cp, true
+}

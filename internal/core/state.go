@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// ServerState is a serializable snapshot of everything Algorithm 2
+// accumulates: the parameter vector, the iteration counter, and the
+// per-device progress counters. The paper's prototype persisted this state
+// in MySQL (Section V-A); package store provides the file-backed
+// equivalent so a restarted server resumes the task instead of discarding
+// the crowd's contributions.
+//
+// Device tokens are intentionally NOT part of the state: credentials are
+// provisioning data, not learning state, and persisting them would widen
+// the blast radius of a leaked checkpoint.
+type ServerState struct {
+	// ModelName, Classes and Dim identify the task shape for sanity
+	// checking on restore.
+	ModelName string `json:"modelName"`
+	Classes   int    `json:"classes"`
+	Dim       int    `json:"dim"`
+	// Params is the flattened C×D parameter matrix.
+	Params []float64 `json:"params"`
+	// Iteration is the SGD iteration counter t.
+	Iteration int `json:"iteration"`
+	// Stopped records whether the stopping criteria had been met.
+	Stopped bool `json:"stopped"`
+	// TotalSamples, TotalErrors and TotalLabelCounts are the crowd-wide
+	// counters behind the Eq. (14) estimates.
+	TotalSamples     int   `json:"totalSamples"`
+	TotalErrors      int   `json:"totalErrors"`
+	TotalLabelCounts []int `json:"totalLabelCounts"`
+	// Devices holds the per-device counters, keyed by device ID.
+	Devices map[string]DeviceStateEntry `json:"devices"`
+}
+
+// DeviceStateEntry is the serializable form of DeviceStats.
+type DeviceStateEntry struct {
+	Samples      int   `json:"samples"`
+	Errors       int   `json:"errors"`
+	LabelCounts  []int `json:"labelCounts"`
+	Checkins     int   `json:"checkins"`
+	StalenessSum int   `json:"stalenessSum"`
+}
+
+// ExportState snapshots the server's learning state.
+func (s *Server) ExportState() *ServerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	classes, dim := s.cfg.Model.Shape()
+	st := &ServerState{
+		ModelName:        s.cfg.Model.Name(),
+		Classes:          classes,
+		Dim:              dim,
+		Params:           linalg.Copy(s.w.Data()),
+		Iteration:        s.t,
+		Stopped:          s.stopped,
+		TotalSamples:     s.totalNs,
+		TotalErrors:      s.totalNe,
+		TotalLabelCounts: append([]int(nil), s.totalNky...),
+		Devices:          make(map[string]DeviceStateEntry, len(s.devices)),
+	}
+	for id, d := range s.devices {
+		st.Devices[id] = DeviceStateEntry{
+			Samples:      d.Samples,
+			Errors:       d.Errors,
+			LabelCounts:  append([]int(nil), d.LabelCounts...),
+			Checkins:     d.Checkins,
+			StalenessSum: d.StalenessSum,
+		}
+	}
+	return st
+}
+
+// ImportState restores a previously exported state. The snapshot must
+// match the server's model name and shape. Devices present in the snapshot
+// are re-created with their counters but WITHOUT credentials; they must
+// re-register (see ServerState's security note).
+func (s *Server) ImportState(st *ServerState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil state")
+	}
+	classes, dim := s.cfg.Model.Shape()
+	if st.ModelName != s.cfg.Model.Name() || st.Classes != classes || st.Dim != dim {
+		return fmt.Errorf("core: state for %s (%dx%d) does not match server model %s (%dx%d)",
+			st.ModelName, st.Classes, st.Dim, s.cfg.Model.Name(), classes, dim)
+	}
+	if len(st.Params) != classes*dim {
+		return fmt.Errorf("core: state params length %d, want %d", len(st.Params), classes*dim)
+	}
+	if len(st.TotalLabelCounts) != classes {
+		return fmt.Errorf("core: state label counts length %d, want %d",
+			len(st.TotalLabelCounts), classes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	copy(s.w.Data(), st.Params)
+	s.t = st.Iteration
+	s.stopped = st.Stopped
+	s.totalNs = st.TotalSamples
+	s.totalNe = st.TotalErrors
+	copy(s.totalNky, st.TotalLabelCounts)
+	for id, entry := range st.Devices {
+		if len(entry.LabelCounts) != classes {
+			return fmt.Errorf("core: device %s label counts length %d, want %d",
+				id, len(entry.LabelCounts), classes)
+		}
+		s.devices[id] = &DeviceStats{
+			Samples:      entry.Samples,
+			Errors:       entry.Errors,
+			LabelCounts:  append([]int(nil), entry.LabelCounts...),
+			Checkins:     entry.Checkins,
+			StalenessSum: entry.StalenessSum,
+		}
+	}
+	return nil
+}

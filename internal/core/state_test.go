@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+)
+
+func populatedServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := newTestServer(t, ServerConfig{})
+	token := register(t, s, "d1")
+	req := &CheckinRequest{
+		Grad:        []float64{1, 0, 0, 0, 0, 0},
+		NumSamples:  4,
+		ErrCount:    2,
+		LabelCounts: []int{2, 1, 1},
+	}
+	if err := s.Checkin("d1", token, req); err != nil {
+		t.Fatal(err)
+	}
+	return s, token
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, _ := populatedServer(t)
+	st := src.ExportState()
+
+	dst := newTestServer(t, ServerConfig{})
+	if err := dst.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if dst.Iteration() != src.Iteration() {
+		t.Errorf("iteration %d, want %d", dst.Iteration(), src.Iteration())
+	}
+	if !linalg.Equal(dst.Params().Data(), src.Params().Data(), 0) {
+		t.Error("params differ after restore")
+	}
+	gotEst, ok := dst.ErrEstimate()
+	wantEst, _ := src.ErrEstimate()
+	if !ok || gotEst != wantEst {
+		t.Errorf("error estimate %v, want %v", gotEst, wantEst)
+	}
+	stats, ok := dst.DeviceStats("d1")
+	if !ok || stats.Samples != 4 || stats.Errors != 2 {
+		t.Errorf("restored device stats = %+v ok=%v", stats, ok)
+	}
+}
+
+func TestImportStateRequiresReauth(t *testing.T) {
+	src, _ := populatedServer(t)
+	dst := newTestServer(t, ServerConfig{})
+	if err := dst.ImportState(src.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	// Tokens are not persisted: the device must re-register.
+	if _, err := dst.Checkout("d1", "old-token"); err == nil {
+		t.Error("restored server must not accept unprovisioned credentials")
+	}
+	tok := register(t, dst, "d1")
+	if _, err := dst.Checkout("d1", tok); err != nil {
+		t.Errorf("re-registered device rejected: %v", err)
+	}
+}
+
+func TestExportStateIsSnapshot(t *testing.T) {
+	src, token := populatedServer(t)
+	st := src.ExportState()
+	before := append([]float64(nil), st.Params...)
+	// Mutate the server after the export.
+	if err := src.Checkin("d1", token, validCheckin(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Equal(st.Params, before, 0) {
+		t.Error("exported state aliased live server data")
+	}
+}
+
+func TestImportStateValidation(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	if err := s.ImportState(nil); err == nil {
+		t.Error("nil state should be rejected")
+	}
+	other, err := NewServer(ServerConfig{
+		Model:   model.NewLogisticRegression(5, 7),
+		Updater: s.cfg.Updater,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ImportState(other.ExportState()); err == nil {
+		t.Error("mismatched shape should be rejected")
+	}
+	st := s.ExportState()
+	st.Params = st.Params[:1]
+	if err := s.ImportState(st); err == nil {
+		t.Error("truncated params should be rejected")
+	}
+	st2 := s.ExportState()
+	st2.TotalLabelCounts = []int{1}
+	if err := s.ImportState(st2); err == nil {
+		t.Error("bad label-count arity should be rejected")
+	}
+	st3 := s.ExportState()
+	st3.Devices = map[string]DeviceStateEntry{"x": {LabelCounts: []int{1}}}
+	if err := s.ImportState(st3); err == nil {
+		t.Error("bad device label-count arity should be rejected")
+	}
+}
+
+func TestImportStatePreservesStopped(t *testing.T) {
+	src, _ := populatedServer(t)
+	src.Stop()
+	dst := newTestServer(t, ServerConfig{})
+	if err := dst.ImportState(src.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Stopped() {
+		t.Error("stopped flag lost on restore")
+	}
+}

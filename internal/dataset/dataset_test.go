@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestGenerateMixtureShapeAndNormalization(t *testing.T) {
+	ds, err := GenerateMixture(MixtureConfig{
+		Name: "t", Classes: 4, Dim: 8, TrainSize: 100, TestSize: 40,
+		MeanScale: 1, NoiseScale: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 100 || len(ds.Test) != 40 {
+		t.Fatalf("sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+	for _, s := range ds.Train {
+		if len(s.X) != 8 {
+			t.Fatalf("dim %d", len(s.X))
+		}
+		if s.Y < 0 || s.Y >= 4 {
+			t.Fatalf("label %d", s.Y)
+		}
+		if n := linalg.Norm1(s.X); math.Abs(n-1) > 1e-9 {
+			t.Fatalf("‖x‖₁ = %v, want 1", n)
+		}
+	}
+}
+
+func TestGenerateMixtureBalancedClasses(t *testing.T) {
+	ds, err := GenerateMixture(MixtureConfig{
+		Classes: 5, Dim: 3, TrainSize: 1000, TestSize: 0,
+		MeanScale: 1, NoiseScale: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 5)
+	for _, s := range ds.Train {
+		counts[s.Y]++
+	}
+	for k, c := range counts {
+		if c != 200 {
+			t.Errorf("class %d count %d, want 200", k, c)
+		}
+	}
+}
+
+func TestGenerateMixtureDeterministic(t *testing.T) {
+	cfg := MixtureConfig{Classes: 3, Dim: 4, TrainSize: 10, TestSize: 5,
+		MeanScale: 1, NoiseScale: 1, Seed: 7}
+	a, _ := GenerateMixture(cfg)
+	b, _ := GenerateMixture(cfg)
+	for i := range a.Train {
+		if a.Train[i].Y != b.Train[i].Y || !linalg.Equal(a.Train[i].X, b.Train[i].X, 0) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestGenerateMixtureValidation(t *testing.T) {
+	bad := []MixtureConfig{
+		{Classes: 1, Dim: 2, TrainSize: 10, MeanScale: 1, NoiseScale: 1},
+		{Classes: 2, Dim: 0, TrainSize: 10, MeanScale: 1, NoiseScale: 1},
+		{Classes: 2, Dim: 2, TrainSize: 0, MeanScale: 1, NoiseScale: 1},
+		{Classes: 2, Dim: 2, TrainSize: 10, MeanScale: 0, NoiseScale: 1},
+		{Classes: 2, Dim: 2, TrainSize: 10, MeanScale: 1, NoiseScale: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateMixture(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestMNISTLikeDefaults(t *testing.T) {
+	ds, err := MNISTLike(500, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 10 || ds.Dim != 50 {
+		t.Errorf("shape C=%d D=%d, want 10/50", ds.Classes, ds.Dim)
+	}
+	if len(ds.Train) != 500 || len(ds.Test) != 100 {
+		t.Errorf("sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+}
+
+func TestCIFARLikeShape(t *testing.T) {
+	ds, err := CIFARLike(200, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 10 || ds.Dim != 100 {
+		t.Errorf("shape C=%d D=%d, want 10/100", ds.Classes, ds.Dim)
+	}
+}
+
+// trainBatch runs a few epochs of full-batch gradient descent — enough to
+// approximate the asymptotic error for calibration checks.
+func trainBatch(ds *Dataset, epochs int, rate float64) *linalg.Matrix {
+	m := model.NewLogisticRegression(ds.Classes, ds.Dim)
+	w := model.NewParams(m)
+	g := model.NewParams(m)
+	for e := 0; e < epochs; e++ {
+		g.Zero()
+		for _, s := range ds.Train {
+			m.AddGradient(w, g, s)
+		}
+		g.Scale(1 / float64(len(ds.Train)))
+		w.AddScaled(-rate, g)
+	}
+	return w
+}
+
+func testError(ds *Dataset, w *linalg.Matrix) float64 {
+	m := model.NewLogisticRegression(ds.Classes, ds.Dim)
+	errs := 0
+	for _, s := range ds.Test {
+		if m.Misclassified(w, s) {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(ds.Test))
+}
+
+// Calibration: the MNIST-like task must land near the paper's ~0.1
+// asymptotic error and the CIFAR-like task near ~0.3, preserving the
+// "harder dataset, same curve shapes" relationship of Appendix D.
+func TestDatasetDifficultyCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	mn, err := MNISTLike(6000, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := trainBatch(mn, 150, 40)
+	em := testError(mn, wm)
+	if em < 0.03 || em > 0.20 {
+		t.Errorf("mnist-like batch error = %v, want ~0.1 (0.03–0.20)", em)
+	}
+	cf, err := CIFARLike(6000, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := trainBatch(cf, 150, 40)
+	ec := testError(cf, wc)
+	if ec < 0.18 || ec > 0.45 {
+		t.Errorf("cifar-like batch error = %v, want ~0.3 (0.18–0.45)", ec)
+	}
+	if ec <= em {
+		t.Errorf("cifar-like (%v) must be harder than mnist-like (%v)", ec, em)
+	}
+}
+
+func TestAssignCoversAllSamples(t *testing.T) {
+	ds, _ := GenerateMixture(MixtureConfig{
+		Classes: 2, Dim: 2, TrainSize: 103, TestSize: 0,
+		MeanScale: 1, NoiseScale: 1, Seed: 4,
+	})
+	shards := Assign(ds.Train, 10, rng.New(1))
+	if len(shards) != 10 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+		if len(sh) < 10 || len(sh) > 11 {
+			t.Errorf("shard size %d outside [10,11]", len(sh))
+		}
+	}
+	if total != 103 {
+		t.Errorf("assigned %d samples, want 103", total)
+	}
+	if Assign(ds.Train, 0, rng.New(1)) != nil {
+		t.Error("m=0 should return nil")
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	ds, _ := GenerateMixture(MixtureConfig{
+		Classes: 2, Dim: 2, TrainSize: 50, TestSize: 0,
+		MeanScale: 1, NoiseScale: 1, Seed: 5,
+	})
+	out := Shuffled(ds.Train, rng.New(9))
+	if len(out) != 50 {
+		t.Fatal("length changed")
+	}
+	// Same label multiset.
+	var a, b [2]int
+	for i := range out {
+		a[ds.Train[i].Y]++
+		b[out[i].Y]++
+	}
+	if a != b {
+		t.Error("shuffle changed label counts")
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/attack"
+	"github.com/crowdml/crowdml/internal/metrics"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/sim"
+	"github.com/crowdml/crowdml/internal/simnet"
+)
+
+// The ablation studies of DESIGN.md §5: each isolates one design choice of
+// the framework on the digit task and reports the same error-vs-iteration
+// curves as the paper figures.
+
+// AblationMinibatch sweeps the minibatch size b under the Fig. 5 privacy
+// level — the noise/latency trade-off of Eq. (13) in isolation.
+func AblationMinibatch(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-minibatch",
+		Title:  "Minibatch size vs gradient-noise mitigation (ε⁻¹=0.1)",
+		XLabel: "Iteration", YLabel: "Test error",
+	}
+	fig.addNote("noise scale per Eq. (10) is 4/(ε·b): doubling b halves the injected noise")
+	const passes = 3
+	for _, b := range []int{1, 5, 10, 20, 50} {
+		base := setup.crowdBase(cfg, passes)
+		base.Minibatch = b
+		base.Budget = privacy.Budget{Gradient: privacy.FromInv(Fig5Inv)}
+		curve, err := crowdCurve(cfg, base, fmt.Sprintf("b=%d", b))
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationSchedule compares the paper's c/√t schedule against a constant
+// rate, the strongly-convex c/t rate, and the AdaGrad updater of Remark 3.
+func AblationSchedule(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-schedule",
+		Title:  "Learning-rate schedules and adaptive updaters (Remark 3)",
+		XLabel: "Iteration", YLabel: "Test error",
+	}
+	const passes = 2
+	variants := []struct {
+		name   string
+		mutate func(*sim.CrowdConfig)
+	}{
+		{name: "c/sqrt(t)", mutate: func(c *sim.CrowdConfig) {
+			c.Schedule = optimizer.InvSqrt{C: DefaultRate}
+		}},
+		{name: "constant", mutate: func(c *sim.CrowdConfig) {
+			c.Schedule = optimizer.Constant{C: 5}
+		}},
+		{name: "c/t", mutate: func(c *sim.CrowdConfig) {
+			c.Schedule = optimizer.InvT{C: 200}
+		}},
+		{name: "adagrad", mutate: func(c *sim.CrowdConfig) {
+			c.Schedule = optimizer.InvSqrt{C: 1} // ignored by custom updater
+			c.Updater = &optimizer.AdaGrad{Eta: 0.3}
+		}},
+		{name: "momentum", mutate: func(c *sim.CrowdConfig) {
+			c.Schedule = optimizer.InvSqrt{C: DefaultRate}
+			c.Updater = &optimizer.Momentum{Schedule: optimizer.InvSqrt{C: DefaultRate}, Beta: 0.9}
+		}},
+	}
+	for _, v := range variants {
+		base := setup.crowdBase(cfg, passes)
+		v.mutate(&base)
+		curve, err := crowdCurve(cfg, base, v.name)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationProjection toggles the Π_W ball projection of Eq. (3).
+func AblationProjection(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-projection",
+		Title:  "Projection radius R of Π_W (Eq. 3)",
+		XLabel: "Iteration", YLabel: "Test error",
+	}
+	const passes = 2
+	for _, radius := range []float64{0, 2, 10, 50} {
+		base := setup.crowdBase(cfg, passes)
+		base.Radius = radius
+		name := fmt.Sprintf("R=%g", radius)
+		if radius == 0 {
+			name = "no projection"
+		}
+		curve, err := crowdCurve(cfg, base, name)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationStale compares applying stale gradients (the paper's behaviour)
+// against dropping them at the server under heavy delay.
+func AblationStale(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-stale",
+		Title:  "Apply vs drop stale gradients under 100Δ delays",
+		XLabel: "Iteration", YLabel: "Test error",
+	}
+	const passes = 3
+	for _, drop := range []int{0, 10, 100} {
+		base := setup.crowdBase(cfg, passes)
+		base.Delay = simnet.Uniform{Max: 100}
+		base.StaleDropThreshold = drop
+		name := "apply all"
+		if drop > 0 {
+			name = fmt.Sprintf("drop staleness>%d", drop)
+		}
+		curve, err := crowdCurve(cfg, base, name)
+		if err != nil {
+			return nil, err
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig, nil
+}
+
+// AblationGaussian compares the Laplace mechanism of Eq. (10) with the
+// (ε, δ) Gaussian variant of footnote 1 at matched ε.
+func AblationGaussian(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-gaussian",
+		Title:  "Laplace (ε) vs Gaussian (ε, δ=1e-5) gradient mechanisms",
+		XLabel: "Iteration", YLabel: "Test error",
+	}
+	fig.addNote("both at ε=10, b=20; Gaussian noise derived from the L2 sensitivity bound")
+	const passes = 3
+	lap := setup.crowdBase(cfg, passes)
+	lap.Minibatch = 20
+	lap.Budget = privacy.Budget{Gradient: privacy.FromInv(Fig5Inv)}
+	lapCurve, err := crowdCurve(cfg, lap, "laplace")
+	if err != nil {
+		return nil, err
+	}
+	gau := setup.crowdBase(cfg, passes)
+	gau.Minibatch = 20
+	gau.GaussianBudget = sim.GaussianBudget{Eps: privacy.FromInv(Fig5Inv), Delta: 1e-5}
+	gauCurve, err := crowdCurve(cfg, gau, "gaussian")
+	if err != nil {
+		return nil, err
+	}
+	fig.Curves = append(fig.Curves, lapCurve, gauCurve)
+	return fig, nil
+}
+
+// Ablations maps ablation IDs to their runners (kept separate from All so
+// `crowdml-bench -fig all` remains exactly the paper's figures).
+var Ablations = map[string]func(Config) (*Figure, error){
+	"ablation-minibatch":  AblationMinibatch,
+	"ablation-schedule":   AblationSchedule,
+	"ablation-projection": AblationProjection,
+	"ablation-stale":      AblationStale,
+	"ablation-gaussian":   AblationGaussian,
+	"ablation-poisoning":  AblationPoisoning,
+}
+
+// AblationPoisoning quantifies Remark 3 + server-side hardening: the same
+// poisoned crowd (10% malignant devices sending huge gradients) under plain
+// SGD, AdaGrad, and the sensitivity-aware clip wrapper.
+func AblationPoisoning(cfg Config) (*Figure, error) {
+	cfg = cfg.normalized()
+	setup, err := newComparisonSetup(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "ablation-poisoning",
+		Title:  "Malignant devices (10%, huge gradients): updater robustness",
+		XLabel: "trial", YLabel: "Final test error",
+	}
+	fig.addNote("honest averaged gradients have ‖g̃‖₁ ≤ 2, so clip(4) never touches them")
+	rounds := 2 * len(setup.ds.Train)
+	variants := []struct {
+		name string
+		mk   func() optimizer.Updater
+	}{
+		{name: "sgd", mk: func() optimizer.Updater {
+			return &optimizer.SGD{Schedule: optimizer.InvSqrt{C: DefaultRate}}
+		}},
+		{name: "adagrad", mk: func() optimizer.Updater {
+			return &optimizer.AdaGrad{Eta: 0.5}
+		}},
+		{name: "sgd+clip", mk: func() optimizer.Updater {
+			return &optimizer.Clip{
+				Inner:    &optimizer.SGD{Schedule: optimizer.InvSqrt{C: DefaultRate}},
+				MaxNorm1: 4,
+			}
+		}},
+	}
+	for _, v := range variants {
+		series := metrics.Series{Name: v.name}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			res, err := attack.RunPoisoning(attack.PoisonConfig{
+				Model: setup.m, Train: setup.ds.Train, Test: setup.ds.Test,
+				Devices: setup.devices, MaliciousFrac: 0.1,
+				Strategy: attack.PoisonLargeGradient, Magnitude: 100,
+				Updater: v.mk(),
+				Rounds:  rounds,
+				Seed:    cfg.Seed + uint64(trial)*1_000_003,
+			})
+			if err != nil {
+				return nil, err
+			}
+			series.Append(float64(trial+1), res.TestError)
+		}
+		fig.Curves = append(fig.Curves, series)
+	}
+	return fig, nil
+}

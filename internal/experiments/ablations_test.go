@@ -1,0 +1,126 @@
+package experiments
+
+import "testing"
+
+func TestAblationMinibatchMonotone(t *testing.T) {
+	fig, err := AblationMinibatch(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 5 {
+		t.Fatalf("%d curves, want 5", len(fig.Curves))
+	}
+	b1 := findCurve(t, fig, "b=1")
+	b50 := findCurve(t, fig, "b=50")
+	// The Eq. (13) trade-off: more averaging, less noise, lower error.
+	if b50.Final() >= b1.Final() {
+		t.Errorf("b=50 (%v) should beat b=1 (%v)", b50.Final(), b1.Final())
+	}
+}
+
+func TestAblationScheduleVariantsAllLearn(t *testing.T) {
+	fig, err := AblationSchedule(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 5 {
+		t.Fatalf("%d curves, want 5", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		// Every variant must do substantially better than chance (0.9).
+		if c.Final() > 0.5 {
+			t.Errorf("schedule %q failed to learn: final %v", c.Name, c.Final())
+		}
+	}
+}
+
+func TestAblationProjectionCurves(t *testing.T) {
+	fig, err := AblationProjection(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 4 {
+		t.Fatalf("%d curves, want 4", len(fig.Curves))
+	}
+	none := findCurve(t, fig, "no projection")
+	generous := findCurve(t, fig, "R=50")
+	// A generous ball barely binds: must track the unprojected run.
+	if diff := generous.Final() - none.Final(); diff > 0.1 || diff < -0.1 {
+		t.Errorf("R=50 (%v) should track no projection (%v)",
+			generous.Final(), none.Final())
+	}
+}
+
+func TestAblationStaleDropHasCurves(t *testing.T) {
+	fig, err := AblationStale(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(fig.Curves))
+	}
+	apply := findCurve(t, fig, "apply all")
+	if apply.Final() > 0.5 {
+		t.Errorf("apply-stale failed to learn under delay: %v", apply.Final())
+	}
+}
+
+func TestAblationGaussianBothLearn(t *testing.T) {
+	fig, err := AblationGaussian(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap := findCurve(t, fig, "laplace")
+	gau := findCurve(t, fig, "gaussian")
+	// At the tiny test scale only ~180 noisy updates happen; both
+	// mechanisms must still be clearly better than chance (0.9).
+	if lap.Final() > 0.8 {
+		t.Errorf("laplace variant did not learn: %v", lap.Final())
+	}
+	// The Gaussian mechanism at ε=10, δ=1e-5 has larger σ than the Laplace
+	// scale here, but must still beat chance clearly.
+	if gau.Final() > 0.85 {
+		t.Errorf("gaussian variant near chance: %v", gau.Final())
+	}
+}
+
+func TestAblationsRegistry(t *testing.T) {
+	want := []string{
+		"ablation-minibatch", "ablation-schedule", "ablation-projection",
+		"ablation-stale", "ablation-gaussian",
+	}
+	for _, id := range want {
+		if Ablations[id] == nil {
+			t.Errorf("missing %s", id)
+		}
+	}
+	want = append(want, "ablation-poisoning")
+	if len(Ablations) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Ablations), len(want))
+	}
+}
+
+func TestAblationPoisoningClipWins(t *testing.T) {
+	fig, err := AblationPoisoning(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(fig.Curves))
+	}
+	sgd := findCurve(t, fig, "sgd")
+	clip := findCurve(t, fig, "sgd+clip")
+	if clip.Final() >= sgd.Final() {
+		t.Errorf("clip (%v) should beat plain SGD (%v) under poisoning",
+			clip.Final(), sgd.Final())
+	}
+	if clip.Final() > 0.3 {
+		t.Errorf("clipped updater should stay usable: %v", clip.Final())
+	}
+}
+
+func TestAblationsRegistryHasPoisoning(t *testing.T) {
+	if Ablations["ablation-poisoning"] == nil {
+		t.Error("missing ablation-poisoning")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the figure's curves as CSV: a header row with the x label
+// and curve names, then one row per x grid point. Shorter curves leave
+// trailing cells empty. The output plots directly in any spreadsheet or
+// gnuplot/matplotlib pipeline, replacing the paper's Matplotlib figures.
+func WriteCSV(w io.Writer, fig *Figure) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(fig.Curves)+1)
+	header = append(header, fig.XLabel)
+	for _, c := range fig.Curves {
+		header = append(header, c.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	longest := 0
+	for _, c := range fig.Curves {
+		if c.Len() > longest {
+			longest = c.Len()
+		}
+	}
+	row := make([]string, len(header))
+	for i := 0; i < longest; i++ {
+		for j := range row {
+			row[j] = ""
+		}
+		for k, c := range fig.Curves {
+			if i < c.Len() {
+				if row[0] == "" {
+					row[0] = strconv.FormatFloat(c.X[i], 'f', -1, 64)
+				}
+				row[k+1] = strconv.FormatFloat(c.Y[i], 'g', 6, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: csv flush: %w", err)
+	}
+	return nil
+}

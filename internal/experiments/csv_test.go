@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/metrics"
+)
+
+func TestWriteCSV(t *testing.T) {
+	fig := &Figure{
+		ID: "figX", XLabel: "Iteration",
+		Curves: []metrics.Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{0.5, 0.25, 0.125}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{0.9, 0.8}},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "Iteration,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,0.9" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Shorter curve leaves the last cell empty.
+	if !strings.HasSuffix(lines[3], ",") {
+		t.Errorf("row 3 should end with empty cell: %q", lines[3])
+	}
+}
+
+func TestWriteCSVEmptyFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, &Figure{ID: "e", XLabel: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "x" {
+		t.Errorf("empty figure CSV = %q", sb.String())
+	}
+}

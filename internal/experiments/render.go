@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the figure as an aligned text table: one row per x grid
+// point, one column per curve — the textual equivalent of the paper's
+// plots.
+func Render(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	for _, n := range fig.Notes {
+		if _, err := fmt.Fprintf(w, "   %s\n", n); err != nil {
+			return err
+		}
+	}
+	if len(fig.Curves) == 0 {
+		_, err := fmt.Fprintln(w, "   (no curves)")
+		return err
+	}
+
+	// Header.
+	cols := make([]string, 0, len(fig.Curves)+1)
+	cols = append(cols, fig.XLabel)
+	for _, c := range fig.Curves {
+		cols = append(cols, c.Name)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = max(len(c), 10)
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+
+	// Rows follow the x grid of the longest curve; shorter curves (e.g.
+	// sparse reference lines) are sampled by index where available.
+	longest := 0
+	for i, c := range fig.Curves {
+		if c.Len() > fig.Curves[longest].Len() {
+			longest = i
+		}
+	}
+	grid := fig.Curves[longest].X
+	for row, x := range grid {
+		cells := make([]string, 0, len(cols))
+		cells = append(cells, fmt.Sprintf("%.0f", x))
+		for _, c := range fig.Curves {
+			if row < c.Len() {
+				cells = append(cells, fmt.Sprintf("%.4f", c.Y[row]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+
+	// Summary line: final error per curve.
+	if _, err := fmt.Fprintf(w, "   final:"); err != nil {
+		return err
+	}
+	for _, c := range fig.Curves {
+		if _, err := fmt.Fprintf(w, "  %s=%.4f", c.Name, c.Final()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,255 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a constant signal concentrates everything in bin 0.
+	re := []float64{1, 1, 1, 1}
+	im := make([]float64, 4)
+	if err := FFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 0, 0, 0}
+	if !linalg.Equal(re, want, 1e-12) || linalg.Norm1(im) > 1e-12 {
+		t.Errorf("FFT(const) = %v + %vi", re, im)
+	}
+}
+
+func TestFFTSinglePureTone(t *testing.T) {
+	// cos(2π·k·n/N) has spectrum peaks at bins k and N−k.
+	const n, k = 64, 5
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = math.Cos(2 * math.Pi * k * float64(i) / n)
+	}
+	mag, err := MagnitudeSpectrum(signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := linalg.ArgMax(mag[:n/2]); got != k {
+		t.Errorf("dominant bin = %d, want %d", got, k)
+	}
+	if math.Abs(mag[k]-float64(n)/2) > 1e-9 {
+		t.Errorf("peak magnitude = %v, want %v", mag[k], float64(n)/2)
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(make([]float64, 3), make([]float64, 3)); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if err := FFT(make([]float64, 4), make([]float64, 2)); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if err := FFT(nil, nil); err != nil {
+		t.Errorf("empty FFT should be a no-op, got %v", err)
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	re := make([]float64, 32)
+	im := make([]float64, 32)
+	orig := make([]float64, 32)
+	for i := range re {
+		re[i] = r.Uniform(-1, 1)
+		orig[i] = re[i]
+	}
+	if err := FFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Equal(re, orig, 1e-9) {
+		t.Error("IFFT(FFT(x)) != x")
+	}
+	if linalg.Norm1(im) > 1e-9 {
+		t.Error("imaginary residue after round trip")
+	}
+}
+
+// Property (Parseval): Σ|x|² = (1/N)Σ|X|² for random real signals.
+func TestFFTParsevalProperty(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint32) bool {
+		local := rng.New(uint64(seed))
+		n := 1 << (1 + local.Intn(7)) // 2..128
+		signal := make([]float64, n)
+		for i := range signal {
+			signal[i] = local.Uniform(-2, 2)
+		}
+		timeEnergy := linalg.Norm2Sq(signal)
+		mag, err := MagnitudeSpectrum(signal)
+		if err != nil {
+			return false
+		}
+		freqEnergy := linalg.Norm2Sq(mag) / float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestWindows(t *testing.T) {
+	sig := []float64{1, 2, 3, 4, 5, 6, 7}
+	w := Windows(sig, 3)
+	if len(w) != 2 {
+		t.Fatalf("got %d windows, want 2", len(w))
+	}
+	if !linalg.Equal(w[1], []float64{4, 5, 6}, 0) {
+		t.Errorf("window 1 = %v", w[1])
+	}
+	if Windows(sig, 0) != nil {
+		t.Error("size 0 should return nil")
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	sig := []float64{1, 2, 3, 4, 5}
+	w := SlidingWindows(sig, 3, 1)
+	if len(w) != 3 {
+		t.Fatalf("got %d windows, want 3", len(w))
+	}
+	if !linalg.Equal(w[2], []float64{3, 4, 5}, 0) {
+		t.Errorf("window 2 = %v", w[2])
+	}
+	if SlidingWindows(sig, 6, 1) != nil {
+		t.Error("window larger than signal should return nil")
+	}
+	if SlidingWindows(sig, 2, 0) != nil {
+		t.Error("stride 0 should return nil")
+	}
+}
+
+func TestMagnitude3(t *testing.T) {
+	mag, err := Magnitude3([]float64{3}, []float64{4}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag[0] != 5 {
+		t.Errorf("magnitude = %v, want 5", mag[0])
+	}
+	if _, err := Magnitude3([]float64{1}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched axes")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data varying strongly along (1,1)/√2 and weakly orthogonally.
+	r := rng.New(3)
+	rows := make([][]float64, 2000)
+	for i := range rows {
+		a := r.Normal(0, 3)
+		b := r.Normal(0, 0.1)
+		rows[i] = []float64{a/math.Sqrt2 - b/math.Sqrt2, a/math.Sqrt2 + b/math.Sqrt2}
+	}
+	pca, err := FitPCA(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := pca.Component(0)
+	// Direction is defined up to sign.
+	dot := math.Abs(dir[0]*1/math.Sqrt2 + dir[1]*1/math.Sqrt2)
+	if dot < 0.99 {
+		t.Errorf("principal direction %v not aligned with (1,1)/√2 (|cos|=%v)", dir, dot)
+	}
+	if vals := pca.EigenValues(); math.Abs(vals[0]-9) > 0.5 {
+		t.Errorf("top eigenvalue = %v, want ~9", vals[0])
+	}
+}
+
+func TestPCAOrthonormalComponents(t *testing.T) {
+	r := rng.New(4)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = r.Uniform(-1, 1) * float64(j+1)
+		}
+		rows[i] = row
+	}
+	pca, err := FitPCA(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		ci := pca.Component(i)
+		if math.Abs(linalg.Norm2(ci)-1) > 1e-8 {
+			t.Errorf("component %d not unit norm: %v", i, linalg.Norm2(ci))
+		}
+		for j := i + 1; j < 4; j++ {
+			if d := math.Abs(linalg.Dot(ci, pca.Component(j))); d > 1e-8 {
+				t.Errorf("components %d,%d not orthogonal: %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPCATransformReducesDimension(t *testing.T) {
+	r := rng.New(5)
+	rows := make([][]float64, 100)
+	for i := range rows {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = r.Gaussian()
+		}
+		rows[i] = row
+	}
+	pca, err := FitPCA(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pca.TransformAll(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 || len(out[0]) != 3 {
+		t.Errorf("transformed shape %dx%d, want 100x3", len(out), len(out[0]))
+	}
+	if pca.Components() != 3 {
+		t.Errorf("Components = %d", pca.Components())
+	}
+	if _, err := pca.Transform(make([]float64, 7)); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestPCAEigenvaluesDescending(t *testing.T) {
+	r := rng.New(6)
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{r.Normal(0, 5), r.Normal(0, 2), r.Normal(0, 1)}
+	}
+	pca, err := FitPCA(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := pca.EigenValues()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Errorf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 3); err == nil {
+		t.Error("expected error for k > d")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("expected error for k = 0")
+	}
+}

@@ -1,0 +1,133 @@
+// Package features implements the on-device preprocessing pipeline of
+// Section V-B: sliding windows over sensor streams, radix-2 FFT with
+// magnitude binning (the "64-bin FFT of the acceleration magnitudes"),
+// PCA dimensionality reduction, and L1 normalization (the precondition
+// ‖x‖₁ ≤ 1 of the privacy analysis).
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex sequence (re, im). The length must be a power
+// of two; it returns an error otherwise.
+func FFT(re, im []float64) error {
+	n := len(re)
+	if len(im) != n {
+		return fmt.Errorf("features: FFT re/im lengths differ: %d vs %d", n, len(im))
+	}
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("features: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := -2 * math.Pi / float64(size)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			curRe, curIm := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT in place (same length constraints as FFT).
+func IFFT(re, im []float64) error {
+	for i := range im {
+		im[i] = -im[i]
+	}
+	if err := FFT(re, im); err != nil {
+		return err
+	}
+	n := float64(len(re))
+	for i := range re {
+		re[i] /= n
+		im[i] = -im[i] / n
+	}
+	return nil
+}
+
+// MagnitudeSpectrum returns the length-n magnitude spectrum |FFT(signal)|
+// of a real signal whose length must be a power of two. Element k is the
+// magnitude of frequency bin k; the paper's activity pipeline uses the
+// 64-bin spectrum of 64-sample windows.
+func MagnitudeSpectrum(signal []float64) ([]float64, error) {
+	n := len(signal)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, signal)
+	if err := FFT(re, im); err != nil {
+		return nil, err
+	}
+	mag := make([]float64, n)
+	for i := range mag {
+		mag[i] = math.Hypot(re[i], im[i])
+	}
+	return mag, nil
+}
+
+// Windows splits signal into consecutive non-overlapping windows of the
+// given size, discarding a trailing partial window. Each returned slice
+// aliases the input.
+func Windows(signal []float64, size int) [][]float64 {
+	if size <= 0 {
+		return nil
+	}
+	n := len(signal) / size
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, signal[i*size:(i+1)*size])
+	}
+	return out
+}
+
+// SlidingWindows returns overlapping windows of the given size advancing
+// by stride samples. Each returned slice aliases the input.
+func SlidingWindows(signal []float64, size, stride int) [][]float64 {
+	if size <= 0 || stride <= 0 || len(signal) < size {
+		return nil
+	}
+	var out [][]float64
+	for start := 0; start+size <= len(signal); start += stride {
+		out = append(out, signal[start:start+size])
+	}
+	return out
+}
+
+// Magnitude3 computes the per-sample acceleration magnitude
+// |a| = √(ax² + ay² + az²) of a tri-axial stream (Section V-B).
+// All three slices must have equal length.
+func Magnitude3(ax, ay, az []float64) ([]float64, error) {
+	if len(ax) != len(ay) || len(ax) != len(az) {
+		return nil, fmt.Errorf("features: axis lengths differ: %d/%d/%d",
+			len(ax), len(ay), len(az))
+	}
+	out := make([]float64, len(ax))
+	for i := range out {
+		out[i] = math.Sqrt(ax[i]*ax[i] + ay[i]*ay[i] + az[i]*az[i])
+	}
+	return out, nil
+}

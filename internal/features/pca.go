@@ -1,0 +1,145 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// PCA is a fitted principal-component projection: it maps D-dimensional
+// inputs onto the top-K principal directions of the training data, the
+// preprocessing the paper applies to MNIST (→50 dims) and CIFAR features
+// (→100 dims).
+type PCA struct {
+	mean       []float64
+	components *linalg.Matrix // K×D, rows are principal directions
+	eigvals    []float64      // descending
+}
+
+// FitPCA computes a K-component PCA of the rows via covariance
+// eigendecomposition (cyclic Jacobi). It returns an error if there are no
+// rows or k exceeds the dimensionality.
+func FitPCA(rows [][]float64, k int) (*PCA, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("features: PCA of empty data")
+	}
+	d := len(rows[0])
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("features: PCA components %d outside [1, %d]", k, d)
+	}
+	cov := linalg.Covariance(rows)
+	vals, vecs := jacobiEigen(cov)
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	comps := linalg.NewMatrix(k, d)
+	eig := make([]float64, k)
+	for r := 0; r < k; r++ {
+		col := idx[r]
+		eig[r] = vals[col]
+		for j := 0; j < d; j++ {
+			comps.Set(r, j, vecs.At(j, col)) // eigenvectors are columns of vecs
+		}
+	}
+	return &PCA{mean: linalg.ColumnMeans(rows), components: comps, eigvals: eig}, nil
+}
+
+// Components returns the number of retained components.
+func (p *PCA) Components() int { return p.components.Rows() }
+
+// EigenValues returns the retained eigenvalues in descending order
+// (a copy).
+func (p *PCA) EigenValues() []float64 { return linalg.Copy(p.eigvals) }
+
+// Component returns a copy of the i-th principal direction.
+func (p *PCA) Component(i int) []float64 { return linalg.Copy(p.components.Row(i)) }
+
+// Transform projects x onto the principal components, returning a
+// K-dimensional vector.
+func (p *PCA) Transform(x []float64) ([]float64, error) {
+	if len(x) != len(p.mean) {
+		return nil, fmt.Errorf("features: PCA transform of dim %d, want %d",
+			len(x), len(p.mean))
+	}
+	centered := make([]float64, len(x))
+	linalg.Sub(x, p.mean, centered)
+	out := make([]float64, p.components.Rows())
+	p.components.MulVec(centered, out)
+	return out, nil
+}
+
+// TransformAll projects every row, returning fresh K-dimensional vectors.
+func (p *PCA) TransformAll(rows [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		t, err := p.Transform(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi
+// method, returning eigenvalues and the orthogonal eigenvector matrix
+// (eigenvectors in columns).
+func jacobiEigen(a *linalg.Matrix) ([]float64, *linalg.Matrix) {
+	n := a.Rows()
+	m := a.Clone()
+	v := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}

@@ -1,0 +1,80 @@
+package features
+
+import "math"
+
+// Window functions for spectral preprocessing. The paper's pipeline uses a
+// rectangular (no-op) window over 3.2 s frames; tapered windows reduce
+// spectral leakage when activity signatures sit between FFT bins, at the
+// cost of main-lobe width. They are provided as drop-in preprocessing for
+// applications tuning the tradeoff.
+
+// WindowFunc computes the n-point window coefficients.
+type WindowFunc func(n int) []float64
+
+// Rectangular returns the all-ones window (the paper's default).
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Hann returns the raised-cosine Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns the Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// ApplyWindow multiplies the signal elementwise by the window coefficients
+// into a fresh slice. Lengths must match; mismatches return nil.
+func ApplyWindow(signal, window []float64) []float64 {
+	if len(signal) != len(window) {
+		return nil
+	}
+	out := make([]float64, len(signal))
+	for i := range signal {
+		out[i] = signal[i] * window[i]
+	}
+	return out
+}
+
+// Spectrogram computes magnitude spectra over sliding windows of the
+// signal: frame size must be a power of two; each frame is tapered by the
+// window function before the FFT. The result is one spectrum per frame.
+func Spectrogram(signal []float64, frame, stride int, win WindowFunc) ([][]float64, error) {
+	frames := SlidingWindows(signal, frame, stride)
+	if frames == nil {
+		return nil, nil
+	}
+	coeffs := win(frame)
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		mag, err := MagnitudeSpectrum(ApplyWindow(f, coeffs))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = mag
+	}
+	return out, nil
+}

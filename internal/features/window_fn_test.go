@@ -1,0 +1,94 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+func TestRectangular(t *testing.T) {
+	w := Rectangular(4)
+	if !linalg.Equal(w, []float64{1, 1, 1, 1}, 0) {
+		t.Errorf("Rectangular = %v", w)
+	}
+}
+
+func TestHannProperties(t *testing.T) {
+	w := Hann(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Errorf("Hann endpoints should be 0: %v, %v", w[0], w[63])
+	}
+	// Symmetric with peak ~1 in the middle.
+	for i := 0; i < 32; i++ {
+		if math.Abs(w[i]-w[63-i]) > 1e-12 {
+			t.Fatalf("Hann not symmetric at %d", i)
+		}
+	}
+	mid := w[31]
+	if mid < 0.99 {
+		t.Errorf("Hann midpoint = %v, want ~1", mid)
+	}
+	if got := Hann(1); got[0] != 1 {
+		t.Errorf("Hann(1) = %v", got)
+	}
+}
+
+func TestHammingProperties(t *testing.T) {
+	w := Hamming(64)
+	if math.Abs(w[0]-0.08) > 1e-9 {
+		t.Errorf("Hamming endpoint = %v, want 0.08", w[0])
+	}
+	for _, v := range w {
+		if v < 0.07 || v > 1 {
+			t.Fatalf("Hamming value out of range: %v", v)
+		}
+	}
+	if got := Hamming(1); got[0] != 1 {
+		t.Errorf("Hamming(1) = %v", got)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	out := ApplyWindow([]float64{2, 4}, []float64{0.5, 0.25})
+	if !linalg.Equal(out, []float64{1, 1}, 1e-12) {
+		t.Errorf("ApplyWindow = %v", out)
+	}
+	if ApplyWindow([]float64{1}, []float64{1, 2}) != nil {
+		t.Error("length mismatch should return nil")
+	}
+}
+
+func TestSpectrogramShapeAndTone(t *testing.T) {
+	// 5 Hz tone at 64 samples/sec, 256-sample signal, 64-sample frames.
+	signal := make([]float64, 256)
+	for i := range signal {
+		signal[i] = math.Sin(2 * math.Pi * 5 * float64(i) / 64)
+	}
+	spec, err := Spectrogram(signal, 64, 32, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 7 { // (256-64)/32 + 1
+		t.Fatalf("%d frames, want 7", len(spec))
+	}
+	for _, frame := range spec {
+		if len(frame) != 64 {
+			t.Fatalf("frame length %d", len(frame))
+		}
+		if got := linalg.ArgMax(frame[:32]); got != 5 {
+			t.Errorf("dominant bin %d, want 5", got)
+		}
+	}
+}
+
+func TestSpectrogramEdgeCases(t *testing.T) {
+	spec, err := Spectrogram([]float64{1, 2}, 64, 32, Hann)
+	if err != nil || spec != nil {
+		t.Errorf("short signal: spec=%v err=%v, want nil/nil", spec, err)
+	}
+	// Non-power-of-two frame errors out.
+	if _, err := Spectrogram(make([]float64, 100), 10, 5, Rectangular); err == nil {
+		t.Error("non-power-of-two frame should error")
+	}
+}

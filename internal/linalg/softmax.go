@@ -1,0 +1,59 @@
+package linalg
+
+import "math"
+
+// LogSumExp returns log(Σ_i exp(x_i)) computed stably by factoring out the
+// maximum element. It returns -Inf for an empty slice.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the softmax of scores into dst (which may alias scores).
+// The computation is shifted by the max score for numerical stability.
+func Softmax(scores, dst []float64) {
+	if len(scores) != len(dst) {
+		panic("linalg: Softmax length mismatch")
+	}
+	if len(scores) == 0 {
+		return
+	}
+	m := scores[0]
+	for _, v := range scores[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range scores {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// Degenerate input (all -Inf): fall back to uniform.
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxUniform(t *testing.T) {
+	scores := []float64{0, 0, 0, 0}
+	dst := make([]float64, 4)
+	Softmax(scores, dst)
+	for i, p := range dst {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Errorf("dst[%d] = %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Large scores must not overflow.
+	scores := []float64{1000, 1001, 999}
+	dst := make([]float64, 3)
+	Softmax(scores, dst)
+	var sum float64
+	for _, p := range dst {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("softmax produced non-finite value: %v", dst)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %v, want 1", sum)
+	}
+	if ArgMax(dst) != 1 {
+		t.Errorf("softmax argmax = %d, want 1", ArgMax(dst))
+	}
+}
+
+// Property: softmax output is a probability vector for arbitrary finite input.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			scores[i] = math.Mod(v, 500)
+		}
+		dst := make([]float64, len(scores))
+		Softmax(scores, dst)
+		var sum float64
+		for _, p := range dst {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	tests := []struct {
+		name string
+		x    []float64
+		want float64
+	}{
+		{name: "empty", x: nil, want: math.Inf(-1)},
+		{name: "single", x: []float64{3}, want: 3},
+		{name: "two equal", x: []float64{0, 0}, want: math.Log(2)},
+		{name: "large", x: []float64{1000, 1000}, want: 1000 + math.Log(2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := LogSumExp(tt.x)
+			if math.IsInf(tt.want, -1) {
+				if !math.IsInf(got, -1) {
+					t.Errorf("LogSumExp = %v, want -Inf", got)
+				}
+				return
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("LogSumExp(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+// LogSumExp must agree with softmax: softmax_i = exp(x_i - LSE(x)).
+func TestLogSumExpSoftmaxConsistency(t *testing.T) {
+	x := []float64{0.3, -1.2, 2.5, 0}
+	lse := LogSumExp(x)
+	dst := make([]float64, len(x))
+	Softmax(x, dst)
+	for i := range x {
+		want := math.Exp(x[i] - lse)
+		if math.Abs(dst[i]-want) > 1e-12 {
+			t.Errorf("softmax[%d] = %v, exp(x-lse) = %v", i, dst[i], want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package metrics provides the evaluation measurements the paper reports:
+// held-out test error, the time-averaged online error Err(t) of Fig. 3,
+// confusion matrices, and (x, y) series with multi-trial averaging.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/model"
+)
+
+// TestError returns the misclassification rate of w on samples
+// (0 for an empty set).
+func TestError(m model.Model, w *linalg.Matrix, samples []model.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	errs := 0
+	for _, s := range samples {
+		if m.Misclassified(w, s) {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(samples))
+}
+
+// ConfusionMatrix returns the C×C count matrix with true classes as rows
+// and predicted classes as columns.
+func ConfusionMatrix(m model.Model, w *linalg.Matrix, samples []model.Sample) *linalg.Matrix {
+	classes, _ := m.Shape()
+	cm := linalg.NewMatrix(classes, classes)
+	for _, s := range samples {
+		pred := m.Predict(w, s.X)
+		cm.Set(s.Y, pred, cm.At(s.Y, pred)+1)
+	}
+	return cm
+}
+
+// OnlineError tracks the time-averaged misclassification error
+// Err(t) = (1/t)·Σ_{i≤t} I[y_i ≠ ŷ_i] used in the activity-recognition
+// experiment (Fig. 3). The zero value is ready to use.
+type OnlineError struct {
+	total int
+	errs  int
+}
+
+// Observe records one prediction outcome.
+func (o *OnlineError) Observe(misclassified bool) {
+	o.total++
+	if misclassified {
+		o.errs++
+	}
+}
+
+// Value returns Err(t), 0 before any observation.
+func (o *OnlineError) Value() float64 {
+	if o.total == 0 {
+		return 0
+	}
+	return float64(o.errs) / float64(o.total)
+}
+
+// Count returns the number of observations t.
+func (o *OnlineError) Count() int { return o.total }
+
+// Series is one named curve: y values measured at x positions
+// (iteration counts in all the paper's figures).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one measurement.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Final returns the last y value (the asymptotic error), or 0 when empty.
+func (s *Series) Final() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Min returns the smallest y value, or 0 when empty.
+func (s *Series) Min() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, v := range s.Y[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AverageSeries averages multiple trials of the same curve pointwise
+// (all trials must share X grids; the name is taken from the first).
+// This is the "averaged test errors from 10 trials" of Section V-C.
+func AverageSeries(trials []Series) (Series, error) {
+	if len(trials) == 0 {
+		return Series{}, fmt.Errorf("metrics: no trials to average")
+	}
+	n := trials[0].Len()
+	for i, tr := range trials {
+		if tr.Len() != n {
+			return Series{}, fmt.Errorf("metrics: trial %d has %d points, want %d",
+				i, tr.Len(), n)
+		}
+	}
+	out := Series{Name: trials[0].Name, X: linalg.Copy(trials[0].X), Y: make([]float64, n)}
+	for _, tr := range trials {
+		linalg.Axpy(1, tr.Y, out.Y)
+	}
+	linalg.Scale(1/float64(len(trials)), out.Y)
+	return out, nil
+}
+
+// ConstantSeries returns a flat line (the "Central (batch)" reference in
+// Figs. 4–9, which is not incremental and therefore constant).
+func ConstantSeries(name string, x []float64, y float64) Series {
+	s := Series{Name: name, X: linalg.Copy(x), Y: make([]float64, len(x))}
+	for i := range s.Y {
+		s.Y[i] = y
+	}
+	return s
+}

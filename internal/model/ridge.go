@@ -1,0 +1,82 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// RidgeRegression is a linear least-squares predictor with squared loss
+// ½(w'x − t)². The paper's framework covers regression (Section III-A:
+// "for regression, y can be a real number"); Crowd-ML only needs a loss
+// whose per-sample gradient has bounded L1 norm, so the residual is clipped
+// to [−ResidualClip, +ResidualClip] inside the gradient, bounding the
+// single-sample gradient by ResidualClip·‖x‖₁ and the minibatch sensitivity
+// by 2·ResidualClip/b.
+type RidgeRegression struct {
+	dim int
+	// ResidualClip bounds |w'x − t| inside the gradient so the DP
+	// sensitivity is finite. Must be positive.
+	residualClip float64
+	// tolerance used by Misclassified to turn a regression residual into
+	// an error indicator for the server's progress counters.
+	errTolerance float64
+}
+
+var _ Model = (*RidgeRegression)(nil)
+
+// NewRidgeRegression returns a D-dimensional linear regressor whose
+// gradient residuals are clipped to ±residualClip and whose Misclassified
+// indicator fires when |prediction − target| > errTolerance.
+func NewRidgeRegression(dim int, residualClip, errTolerance float64) *RidgeRegression {
+	if dim < 1 || residualClip <= 0 || errTolerance < 0 {
+		panic(fmt.Sprintf("model: invalid ridge params dim=%d clip=%v tol=%v",
+			dim, residualClip, errTolerance))
+	}
+	return &RidgeRegression{dim: dim, residualClip: residualClip, errTolerance: errTolerance}
+}
+
+// Name implements Model.
+func (m *RidgeRegression) Name() string { return "ridge-regression" }
+
+// Shape implements Model: a single parameter row.
+func (m *RidgeRegression) Shape() (int, int) { return 1, m.dim }
+
+// GradientSensitivity implements Model: 2·ResidualClip.
+func (m *RidgeRegression) GradientSensitivity() float64 { return 2 * m.residualClip }
+
+// PredictValue returns the real-valued prediction w'x.
+func (m *RidgeRegression) PredictValue(w *linalg.Matrix, x []float64) float64 {
+	return linalg.Dot(w.Row(0), x)
+}
+
+// Predict implements Model. Classification semantics are meaningless for a
+// regressor; it returns 0 so the interface stays total.
+func (m *RidgeRegression) Predict(w *linalg.Matrix, x []float64) int { return 0 }
+
+// Misclassified implements Model using the error tolerance.
+func (m *RidgeRegression) Misclassified(w *linalg.Matrix, s Sample) bool {
+	return math.Abs(m.PredictValue(w, s.X)-s.T) > m.errTolerance
+}
+
+// Loss implements Model: ½(w'x − t)² (unclipped; clipping only affects the
+// gradient, mirroring standard DP-SGD practice).
+func (m *RidgeRegression) Loss(w *linalg.Matrix, s Sample) float64 {
+	r := m.PredictValue(w, s.X) - s.T
+	return 0.5 * r * r
+}
+
+// AddGradient implements Model: grad += clip(w'x − t)·x.
+func (m *RidgeRegression) AddGradient(w, grad *linalg.Matrix, s Sample) {
+	r := m.PredictValue(w, s.X) - s.T
+	if r > m.residualClip {
+		r = m.residualClip
+	} else if r < -m.residualClip {
+		r = -m.residualClip
+	}
+	if r == 0 {
+		return
+	}
+	linalg.Axpy(r, s.X, grad.Row(0))
+}

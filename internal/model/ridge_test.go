@@ -1,0 +1,103 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestRidgePredictValue(t *testing.T) {
+	m := NewRidgeRegression(2, 1, 0.1)
+	w := NewParams(m)
+	w.Set(0, 0, 2)
+	w.Set(0, 1, -1)
+	got := m.PredictValue(w, []float64{3, 4})
+	if got != 2 {
+		t.Errorf("PredictValue = %v, want 2", got)
+	}
+}
+
+func TestRidgeGradientMatchesNumericalInsideClip(t *testing.T) {
+	// With a generous clip the analytic gradient equals the numeric one.
+	r := rng.New(8)
+	m := NewRidgeRegression(4, 100, 0.1)
+	for trial := 0; trial < 20; trial++ {
+		w := randomParams(r, m)
+		s := randomSample(r, 2, 4)
+		s.T = r.Uniform(-1, 1)
+		analytic := NewParams(m)
+		m.AddGradient(w, analytic, s)
+		numeric := numericalGradient(m, w, s)
+		for i := range analytic.Data() {
+			if math.Abs(analytic.Data()[i]-numeric.Data()[i]) > 1e-4 {
+				t.Fatalf("gradient mismatch at %d: %v vs %v",
+					i, analytic.Data()[i], numeric.Data()[i])
+			}
+		}
+	}
+}
+
+func TestRidgeGradientClipped(t *testing.T) {
+	m := NewRidgeRegression(1, 0.5, 0.1)
+	w := NewParams(m)
+	w.Set(0, 0, 100) // huge residual
+	s := Sample{X: []float64{1}, T: 0}
+	g := NewParams(m)
+	m.AddGradient(w, g, s)
+	if got := g.At(0, 0); got != 0.5 {
+		t.Errorf("clipped gradient = %v, want 0.5", got)
+	}
+	if got := m.GradientSensitivity(); got != 1.0 {
+		t.Errorf("GradientSensitivity = %v, want 2*0.5", got)
+	}
+}
+
+func TestRidgeMisclassified(t *testing.T) {
+	m := NewRidgeRegression(1, 1, 0.25)
+	w := NewParams(m)
+	w.Set(0, 0, 1)
+	in := Sample{X: []float64{1}, T: 1.1}  // |1-1.1| < 0.25
+	out := Sample{X: []float64{1}, T: 2.0} // |1-2| > 0.25
+	if m.Misclassified(w, in) {
+		t.Error("within tolerance should not be misclassified")
+	}
+	if !m.Misclassified(w, out) {
+		t.Error("outside tolerance should be misclassified")
+	}
+}
+
+func TestRidgeLearnsLinearFunction(t *testing.T) {
+	// Fit t = 0.8·x0 − 0.4·x1 by SGD.
+	r := rng.New(9)
+	m := NewRidgeRegression(2, 5, 0.05)
+	w := NewParams(m)
+	truth := []float64{0.8, -0.4}
+	for i := 0; i < 20000; i++ {
+		x := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1)}
+		s := Sample{X: x, T: linalg.Dot(truth, x)}
+		g := NewParams(m)
+		m.AddGradient(w, g, s)
+		w.AddScaled(-0.1, g)
+	}
+	if !linalg.Equal(w.Row(0), truth, 0.02) {
+		t.Errorf("learned %v, want %v", w.Row(0), truth)
+	}
+}
+
+func TestRidgePredictIsZero(t *testing.T) {
+	m := NewRidgeRegression(2, 1, 0.1)
+	if got := m.Predict(NewParams(m), []float64{1, 1}); got != 0 {
+		t.Errorf("Predict = %d, want 0", got)
+	}
+}
+
+func TestNewRidgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad clip")
+		}
+	}()
+	NewRidgeRegression(2, 0, 0.1)
+}

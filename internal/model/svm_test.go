@@ -1,0 +1,109 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestSVMLossZeroWhenMarginSatisfied(t *testing.T) {
+	m := NewLinearSVM(3, 2)
+	w := NewParams(m)
+	w.Set(1, 0, 10) // class 1 strongly preferred when x[0] = 1
+	s := Sample{X: []float64{1, 0}, Y: 1}
+	if got := m.Loss(w, s); got != 0 {
+		t.Errorf("Loss = %v, want 0 (margin satisfied)", got)
+	}
+	g := NewParams(m)
+	m.AddGradient(w, g, s)
+	if g.Norm1() != 0 {
+		t.Errorf("gradient should be zero when margin satisfied, got L1=%v", g.Norm1())
+	}
+}
+
+func TestSVMLossAtZeroParamsIsOne(t *testing.T) {
+	m := NewLinearSVM(4, 3)
+	w := NewParams(m)
+	s := Sample{X: []float64{0.5, 0.3, 0.2}, Y: 2}
+	if got := m.Loss(w, s); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Loss at w=0 is %v, want 1 (pure margin)", got)
+	}
+}
+
+func TestSVMSubgradientStructure(t *testing.T) {
+	m := NewLinearSVM(3, 2)
+	w := NewParams(m)
+	w.Set(2, 0, 1) // class 2 is the violator for x = e0, y = 0
+	s := Sample{X: []float64{1, 0}, Y: 0}
+	g := NewParams(m)
+	m.AddGradient(w, g, s)
+	if g.At(2, 0) != 1 || g.At(0, 0) != -1 {
+		t.Errorf("subgradient rows wrong: violator row %v, true row %v",
+			g.Row(2), g.Row(0))
+	}
+	if g.At(1, 0) != 0 {
+		t.Error("non-violating row should have zero gradient")
+	}
+}
+
+func TestSVMPerSampleGradientL1Bound(t *testing.T) {
+	r := rng.New(6)
+	m := NewLinearSVM(10, 20)
+	for trial := 0; trial < 100; trial++ {
+		w := randomParams(r, m)
+		s := randomSample(r, 10, 20)
+		g := NewParams(m)
+		m.AddGradient(w, g, s)
+		if n := g.Norm1(); n > 2+1e-9 {
+			t.Fatalf("per-sample SVM gradient L1 = %v > 2", n)
+		}
+	}
+}
+
+func TestSVMTrainsOnSeparableData(t *testing.T) {
+	r := rng.New(7)
+	m := NewLinearSVM(2, 2)
+	w := NewParams(m)
+	makeSample := func() Sample {
+		x := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1)}
+		linalg.NormalizeL1(x)
+		y := 0
+		if x[0] > 0 {
+			y = 1
+		}
+		return Sample{X: x, Y: y}
+	}
+	for i := 1; i <= 4000; i++ {
+		s := makeSample()
+		g := NewParams(m)
+		m.AddGradient(w, g, s)
+		w.AddScaled(-0.2, g)
+	}
+	errs := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if m.Misclassified(w, makeSample()) {
+			errs++
+		}
+	}
+	if frac := float64(errs) / n; frac > 0.08 {
+		t.Errorf("SVM test error %v on separable data", frac)
+	}
+}
+
+func TestSVMSensitivityDeclared(t *testing.T) {
+	if got := NewLinearSVM(3, 3).GradientSensitivity(); got != 4 {
+		t.Errorf("GradientSensitivity = %v, want 4", got)
+	}
+}
+
+func TestNewLinearSVMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for D=0")
+		}
+	}()
+	NewLinearSVM(2, 0)
+}

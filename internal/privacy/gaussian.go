@@ -1,0 +1,46 @@
+package privacy
+
+import (
+	"math"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+// The paper's footnote 1: "As a variant, (ε, δ)-differential privacy can be
+// achieved by adding Gaussian noise." This file implements that variant —
+// the classical Gaussian mechanism with σ = √(2·ln(1.25/δ))·S₂/ε, where S₂
+// is the L2 sensitivity of the released quantity (Dwork & Roth 2014,
+// Theorem A.1; requires ε < 1 strictly, and is commonly applied for ε ≤ 1).
+//
+// For the minibatch-averaged gradient the L2 sensitivity is bounded by the
+// L1 sensitivity S/b (‖·‖₂ ≤ ‖·‖₁), so callers can reuse the model's
+// GradientSensitivity.
+
+// GaussianSigma returns the noise standard deviation of the (ε, δ)
+// mechanism for a function with L2 sensitivity s2. It returns 0 when the
+// mechanism is disabled (eps ≤ 0 or delta ≤ 0).
+func GaussianSigma(s2 float64, eps Eps, delta float64) float64 {
+	if !eps.Enabled() || delta <= 0 {
+		return 0
+	}
+	return math.Sqrt(2*math.Log(1.25/delta)) * s2 / float64(eps)
+}
+
+// PerturbGradientGaussian applies the (ε, δ) Gaussian mechanism in place:
+// it adds i.i.d. N(0, σ²) noise with σ = √(2 ln(1.25/δ))·(sensitivity/b)/ε
+// to every element of the averaged gradient. No-op when eps or delta is
+// disabled.
+func PerturbGradientGaussian(g *linalg.Matrix, batch int, sensitivity float64, eps Eps, delta float64, r *rng.RNG) {
+	if batch < 1 {
+		batch = 1
+	}
+	sigma := GaussianSigma(sensitivity/float64(batch), eps, delta)
+	if sigma == 0 {
+		return
+	}
+	data := g.Data()
+	for i := range data {
+		data[i] += r.Normal(0, sigma)
+	}
+}

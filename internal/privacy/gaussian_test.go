@@ -1,0 +1,77 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	// σ = √(2 ln(1.25/δ))·s2/ε
+	s2, eps, delta := 0.4, Eps(0.5), 1e-5
+	want := math.Sqrt(2*math.Log(1.25/delta)) * s2 / 0.5
+	if got := GaussianSigma(s2, eps, delta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GaussianSigma = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianSigmaDisabled(t *testing.T) {
+	if GaussianSigma(1, 0, 1e-5) != 0 {
+		t.Error("disabled eps should give σ=0")
+	}
+	if GaussianSigma(1, 1, 0) != 0 {
+		t.Error("zero delta should give σ=0")
+	}
+}
+
+func TestPerturbGradientGaussianDisabled(t *testing.T) {
+	g, _ := linalg.NewMatrixFrom(1, 2, []float64{1, 2})
+	PerturbGradientGaussian(g, 10, 4, 0, 1e-5, rng.New(1))
+	if !linalg.Equal(g.Data(), []float64{1, 2}, 0) {
+		t.Error("disabled Gaussian mechanism changed data")
+	}
+}
+
+func TestPerturbGradientGaussianVariance(t *testing.T) {
+	const (
+		dims  = 50000
+		b     = 10
+		sens  = 4.0
+		delta = 1e-5
+	)
+	eps := Eps(0.5)
+	g := linalg.NewMatrix(1, dims)
+	PerturbGradientGaussian(g, b, sens, eps, delta, rng.New(3))
+	sigma := GaussianSigma(sens/float64(b), eps, delta)
+	gotVar := linalg.Variance(g.Data())
+	if math.Abs(gotVar-sigma*sigma) > 0.05*sigma*sigma {
+		t.Errorf("noise variance = %v, want ~%v", gotVar, sigma*sigma)
+	}
+}
+
+// The Gaussian mechanism's lighter tails: for the same ε the Gaussian
+// noise has heavier requirements on δ but thinner tails than Laplace —
+// check that extreme outliers are rarer than under the Laplace mechanism
+// with matched variance.
+func TestGaussianTailsThinnerThanLaplace(t *testing.T) {
+	r := rng.New(5)
+	const n = 200000
+	sigma := 1.0
+	lapScale := sigma / math.Sqrt2 // Laplace with variance 2·scale² = σ²
+	extremeG, extremeL := 0, 0
+	threshold := 4 * sigma
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Normal(0, sigma)) > threshold {
+			extremeG++
+		}
+		if math.Abs(r.Laplace(lapScale)) > threshold {
+			extremeL++
+		}
+	}
+	if extremeG >= extremeL {
+		t.Errorf("Gaussian extremes (%d) should be rarer than Laplace (%d)",
+			extremeG, extremeL)
+	}
+}

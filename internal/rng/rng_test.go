@@ -1,0 +1,211 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first values")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.Intn(4)]++
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(4) bucket %d count %d, want ~10000", k, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(13)
+	x := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), x...)
+	r.Shuffle(len(x), func(i, j int) { x[i], x[j] = x[j], x[i] })
+	sum := 0
+	for _, v := range x {
+		sum += v
+	}
+	if sum != 45 {
+		t.Errorf("Shuffle lost elements: %v", x)
+	}
+	identical := true
+	for i := range x {
+		if x[i] != orig[i] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("Shuffle left 10 elements in place (astronomically unlikely)")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Gaussian()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormal(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(5, 2)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal(5,2) mean = %v", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform(-3,7) out of range: %v", v)
+		}
+	}
+}
+
+// Property: uniform samples respect arbitrary [lo, hi) bounds.
+func TestUniformProperty(t *testing.T) {
+	r := New(29)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Mod(a, 1e6), math.Mod(b, 1e6)
+		if lo >= hi {
+			return true
+		}
+		v := r.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureRNGBasics(t *testing.T) {
+	a, b := NewSecure(), NewSecure()
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Error("secure RNGs produced matching consecutive values")
+	}
+	for i := 0; i < 1000; i++ {
+		v := a.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("secure Float64 out of range: %v", v)
+		}
+	}
+	// Samplers built on Uint64 must work unchanged.
+	if z := a.Laplace(1); math.IsNaN(z) || math.IsInf(z, 0) {
+		t.Errorf("secure Laplace sample invalid: %v", z)
+	}
+	if c := a.Split(); !c.secure {
+		t.Error("Split of a secure RNG must stay secure")
+	}
+}
+
+func TestSecureRNGMoments(t *testing.T) {
+	r := NewSecure()
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("secure uniform mean = %v", mean)
+	}
+}

@@ -1,0 +1,314 @@
+// Package sim is the simulated-environment harness of Section V-C: it
+// drives M virtual Crowd-ML devices over a dataset with controllable
+// privacy levels, minibatch sizes, and asynchronous communication delays,
+// measuring test error as a function of the iteration count (= number of
+// samples used), exactly the x-axis of Figs. 4–9.
+//
+// Time is discrete in "global sample" units: one step = one sample
+// generated somewhere in the crowd. Communication delays (package simnet)
+// are expressed in the same units, the paper's Δ = τ·M·F_s convention.
+// Each minibatch flush goes through three delayed legs:
+//
+//	request  (device → server): the checkout request travels;
+//	checkout (server → device): the device receives w as of the moment the
+//	                            server processed the request;
+//	checkin  (device → server): the sanitized gradient travels back and is
+//	                            applied on arrival.
+//
+// Gradients are therefore computed against parameters that may be many
+// updates stale — the delayed asynchronous SGD whose convergence the paper
+// analyzes in Section IV-B3.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/dataset"
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/metrics"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/rng"
+	"github.com/crowdml/crowdml/internal/simnet"
+)
+
+// CrowdConfig configures one simulated Crowd-ML run.
+type CrowdConfig struct {
+	// Model is the classifier; required.
+	Model model.Model
+	// Train and Test are the sample sets; Train is dealt to devices.
+	Train, Test []model.Sample
+	// Devices is M, the crowd size (paper: 1000). Must be ≥ 1.
+	Devices int
+	// Minibatch is b. Defaults to 1.
+	Minibatch int
+	// Lambda is the regularization weight λ.
+	Lambda float64
+	// Schedule is η(t); required (paper default: InvSqrt).
+	Schedule optimizer.Schedule
+	// Radius is the projection-ball radius (non-positive disables).
+	Radius float64
+	// Budget sets the device-local privacy levels (Laplace mechanisms).
+	Budget privacy.Budget
+	// GaussianBudget, if enabled, replaces the Eq. (10) Laplace gradient
+	// mechanism with the (ε, δ) Gaussian variant of the paper's footnote 1.
+	// Budget.Gradient is ignored when this is set.
+	GaussianBudget GaussianBudget
+	// Updater optionally overrides the server-side update rule (Remark 3:
+	// more recent update methods can replace Eq. (3) without affecting
+	// differential privacy). Nil uses projected SGD with Schedule/Radius.
+	Updater optimizer.Updater
+	// Delay is the per-leg communication delay model (nil = no delay).
+	Delay simnet.DelayModel
+	// StaleDropThreshold, if positive, makes the server discard gradients
+	// whose staleness (server updates between checkout and arrival)
+	// exceeds the threshold — the drop-stale ablation of DESIGN.md §5.
+	StaleDropThreshold int
+	// Passes is the number of passes through the training data
+	// (paper: up to five). Defaults to 1.
+	Passes int
+	// EvalEvery measures test error every this many global samples.
+	// Defaults to total/50.
+	EvalEvery int
+	// EvalSubset caps the number of test samples per evaluation
+	// (0 = all). Sub-sampling keeps large sweeps fast.
+	EvalSubset int
+	// Seed drives all randomness (assignment, device order, noise,
+	// delays); distinct seeds give independent trials.
+	Seed uint64
+}
+
+// GaussianBudget selects the (ε, δ) Gaussian gradient mechanism
+// (footnote 1 of the paper). Enabled when Eps > 0 and Delta > 0.
+type GaussianBudget struct {
+	// Eps is ε.
+	Eps privacy.Eps
+	// Delta is δ.
+	Delta float64
+}
+
+// Enabled reports whether the Gaussian mechanism should be used.
+func (g GaussianBudget) Enabled() bool { return g.Eps.Enabled() && g.Delta > 0 }
+
+// Result is the outcome of one run.
+type Result struct {
+	// Curve is test error vs iteration (= samples used).
+	Curve metrics.Series
+	// FinalParams is the server's final parameter matrix.
+	FinalParams *linalg.Matrix
+	// Checkins is the number of server updates performed.
+	Checkins int
+	// MeanStaleness is the average number of server updates that happened
+	// between a gradient's checkout and its application.
+	MeanStaleness float64
+	// DroppedStale counts gradients discarded by StaleDropThreshold.
+	DroppedStale int
+}
+
+// event is a scheduled communication arrival.
+type event struct {
+	at     float64 // global-sample time
+	seq    int     // tiebreaker preserving FIFO order
+	kind   eventKind
+	device int
+	batch  []model.Sample // for checkout events: the minibatch to process
+	grad   *linalg.Matrix // for apply events: the sanitized gradient
+	coIter int            // server iteration at checkout (staleness metric)
+}
+
+type eventKind int
+
+const (
+	evCheckout eventKind = iota + 1
+	evApply
+)
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// RunCrowd executes one simulated Crowd-ML run.
+func RunCrowd(cfg CrowdConfig) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("sim: Model is required")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("sim: Schedule is required")
+	}
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("sim: Devices must be ≥ 1")
+	}
+	if len(cfg.Train) == 0 {
+		return nil, fmt.Errorf("sim: empty training set")
+	}
+	if cfg.Minibatch < 1 {
+		cfg.Minibatch = 1
+	}
+	if cfg.Passes < 1 {
+		cfg.Passes = 1
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = simnet.NoDelay{}
+	}
+	total := cfg.Passes * len(cfg.Train)
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = total / 50
+		if cfg.EvalEvery == 0 {
+			cfg.EvalEvery = 1
+		}
+	}
+
+	r := rng.New(cfg.Seed)
+	shards := dataset.Assign(cfg.Train, cfg.Devices, r)
+	evalSet := cfg.Test
+	if cfg.EvalSubset > 0 && cfg.EvalSubset < len(evalSet) {
+		evalSet = dataset.Shuffled(evalSet, r)[:cfg.EvalSubset]
+	}
+
+	// Per-device state.
+	type deviceState struct {
+		pos    int // next index into shard (cycles)
+		buffer []model.Sample
+		noise  *rng.RNG
+	}
+	devs := make([]deviceState, cfg.Devices)
+	for i := range devs {
+		devs[i].noise = r.Split()
+		devs[i].buffer = make([]model.Sample, 0, cfg.Minibatch)
+	}
+
+	w := model.NewParams(cfg.Model)
+	updater := cfg.Updater
+	if updater == nil {
+		updater = &optimizer.SGD{Schedule: cfg.Schedule, Radius: cfg.Radius}
+	}
+	sens := cfg.Model.GradientSensitivity()
+
+	var (
+		queue        eventQueue
+		seq          int
+		serverIter   int
+		stalenessSum int
+		droppedStale int
+		curve        = metrics.Series{Name: "crowd-ml"}
+	)
+	push := func(e *event) {
+		e.seq = seq
+		seq++
+		heap.Push(&queue, e)
+	}
+
+	process := func(e *event) {
+		switch e.kind {
+		case evCheckout:
+			// Server hands out current w; the device computes and
+			// sanitizes the gradient, then the checkin travels back.
+			g := optimizer.AverageGradient(cfg.Model, w, e.batch, cfg.Lambda)
+			if cfg.GaussianBudget.Enabled() {
+				privacy.PerturbGradientGaussian(g, len(e.batch), sens,
+					cfg.GaussianBudget.Eps, cfg.GaussianBudget.Delta,
+					devs[e.device].noise)
+			} else {
+				privacy.PerturbGradient(g, len(e.batch), sens,
+					cfg.Budget.Gradient, devs[e.device].noise)
+			}
+			push(&event{
+				at:     e.at + delay.Draw(r), // check-in leg
+				kind:   evApply,
+				device: e.device,
+				grad:   g,
+				coIter: serverIter,
+			})
+		case evApply:
+			if cfg.StaleDropThreshold > 0 && serverIter-e.coIter > cfg.StaleDropThreshold {
+				droppedStale++
+				return
+			}
+			serverIter++
+			stalenessSum += serverIter - 1 - e.coIter
+			updater.Update(w, e.grad, serverIter)
+		}
+	}
+
+	for n := 1; n <= total; n++ {
+		now := float64(n)
+		// Deliver everything that has arrived by now.
+		for len(queue) > 0 && queue[0].at <= now {
+			process(heap.Pop(&queue).(*event))
+		}
+		// One sample arrives at a random device.
+		m := r.Intn(cfg.Devices)
+		d := &devs[m]
+		shard := shards[m]
+		if len(shard) == 0 {
+			continue
+		}
+		d.buffer = append(d.buffer, shard[d.pos%len(shard)])
+		d.pos++
+		if len(d.buffer) >= cfg.Minibatch {
+			batch := make([]model.Sample, len(d.buffer))
+			copy(batch, d.buffer)
+			d.buffer = d.buffer[:0]
+			// Request + checkout legs delay when the server reads w.
+			push(&event{
+				at:     now + delay.Draw(r) + delay.Draw(r),
+				kind:   evCheckout,
+				device: m,
+				batch:  batch,
+			})
+		}
+		if n%cfg.EvalEvery == 0 || n == total {
+			curve.Append(now, metrics.TestError(cfg.Model, w, evalSet))
+		}
+	}
+	// Drain in-flight events so short runs still apply their updates.
+	for len(queue) > 0 {
+		process(heap.Pop(&queue).(*event))
+	}
+
+	res := &Result{Curve: curve, FinalParams: w, Checkins: serverIter, DroppedStale: droppedStale}
+	if serverIter > 0 {
+		res.MeanStaleness = float64(stalenessSum) / float64(serverIter)
+	}
+	return res, nil
+}
+
+// RunCrowdTrials runs n independent trials (seeds Seed, Seed+1, …) and
+// returns the pointwise-averaged curve — the "averaged test errors from 10
+// trials" protocol of Section V-C.
+func RunCrowdTrials(cfg CrowdConfig, n int) (metrics.Series, error) {
+	if n < 1 {
+		return metrics.Series{}, fmt.Errorf("sim: need at least one trial")
+	}
+	trials := make([]metrics.Series, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003
+		res, err := RunCrowd(c)
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		trials[i] = res.Curve
+	}
+	return metrics.AverageSeries(trials)
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/dataset"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/simnet"
+)
+
+// smallTask returns a quick MNIST-like task for simulation tests.
+func smallTask(t *testing.T) (*dataset.Dataset, model.Model) {
+	t.Helper()
+	ds, err := dataset.MNISTLike(3000, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, model.NewLogisticRegression(ds.Classes, ds.Dim)
+}
+
+func baseCfg(ds *dataset.Dataset, m model.Model) CrowdConfig {
+	return CrowdConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Devices: 50, Minibatch: 1,
+		Schedule: optimizer.InvSqrt{C: 50},
+		Passes:   2, EvalSubset: 400, Seed: 3,
+	}
+}
+
+func TestRunCrowdValidation(t *testing.T) {
+	ds, m := smallTask(t)
+	tests := []struct {
+		name   string
+		mutate func(*CrowdConfig)
+	}{
+		{name: "no model", mutate: func(c *CrowdConfig) { c.Model = nil }},
+		{name: "no schedule", mutate: func(c *CrowdConfig) { c.Schedule = nil }},
+		{name: "no devices", mutate: func(c *CrowdConfig) { c.Devices = 0 }},
+		{name: "no data", mutate: func(c *CrowdConfig) { c.Train = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baseCfg(ds, m)
+			tt.mutate(&cfg)
+			if _, err := RunCrowd(cfg); err == nil {
+				t.Error("expected config error")
+			}
+		})
+	}
+}
+
+func TestRunCrowdConverges(t *testing.T) {
+	ds, m := smallTask(t)
+	res, err := RunCrowd(baseCfg(ds, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Len() == 0 {
+		t.Fatal("empty curve")
+	}
+	if final := res.Curve.Final(); final > 0.2 {
+		t.Errorf("final error %v, want < 0.2 (near central batch ~0.1)", final)
+	}
+	first := res.Curve.Y[0]
+	if first <= res.Curve.Final() {
+		t.Errorf("error did not decrease: first %v, final %v", first, res.Curve.Final())
+	}
+	// Every sample becomes exactly one update at b=1 (after drain).
+	if res.Checkins != len(ds.Train)*2 {
+		t.Errorf("checkins = %d, want %d", res.Checkins, len(ds.Train)*2)
+	}
+}
+
+func TestRunCrowdDeterministicPerSeed(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	a, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Curve.Y {
+		if a.Curve.Y[i] != b.Curve.Y[i] {
+			t.Fatal("same seed produced different curves")
+		}
+	}
+	cfg.Seed++
+	c, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Curve.Y {
+		if a.Curve.Y[i] != c.Curve.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical curves")
+	}
+}
+
+func TestRunCrowdMinibatchReducesCheckins(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Minibatch = 20
+	res, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Communication reduction by ~b (Section IV-B2); buffers may retain a
+	// partial batch, so allow slack.
+	maxCheckins := len(ds.Train) * 2 / 20
+	if res.Checkins > maxCheckins || res.Checkins < maxCheckins/2 {
+		t.Errorf("checkins = %d, want ~%d", res.Checkins, maxCheckins)
+	}
+}
+
+// Privacy ordering (Fig. 5): with ε=10, larger minibatches must give lower
+// error, and every private run is worse than the non-private one.
+func TestRunCrowdPrivacyOrdering(t *testing.T) {
+	ds, m := smallTask(t)
+	run := func(b int, eps privacy.Eps) float64 {
+		cfg := baseCfg(ds, m)
+		cfg.Minibatch = b
+		cfg.Budget = privacy.Budget{Gradient: eps}
+		cfg.Passes = 3
+		res, err := RunCrowd(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Curve.Final()
+	}
+	eps := privacy.FromInv(0.1)
+	clean := run(1, 0)
+	b1 := run(1, eps)
+	b20 := run(20, eps)
+	if b1 <= clean {
+		t.Errorf("privacy should cost accuracy: clean %v, b=1 private %v", clean, b1)
+	}
+	if b20 >= b1 {
+		t.Errorf("larger minibatch should mitigate noise: b=20 %v, b=1 %v", b20, b1)
+	}
+}
+
+// Delay tolerance (Fig. 6): with b=20 the delayed run must stay close to
+// the undelayed one.
+func TestRunCrowdDelayToleranceAtLargeB(t *testing.T) {
+	ds, m := smallTask(t)
+	run := func(tau float64) float64 {
+		cfg := baseCfg(ds, m)
+		cfg.Minibatch = 20
+		cfg.Budget = privacy.Budget{Gradient: privacy.FromInv(0.1)}
+		cfg.Delay = simnet.Uniform{Max: tau}
+		cfg.Passes = 3
+		res, err := RunCrowd(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Curve.Final()
+	}
+	undelayed := run(0)
+	delayed := run(200)
+	if delayed > undelayed+0.1 {
+		t.Errorf("b=20 should tolerate delay: undelayed %v, delayed %v", undelayed, delayed)
+	}
+}
+
+func TestRunCrowdStalenessGrowsWithDelay(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Delay = simnet.Uniform{Max: 100}
+	res, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStaleness <= 0 {
+		t.Errorf("mean staleness = %v, want > 0 under delay", res.MeanStaleness)
+	}
+	cfg.Delay = nil
+	res0, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.MeanStaleness != 0 {
+		t.Errorf("mean staleness = %v without delay, want 0", res0.MeanStaleness)
+	}
+}
+
+func TestRunCrowdDrainsInFlight(t *testing.T) {
+	// Huge delays relative to the run length: updates must still all be
+	// applied by the final drain.
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Passes = 1
+	cfg.Delay = simnet.Fixed{Value: 1e9}
+	res, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkins != len(ds.Train) {
+		t.Errorf("checkins = %d, want %d after drain", res.Checkins, len(ds.Train))
+	}
+}
+
+func TestRunCrowdTrials(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Passes = 1
+	avg, err := RunCrowdTrials(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Len() == 0 {
+		t.Fatal("empty averaged curve")
+	}
+	if _, err := RunCrowdTrials(cfg, 0); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}
+
+func TestRunDecentralWorseThanCrowd(t *testing.T) {
+	ds, m := smallTask(t)
+	crowd, err := RunCrowd(baseCfg(ds, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := RunDecentral(DecentralConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Devices: 50, Schedule: optimizer.InvSqrt{C: 50},
+		Passes: 2, EvalDevices: 10, EvalSubset: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data-sharing gap of Figs. 4/7: decentralized must be clearly
+	// worse (paper: ~0.5 vs ~0.1).
+	if dec.Final() < crowd.Curve.Final()+0.1 {
+		t.Errorf("decentralized %v should be well above crowd %v",
+			dec.Final(), crowd.Curve.Final())
+	}
+}
+
+func TestRunDecentralValidation(t *testing.T) {
+	ds, m := smallTask(t)
+	if _, err := RunDecentral(DecentralConfig{Train: ds.Train}); err == nil {
+		t.Error("expected error for missing model/schedule")
+	}
+	if _, err := RunDecentral(DecentralConfig{
+		Model: m, Schedule: optimizer.InvSqrt{C: 1}, Devices: 0, Train: ds.Train,
+	}); err == nil {
+		t.Error("expected error for zero devices")
+	}
+	if _, err := RunDecentral(DecentralConfig{
+		Model: m, Schedule: optimizer.InvSqrt{C: 1}, Devices: 5,
+	}); err == nil {
+		t.Error("expected error for empty training set")
+	}
+}
+
+func TestRunCrowdStaleDropThreshold(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Passes = 1
+	cfg.Delay = simnet.Fixed{Value: 500}
+	cfg.StaleDropThreshold = 1
+	res, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedStale == 0 {
+		t.Error("long fixed delays with threshold 1 should drop gradients")
+	}
+	if res.Checkins+res.DroppedStale != len(ds.Train) {
+		t.Errorf("checkins %d + dropped %d != total %d",
+			res.Checkins, res.DroppedStale, len(ds.Train))
+	}
+}
+
+func TestRunCrowdCustomUpdater(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Passes = 1
+	cfg.Updater = &optimizer.AdaGrad{Eta: 0.3}
+	res, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Final() > 0.4 {
+		t.Errorf("AdaGrad crowd run final error %v, want < 0.4", res.Curve.Final())
+	}
+}

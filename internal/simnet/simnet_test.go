@@ -1,0 +1,81 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+func TestNoDelay(t *testing.T) {
+	r := rng.New(1)
+	var d NoDelay
+	for i := 0; i < 100; i++ {
+		if d.Draw(r) != 0 {
+			t.Fatal("NoDelay must draw 0")
+		}
+	}
+	if d.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := rng.New(2)
+	d := Uniform{Max: 10}
+	seenHigh := false
+	for i := 0; i < 10000; i++ {
+		v := d.Draw(r)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Uniform draw out of range: %v", v)
+		}
+		if v > 5 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Error("uniform delays never exceeded half the range")
+	}
+	if d.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestUniformZeroMax(t *testing.T) {
+	r := rng.New(3)
+	d := Uniform{Max: 0}
+	if d.Draw(r) != 0 {
+		t.Error("Max=0 should draw 0")
+	}
+	neg := Uniform{Max: -5}
+	if neg.Draw(r) != 0 {
+		t.Error("negative Max should draw 0")
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	r := rng.New(4)
+	d := Uniform{Max: 100}
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += d.Draw(r)
+	}
+	mean := sum / n
+	if mean < 48 || mean > 52 {
+		t.Errorf("uniform mean = %v, want ~50", mean)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	r := rng.New(5)
+	d := Fixed{Value: 7}
+	if d.Draw(r) != 7 {
+		t.Error("Fixed should return its value")
+	}
+	if (Fixed{Value: -1}).Draw(r) != 0 {
+		t.Error("negative Fixed should clamp to 0")
+	}
+	if d.Name() == "" {
+		t.Error("empty name")
+	}
+}

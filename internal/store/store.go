@@ -1,0 +1,199 @@
+// Package store persists Crowd-ML server state and checkin audit logs to
+// disk. The paper's prototype kept this state in MySQL (Section V-A); a
+// file-backed store keeps the repository dependency-free while providing
+// the same operational property — a restarted server resumes the learning
+// task with the crowd's accumulated contributions intact.
+//
+// Two artifacts are managed:
+//
+//   - Checkpoints: atomic JSON snapshots of core.ServerState
+//     (write-to-temp + rename, so a crash never leaves a torn file);
+//   - an append-only JSONL checkin journal for auditing which device
+//     contributed when (sanitized quantities only — the journal never
+//     sees raw data, preserving the local-privacy property).
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// ErrNoCheckpoint is returned by Load when no checkpoint exists yet.
+var ErrNoCheckpoint = errors.New("store: no checkpoint")
+
+// Checkpoint wraps a server state with bookkeeping metadata.
+type Checkpoint struct {
+	// SavedAtUnixMillis records the wall-clock save time.
+	SavedAtUnixMillis int64 `json:"savedAtUnixMillis"`
+	// State is the server's learning state.
+	State *core.ServerState `json:"state"`
+}
+
+// FileStore persists checkpoints and journals under a directory.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates (if necessary) and opens a store directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) checkpointPath() string {
+	return filepath.Join(f.dir, "checkpoint.json")
+}
+
+// Save atomically writes a checkpoint of the given state.
+func (f *FileStore) Save(state *core.ServerState, now time.Time) error {
+	if state == nil {
+		return errors.New("store: nil state")
+	}
+	cp := Checkpoint{SavedAtUnixMillis: now.UnixMilli(), State: state}
+	payload, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(f.dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, f.checkpointPath()); err != nil {
+		return fmt.Errorf("store: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the most recent checkpoint. It returns ErrNoCheckpoint when
+// none has been saved.
+func (f *FileStore) Load() (*Checkpoint, error) {
+	payload, err := os.ReadFile(f.checkpointPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("store: decode checkpoint: %w", err)
+	}
+	if cp.State == nil {
+		return nil, errors.New("store: checkpoint missing state")
+	}
+	return &cp, nil
+}
+
+// JournalEntry is one audit record: which device checked in what sanitized
+// aggregate at which server iteration. Gradients are summarized by their
+// L1 norm rather than stored — the journal is for operational auditing,
+// not for replay, and storing full noisy gradients would bloat it ~D·C
+// floats per line.
+type JournalEntry struct {
+	AtUnixMillis int64   `json:"atUnixMillis"`
+	DeviceID     string  `json:"deviceId"`
+	Iteration    int     `json:"iteration"`
+	NumSamples   int     `json:"numSamples"`
+	ErrCount     int     `json:"errCount"`
+	GradNorm1    float64 `json:"gradNorm1"`
+}
+
+// Journal is an append-only JSONL log of checkins.
+type Journal struct {
+	file *os.File
+	w    *bufio.Writer
+}
+
+// OpenJournal opens (creating if needed) the journal file inside the
+// store directory for appending.
+func (f *FileStore) OpenJournal() (*Journal, error) {
+	file, err := os.OpenFile(filepath.Join(f.dir, "checkins.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	return &Journal{file: file, w: bufio.NewWriter(file)}, nil
+}
+
+// Append writes one entry and flushes it to the file, so a crashed server
+// loses at most the entry being written. Checkin volume is low (one line
+// per minibatch crowd-wide), so per-entry flushing costs nothing
+// noticeable.
+func (j *Journal) Append(e JournalEntry) error {
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encode journal entry: %w", err)
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal entry: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.file.Close()
+		return fmt.Errorf("store: flush journal: %w", err)
+	}
+	return j.file.Close()
+}
+
+// ReadJournal loads every entry from the journal file (for audits and
+// tests). A missing journal yields an empty slice.
+func (f *FileStore) ReadJournal() ([]JournalEntry, error) {
+	file, err := os.Open(filepath.Join(f.dir, "checkins.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer file.Close()
+	var out []JournalEntry
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e JournalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("store: journal line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: scan journal: %w", err)
+	}
+	return out, nil
+}

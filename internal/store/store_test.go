@@ -1,0 +1,293 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+)
+
+func newServer(t *testing.T) *core.Server {
+	t.Helper()
+	s, err := core.NewServer(core.ServerConfig{
+		Model:   model.NewLogisticRegression(3, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t)
+	token, _ := srv.RegisterDevice("d1")
+	req := &core.CheckinRequest{
+		Grad: []float64{1, 2, 3, 4, 5, 6}, NumSamples: 3, ErrCount: 1,
+		LabelCounts: []int{1, 1, 1},
+	}
+	if err := srv.Checkin("d1", token, req); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	if err := fs.Save(srv.ExportState(), now); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cp, err := fs.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if cp.SavedAtUnixMillis != now.UnixMilli() {
+		t.Errorf("timestamp %d, want %d", cp.SavedAtUnixMillis, now.UnixMilli())
+	}
+
+	restored := newServer(t)
+	if err := restored.ImportState(cp.State); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if restored.Iteration() != 1 {
+		t.Errorf("restored iteration = %d, want 1", restored.Iteration())
+	}
+	est, ok := restored.ErrEstimate()
+	if !ok || est != 1.0/3 {
+		t.Errorf("restored estimate = %v ok=%v", est, ok)
+	}
+}
+
+func TestLoadWithoutCheckpoint(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("error = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestSaveNilState(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(nil, time.Now()); err == nil {
+		t.Error("nil state should be rejected")
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t)
+	for i := 0; i < 3; i++ {
+		if err := fs.Save(srv.ExportState(), time.Now()); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	// Exactly one checkpoint file, no leftover temp files.
+	entries, err := os.ReadDir(fs.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if _, err := fs.Load(); err != nil {
+		t.Errorf("Load after overwrites: %v", err)
+	}
+}
+
+func TestLoadCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(); err == nil {
+		t.Error("corrupt checkpoint should fail to load")
+	}
+}
+
+func TestJournalAppendAndRead(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := j.Append(JournalEntry{
+			AtUnixMillis: int64(1000 + i),
+			DeviceID:     "d1",
+			Iteration:    i + 1,
+			NumSamples:   20,
+			ErrCount:     i,
+			GradNorm1:    float64(i) * 0.5,
+		})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d entries, want 5", len(entries))
+	}
+	if entries[3].Iteration != 4 || entries[3].ErrCount != 3 {
+		t.Errorf("entry 3 = %+v", entries[3])
+	}
+}
+
+func TestJournalAppendAcrossReopens(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for session := 0; session < 2; session++ {
+		j, err := fs.OpenJournal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(JournalEntry{Iteration: session}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.ReadJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("%d entries after two sessions, want 2", len(entries))
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadJournal()
+	if err != nil || entries != nil {
+		t.Errorf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
+	}
+}
+
+func TestReadJournalCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "checkins.jsonl"), []byte("{bad\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadJournal(); err == nil {
+		t.Error("corrupt journal line should error")
+	}
+}
+
+func TestNewFileStoreFailsWhenPathIsFile(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(blocker); err == nil {
+		t.Error("expected error when store path is an existing file")
+	}
+}
+
+func TestSaveFailsWhenDirRemoved(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(fs.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t)
+	if err := fs.Save(srv.ExportState(), time.Now()); err == nil {
+		t.Error("expected error saving into a removed directory")
+	}
+}
+
+func TestOpenJournalFailsWhenDirRemoved(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(fs.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenJournal(); err == nil {
+		t.Error("expected error opening journal in removed directory")
+	}
+}
+
+func TestLoadCheckpointMissingState(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"),
+		[]byte(`{"savedAtUnixMillis": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(); err == nil {
+		t.Error("checkpoint without state should fail to load")
+	}
+}
+
+func TestJournalEntriesDurableWithoutClose(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT close: entries must already be on disk (crash durability).
+	if err := j.Append(JournalEntry{Iteration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d entries visible before Close, want 1", len(entries))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// HTTP endpoint paths served by Handler and used by HTTPClient.
+const (
+	PathCheckout = "/v1/checkout"
+	PathCheckin  = "/v1/checkin"
+	PathStats    = "/v1/stats"
+
+	headerDeviceID = "X-Crowdml-Device"
+	headerToken    = "X-Crowdml-Token"
+)
+
+// statsResponse is the public progress view served at PathStats — the
+// differentially private statistics the paper's Web portal displays
+// (error rates and label distributions, Section V-A).
+type statsResponse struct {
+	Iteration     int       `json:"iteration"`
+	Stopped       bool      `json:"stopped"`
+	ErrorEstimate *float64  `json:"errorEstimate,omitempty"`
+	PriorEstimate []float64 `json:"priorEstimate,omitempty"`
+}
+
+// Handler adapts a core.Server to net/http. Register it on any mux; all
+// endpoints speak JSON.
+type Handler struct {
+	server *core.Server
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler wraps a server in an http.Handler.
+func NewHandler(s *core.Server) *Handler {
+	h := &Handler{server: s, mux: http.NewServeMux()}
+	h.mux.HandleFunc(PathCheckout, h.handleCheckout)
+	h.mux.HandleFunc(PathCheckin, h.handleCheckin)
+	h.mux.HandleFunc(PathStats, h.handleStats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp, err := h.server.Checkout(r.Header.Get(headerDeviceID), r.Header.Get(headerToken))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req core.CheckinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := h.server.Checkin(r.Header.Get(headerDeviceID), r.Header.Get(headerToken), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := statsResponse{
+		Iteration: h.server.Iteration(),
+		Stopped:   h.server.Stopped(),
+	}
+	if est, ok := h.server.ErrEstimate(); ok {
+		resp.ErrorEstimate = &est
+	}
+	if prior, ok := h.server.PriorEstimate(); ok {
+		resp.PriorEstimate = prior
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrAuth):
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+	case errors.Is(err, core.ErrStopped):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, core.ErrBadCheckin):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// HTTPClient is the device-side HTTP transport.
+type HTTPClient struct {
+	baseURL string
+	client  *http.Client
+}
+
+var _ core.Transport = (*HTTPClient)(nil)
+
+// NewHTTPClient returns a transport speaking to the given base URL
+// (e.g. "http://learning.example.com:8080"). A nil client uses a default
+// with a 30 s timeout.
+func NewHTTPClient(baseURL string, client *http.Client) *HTTPClient {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPClient{baseURL: baseURL, client: client}
+}
+
+// Checkout implements core.Transport.
+func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+PathCheckout, nil)
+	if err != nil {
+		return nil, fmt.Errorf("transport: build checkout: %w", err)
+	}
+	req.Header.Set(headerDeviceID, deviceID)
+	req.Header.Set(headerToken, token)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: checkout: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var out core.CheckoutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("transport: decode checkout: %w", err)
+	}
+	return &out, nil
+}
+
+// Checkin implements core.Transport.
+func (c *HTTPClient) Checkin(ctx context.Context, deviceID, token string, body *core.CheckinRequest) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("transport: encode checkin: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+PathCheckin, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("transport: build checkin: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerDeviceID, deviceID)
+	req.Header.Set(headerToken, token)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("transport: checkin: %w", err)
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}
+
+// checkStatus converts HTTP error statuses back into the core sentinel
+// errors so device code behaves identically across transports.
+func checkStatus(resp *http.Response) error {
+	switch {
+	case resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode == http.StatusUnauthorized:
+		return core.ErrAuth
+	case resp.StatusCode == http.StatusConflict:
+		return core.ErrStopped
+	case resp.StatusCode == http.StatusBadRequest:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("%s: %w", bytes.TrimSpace(body), core.ErrBadCheckin)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("transport: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+}

@@ -1,0 +1,42 @@
+// Package transport connects Crowd-ML devices to the server: an in-process
+// loopback for simulations and embedded use, and an HTTP JSON transport
+// reproducing the paper's networked prototype (Section V-A, where the
+// original system used Apache/HTTPS; TLS termination is orthogonal and can
+// be layered with net/http's TLS support).
+package transport
+
+import (
+	"context"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// Loopback is a zero-overhead in-process Transport that calls the server
+// directly. It is the transport used by the simulated experiments where
+// network delay is modeled separately (package simnet).
+type Loopback struct {
+	server *core.Server
+}
+
+var _ core.Transport = (*Loopback)(nil)
+
+// NewLoopback wraps a server in a Transport.
+func NewLoopback(s *core.Server) *Loopback {
+	return &Loopback{server: s}
+}
+
+// Checkout implements core.Transport.
+func (l *Loopback) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.server.Checkout(deviceID, token)
+}
+
+// Checkin implements core.Transport.
+func (l *Loopback) Checkin(ctx context.Context, deviceID, token string, req *core.CheckinRequest) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.server.Checkin(deviceID, token, req)
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// PathRegister is the enrollment endpoint, the programmatic equivalent of
+// the paper's Web portal "join a crowd-learning task" flow (Section V-A).
+const PathRegister = "/v1/register"
+
+const headerEnrollKey = "X-Crowdml-Enroll-Key"
+
+type registerRequest struct {
+	DeviceID string `json:"deviceId"`
+}
+
+type registerResponse struct {
+	Token string `json:"token"`
+}
+
+// EnableEnrollment adds the PathRegister endpoint to the handler, guarded
+// by the given enrollment key. Devices presenting the key receive an
+// authentication token for checkout/checkin. An empty key leaves
+// enrollment disabled (devices must be registered through the Go API).
+func (h *Handler) EnableEnrollment(key string) {
+	if key == "" {
+		return
+	}
+	h.mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		got := r.Header.Get(headerEnrollKey)
+		if subtle.ConstantTimeCompare([]byte(got), []byte(key)) != 1 {
+			http.Error(w, "bad enrollment key", http.StatusUnauthorized)
+			return
+		}
+		var req registerRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if strings.TrimSpace(req.DeviceID) == "" {
+			http.Error(w, "deviceId is required", http.StatusBadRequest)
+			return
+		}
+		token, err := h.server.RegisterDevice(req.DeviceID)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, registerResponse{Token: token})
+	})
+}
+
+// Register enrolls a device over HTTP and returns its token.
+func (c *HTTPClient) Register(ctx context.Context, deviceID, enrollKey string) (string, error) {
+	payload, err := json.Marshal(registerRequest{DeviceID: deviceID})
+	if err != nil {
+		return "", fmt.Errorf("transport: encode register: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.baseURL+PathRegister, strings.NewReader(string(payload)))
+	if err != nil {
+		return "", fmt.Errorf("transport: build register: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerEnrollKey, enrollKey)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("transport: register: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return "", err
+	}
+	var out registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("transport: decode register: %w", err)
+	}
+	return out.Token, nil
+}
