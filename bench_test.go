@@ -16,6 +16,7 @@
 package crowdml_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -162,7 +163,8 @@ func BenchmarkServerCheckinFullPath(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	token, err := srv.RegisterDevice("bench")
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, "bench")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func BenchmarkServerCheckinFullPath(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := srv.Checkin("bench", token, req); err != nil {
+		if err := srv.Checkin(ctx, "bench", token, req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,9 +6,13 @@
 // with local differential privacy, and streams them until the server stops
 // the task or the sample budget is exhausted.
 //
+// With -task, the device joins that task on a multi-task server via the
+// task-scoped /v1/tasks/{id}/ routes; without it, the server's default
+// task via the legacy /v1/* paths.
+//
 // Example:
 //
-//	crowdml-device -server http://localhost:8080 -id phone-1 \
+//	crowdml-device -server http://localhost:8080 -task activity -id phone-1 \
 //	    -enroll-key join -samples 300 -minibatch 1 -eps-inv 0.1
 package main
 
@@ -18,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	crowdml "github.com/crowdml/crowdml"
@@ -33,6 +40,7 @@ func main() {
 func run() error {
 	var (
 		serverURL = flag.String("server", "http://localhost:8080", "server base URL")
+		taskID    = flag.String("task", "", "task ID to join (empty: the server's default task)")
 		id        = flag.String("id", "phone-1", "device ID")
 		enrollKey = flag.String("enroll-key", "", "enrollment key (empty: use -token)")
 		token     = flag.String("token", "", "pre-registered auth token")
@@ -44,8 +52,13 @@ func run() error {
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	client := crowdml.NewHTTPClient(*serverURL, nil)
+	if *taskID != "" {
+		client = client.WithTask(*taskID)
+	}
 	authToken := *token
 	if authToken == "" {
 		if *enrollKey == "" {
@@ -78,31 +91,61 @@ func run() error {
 	}
 
 	gen := activity.NewGenerator(s)
+	var src crowdml.SampleSource = gen
+	if *interval > 0 {
+		src = &pacedSource{inner: gen, ctx: ctx, interval: *interval}
+	}
 	sent := 0
 	for sent < *samples {
-		sample, err := gen.Next()
-		if err != nil {
+		n, err := device.Run(ctx, src, *samples-sent)
+		sent += n
+		switch {
+		case errors.Is(err, context.Canceled):
+			// Ctrl-C / SIGTERM: stand down cleanly.
+			log.Printf("%s: interrupted after %d samples", *id, sent)
+			return nil
+		case errors.Is(err, crowdml.ErrTaskNotFound):
+			// The task does not exist on this server: retrying cannot help.
+			return err
+		case errors.Is(err, crowdml.ErrBufferFull):
+			log.Printf("%s: buffer full, backing off: %v", *id, err)
+			select {
+			case <-time.After(time.Second):
+				continue
+			case <-ctx.Done():
+				log.Printf("%s: interrupted after %d samples", *id, sent)
+				return nil
+			}
+		case err != nil:
 			return err
 		}
-		err = device.AddSample(ctx, sample)
-		switch {
-		case errors.Is(err, crowdml.ErrStopped):
-			log.Printf("%s: server reports task complete after %d samples", *id, sent)
-			return nil
-		case errors.Is(err, crowdml.ErrBufferFull):
-			log.Printf("%s: buffer full, backing off", *id)
-			time.Sleep(time.Second)
-			continue
-		case err != nil:
-			// Communication failures are non-critical (paper Remark 1):
-			// the sample stays buffered and the flush retries later.
-			log.Printf("%s: transient: %v", *id, err)
-		}
-		sent++
-		if *interval > 0 {
-			time.Sleep(*interval)
-		}
+		break // Run finished: max reached, source drained, or task stopped.
+	}
+	if device.Done() {
+		log.Printf("%s: server reports task complete after %d samples", *id, sent)
+		return nil
 	}
 	log.Printf("%s: contributed %d samples in %d checkins", *id, sent, device.Checkins())
 	return nil
+}
+
+// pacedSource throttles a sample source to the configured interval,
+// mimicking a real sensor's sampling cadence.
+type pacedSource struct {
+	inner    crowdml.SampleSource
+	ctx      context.Context
+	interval time.Duration
+	started  bool
+}
+
+func (p *pacedSource) Next() (crowdml.Sample, error) {
+	if p.started {
+		select {
+		case <-time.After(p.interval):
+		case <-p.ctx.Done():
+			return crowdml.Sample{}, p.ctx.Err()
+		}
+	}
+	p.started = true
+	return p.inner.Next()
 }

@@ -1,15 +1,29 @@
 // Command crowdml-server runs a Crowd-ML learning server over HTTP — the
 // central component of the paper's prototype (Section V-A, there an
-// Apache/MySQL/Django deployment). It serves:
+// Apache/MySQL/Django deployment). One process hosts any number of
+// crowd-learning tasks on a shared Hub and serves:
 //
-//   - /v1/checkout, /v1/checkin — the device protocol of Algorithm 2;
-//   - /v1/stats — differentially private progress statistics (JSON);
-//   - /v1/register — device enrollment, guarded by -enroll-key;
-//   - /portal — the public task page with live DP statistics.
+//   - /v1/tasks — the task listing (the portal index, as JSON);
+//   - /v1/tasks/{id}/checkout, /v1/tasks/{id}/checkin — the device
+//     protocol of Algorithm 2, per task;
+//   - /v1/tasks/{id}/stats — differentially private progress statistics;
+//   - /v1/tasks/{id}/register — device enrollment, guarded by -enroll-key;
+//   - /v1/checkout, /v1/checkin, /v1/stats, /v1/register — legacy
+//     single-task aliases bound to the default task;
+//   - /portal/ — the public multi-task Web portal with live DP statistics.
 //
-// With -state-dir, the server checkpoints its learning state to disk and
-// resumes from the latest checkpoint on restart (the MySQL durability role
-// in the original prototype).
+// Tasks come either from the single-task flags (-classes, -dim, …) or
+// from a -tasks JSON file hosting many at once:
+//
+//	[
+//	  {"id": "activity", "name": "Activity recognition", "model": "logreg",
+//	   "classes": 3, "dim": 64, "rate": 10, "labels": ["still","walking","vehicle"]},
+//	  {"id": "gestures", "model": "svm", "classes": 5, "dim": 32, "rate": 5}
+//	]
+//
+// With -state-dir, every task checkpoints its learning state to its own
+// subdirectory and resumes from the latest checkpoint on restart (the
+// MySQL durability role in the original prototype).
 //
 // Example: a 3-class activity-recognition task over 64-bin FFT features:
 //
@@ -18,13 +32,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	crowdml "github.com/crowdml/crowdml"
@@ -36,9 +55,36 @@ func main() {
 	}
 }
 
+// taskSpec is one task entry of the -tasks JSON file (also synthesized
+// from the single-task flags when -tasks is not given).
+type taskSpec struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"name"`
+	Model       string   `json:"model"` // logreg (default) or svm
+	Classes     int      `json:"classes"`
+	Dim         int      `json:"dim"`
+	Rate        float64  `json:"rate"`   // c in η(t)=c/√t; default 10
+	Radius      float64  `json:"radius"` // projection-ball radius (0 off)
+	Tmax        int      `json:"tmax"`
+	TargetError float64  `json:"targetError"`
+	Labels      []string `json:"labels"`
+	Objective   string   `json:"objective"`
+	SensorData  string   `json:"sensorData"`
+	Default     bool     `json:"default"`
+}
+
+// taskState bundles a running task with its persistence handles.
+type taskState struct {
+	task    *crowdml.Task
+	fs      *crowdml.FileStore
+	journal *crowdml.Journal
+}
+
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		tasksFile  = flag.String("tasks", "", "JSON file describing the hosted tasks (overrides the single-task flags)")
+		taskID     = flag.String("task", "default", "task ID for the single-task flags")
 		classes    = flag.Int("classes", 3, "number of classes C")
 		dim        = flag.Int("dim", 64, "feature dimensionality D")
 		modelName  = flag.String("model", "logreg", "model: logreg or svm")
@@ -47,55 +93,186 @@ func run() error {
 		tmax       = flag.Int("tmax", 0, "maximum iterations Tmax (0 = unbounded)")
 		rho        = flag.Float64("target-error", 0, "stop when error estimate ≤ ρ (0 disables)")
 		enrollKey  = flag.String("enroll-key", "", "enrollment key; empty disables self-enrollment")
-		devices    = flag.Int("preregister", 0, "pre-register this many devices and print their tokens")
-		stateDir   = flag.String("state-dir", "", "checkpoint directory (empty disables persistence)")
+		devices    = flag.Int("preregister", 0, "pre-register this many devices on the default task and print their tokens")
+		stateDir   = flag.String("state-dir", "", "checkpoint directory, one subdirectory per task (empty disables persistence)")
 		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -state-dir")
-		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal")
-		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal")
+		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal (single-task flags)")
+		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal (single-task flags)")
 	)
 	flag.Parse()
 
-	var m crowdml.Model
-	switch *modelName {
-	case "logreg":
-		m = crowdml.NewLogisticRegression(*classes, *dim)
-	case "svm":
-		m = crowdml.NewLinearSVM(*classes, *dim)
-	default:
-		return fmt.Errorf("unknown model %q (want logreg or svm)", *modelName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	specs := []taskSpec{{
+		ID: *taskID, Name: *taskName, Model: *modelName,
+		Classes: *classes, Dim: *dim, Rate: *rate, Radius: *radius,
+		Tmax: *tmax, TargetError: *rho, Default: true,
+	}}
+	if *taskLabels != "" {
+		specs[0].Labels = strings.Split(*taskLabels, ",")
+	}
+	if *tasksFile != "" {
+		payload, err := os.ReadFile(*tasksFile)
+		if err != nil {
+			return fmt.Errorf("read -tasks: %w", err)
+		}
+		// Fresh slice: Unmarshal into the flag-built one would leak the
+		// flag defaults into JSON entries that omit those fields.
+		specs = nil
+		if err := json.Unmarshal(payload, &specs); err != nil {
+			return fmt.Errorf("parse -tasks: %w", err)
+		}
+		if len(specs) == 0 {
+			return errors.New("-tasks file defines no tasks")
+		}
 	}
 
+	h := crowdml.NewHub()
+	var states []*taskState
+	for _, spec := range specs {
+		st, err := createTask(ctx, h, spec, *stateDir)
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+	}
+
+	// Periodic checkpoints for every persistent task, plus a final save on
+	// shutdown.
+	saveAll := func(ctx context.Context) {
+		for _, st := range states {
+			if st.fs == nil {
+				continue
+			}
+			if err := st.fs.Save(ctx, st.task.Server().ExportState(), time.Now()); err != nil {
+				log.Printf("task %s: checkpoint failed: %v", st.task.ID(), err)
+			}
+		}
+	}
+	checkpointsDone := make(chan struct{})
+	if *stateDir != "" {
+		go func() {
+			defer close(checkpointsDone)
+			ticker := time.NewTicker(*saveEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					saveAll(ctx)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	} else {
+		close(checkpointsDone)
+	}
+	defer func() {
+		stop() // unblock the checkpoint goroutine on early error returns
+		<-checkpointsDone
+		if *stateDir != "" {
+			// Final checkpoint. This runs after httpServer.Shutdown has
+			// drained in-flight requests, so checkins applied during the
+			// drain are included. The serving context is gone — use a
+			// fresh one with a short deadline.
+			flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			saveAll(flushCtx)
+			cancel()
+		}
+		for _, st := range states {
+			if st.journal != nil {
+				st.journal.Close()
+			}
+		}
+	}()
+
+	for i := 0; i < *devices; i++ {
+		task, ok := h.DefaultTask()
+		if !ok {
+			return errors.New("-preregister needs a default task")
+		}
+		id := fmt.Sprintf("device-%03d", i)
+		token, err := task.Server().RegisterDevice(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "registered %s token=%s on task %s\n", id, token, task.ID())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", crowdml.NewHTTPHandler(h, *enrollKey))
+	mux.Handle("/portal/", http.StripPrefix("/portal", crowdml.NewPortalIndex(h)))
+	mux.Handle("/portal", http.RedirectHandler("/portal/", http.StatusMovedPermanently))
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	log.Printf("crowdml-server: hosting %d task(s) on %s (portal at /portal/)", h.Len(), *addr)
+	for _, t := range h.Tasks() {
+		log.Printf("  task %s: %s", t.ID(), t.Info().Algorithm)
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpServer.Shutdown(shutdownCtx)
+	}
+}
+
+// createTask builds one task from its spec: model, updater, optional
+// per-task persistence (checkpoint restore + checkin journal), and the
+// hub registration.
+func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string) (*taskState, error) {
+	// Validate the ID before it is used as an on-disk directory name —
+	// hub.CreateTask would reject it too, but only after the state dir
+	// and journal had been created at a possibly escaped path.
+	if !crowdml.ValidTaskID(spec.ID) {
+		return nil, fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
+	}
+	if spec.Rate == 0 {
+		spec.Rate = 10
+	}
+	if spec.Classes < 2 || spec.Dim < 1 {
+		return nil, fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
+			spec.ID, spec.Classes, spec.Dim)
+	}
+	var m crowdml.Model
+	switch spec.Model {
+	case "logreg", "":
+		m = crowdml.NewLogisticRegression(spec.Classes, spec.Dim)
+	case "svm":
+		m = crowdml.NewLinearSVM(spec.Classes, spec.Dim)
+	default:
+		return nil, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
+	}
 	cfg := crowdml.ServerConfig{
 		Model:       m,
-		Updater:     crowdml.NewSGD(crowdml.InvSqrt{C: *rate}, *radius),
-		Tmax:        *tmax,
-		TargetError: *rho,
+		Updater:     crowdml.NewSGD(crowdml.InvSqrt{C: spec.Rate}, spec.Radius),
+		Tmax:        spec.Tmax,
+		TargetError: spec.TargetError,
 	}
 
-	// Restore from checkpoints, journal checkins, and save periodically.
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	close(stop) // re-made below only when persistence is on
-	close(done)
-	var (
-		fs      *crowdml.FileStore
-		journal interface {
-			Append(crowdml.JournalEntry) error
-			Close() error
-		}
-	)
-	if *stateDir != "" {
-		var err error
-		fs, err = crowdml.NewFileStore(*stateDir)
+	st := &taskState{}
+	if stateDir != "" {
+		fs, err := crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		journal, err = fs.OpenJournal()
+		journal, err := fs.OpenJournal(ctx)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer journal.Close()
-		cfg.OnCheckin = func(deviceID string, iteration int, req *crowdml.CheckinRequest) {
+		st.fs, st.journal = fs, journal
+		cfg.OnCheckin = func(ctx context.Context, deviceID string, iteration int, req *crowdml.CheckinRequest) {
 			var norm1 float64
 			for _, v := range req.Grad {
 				if v < 0 {
@@ -112,88 +289,62 @@ func run() error {
 				ErrCount:     req.ErrCount,
 				GradNorm1:    norm1,
 			}
-			if err := journal.Append(entry); err != nil {
-				log.Printf("journal append failed: %v", err)
+			// The checkin is already applied to the model at this point, so
+			// the audit record must be written even if the device's request
+			// context has since been cancelled.
+			if err := st.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
+				log.Printf("task %s: journal append failed: %v", spec.ID, err)
 			}
 		}
 	}
 
-	server, err := crowdml.NewServer(cfg)
-	if err != nil {
-		return err
-	}
-	if fs != nil {
-		cp, err := fs.Load()
-		switch {
-		case err == nil:
-			if err := server.ImportState(cp.State); err != nil {
-				return fmt.Errorf("restore checkpoint: %w", err)
-			}
-			log.Printf("restored checkpoint at iteration %d", cp.State.Iteration)
-		case errors.Is(err, crowdml.ErrNoCheckpoint):
-			log.Printf("no checkpoint in %s; starting fresh", *stateDir)
-		default:
-			return err
-		}
-		stop = make(chan struct{})
-		done = make(chan struct{})
-		go func() {
-			defer close(done)
-			ticker := time.NewTicker(*saveEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ticker.C:
-					if err := fs.Save(server.ExportState(), time.Now()); err != nil {
-						log.Printf("checkpoint failed: %v", err)
-					}
-				case <-stop:
-					if err := fs.Save(server.ExportState(), time.Now()); err != nil {
-						log.Printf("final checkpoint failed: %v", err)
-					}
-					return
-				}
-			}
-		}()
-		defer func() {
-			close(stop)
-			<-done
-		}()
-	}
-
-	for i := 0; i < *devices; i++ {
-		id := fmt.Sprintf("device-%03d", i)
-		token, err := server.RegisterDevice(id)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stdout, "registered %s token=%s\n", id, token)
-	}
-
-	var labels []string
-	if *taskLabels != "" {
-		labels = strings.Split(*taskLabels, ",")
-	} else {
-		for k := 0; k < *classes; k++ {
+	labels := spec.Labels
+	if len(labels) == 0 {
+		for k := 0; k < spec.Classes; k++ {
 			labels = append(labels, fmt.Sprintf("class %d", k))
 		}
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", crowdml.NewHTTPHandler(server, *enrollKey))
-	mux.Handle("/portal", crowdml.NewPortal(server, crowdml.TaskInfo{
-		Name:       *taskName,
-		Objective:  "Collectively learn a shared classifier from device data with local differential privacy.",
-		SensorData: "Device-local features; only noise-sanitized gradients and counters ever leave a device.",
-		Labels:     labels,
-		Algorithm:  fmt.Sprintf("%s via privacy-preserving distributed SGD (η(t)=%g/√t)", m.Name(), *rate),
-	}))
-
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
+	name := spec.Name
+	if name == "" {
+		name = spec.ID
 	}
-	log.Printf("crowdml-server: %s model, C=%d D=%d, listening on %s (portal at /portal)",
-		*modelName, *classes, *dim, *addr)
-	return httpServer.ListenAndServe()
+	objective := spec.Objective
+	if objective == "" {
+		objective = "Collectively learn a shared classifier from device data with local differential privacy."
+	}
+	sensorData := spec.SensorData
+	if sensorData == "" {
+		sensorData = "Device-local features; only noise-sanitized gradients and counters ever leave a device."
+	}
+	opts := []crowdml.TaskOption{crowdml.WithTaskInfo(crowdml.TaskInfo{
+		Name:       name,
+		Objective:  objective,
+		SensorData: sensorData,
+		Labels:     labels,
+		Algorithm:  fmt.Sprintf("%s via privacy-preserving distributed SGD (η(t)=%g/√t)", m.Name(), spec.Rate),
+	})}
+	if spec.Default {
+		opts = append(opts, crowdml.AsDefaultTask())
+	}
+	task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st.task = task
+
+	if st.fs != nil {
+		cp, err := st.fs.Load(ctx)
+		switch {
+		case err == nil:
+			if err := task.Server().ImportState(cp.State); err != nil {
+				return nil, fmt.Errorf("task %s: restore checkpoint: %w", spec.ID, err)
+			}
+			log.Printf("task %s: restored checkpoint at iteration %d", spec.ID, cp.State.Iteration)
+		case errors.Is(err, crowdml.ErrNoCheckpoint):
+			log.Printf("task %s: no checkpoint; starting fresh", spec.ID)
+		default:
+			return nil, err
+		}
+	}
+	return st, nil
 }

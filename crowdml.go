@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
 	"github.com/crowdml/crowdml/internal/portal"
@@ -86,8 +87,46 @@ type Server = core.Server
 // ServerConfig configures a Server.
 type ServerConfig = core.ServerConfig
 
-// NewServer constructs a server.
+// NewServer constructs a standalone server. Most deployments should
+// instead host tasks on a Hub (NewHub + Hub.CreateTask), which is what
+// the HTTP layer serves.
 func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
+
+// Hub hosts many named learning tasks in one process — the paper's
+// multi-task Web portal design (Section V-A). Its task registry is
+// sharded so concurrent checkins to different tasks never contend on a
+// single mutex.
+type Hub = hub.Hub
+
+// Task is one learning task hosted on a Hub: a Server plus its portal
+// metadata. Obtain with Hub.CreateTask or Hub.Task.
+type Task = hub.Task
+
+// TaskOption customizes Hub.CreateTask; see WithTaskInfo and
+// AsDefaultTask.
+type TaskOption = hub.TaskOption
+
+// NewHub returns an empty task hub.
+func NewHub() *Hub { return hub.New() }
+
+// WithTaskInfo attaches portal metadata to a task at creation.
+func WithTaskInfo(info TaskInfo) TaskOption { return hub.WithInfo(info) }
+
+// AsDefaultTask makes the created task the target of the legacy
+// single-task /v1/* endpoints (by default, the first task created).
+func AsDefaultTask() TaskOption { return hub.AsDefault() }
+
+// Task-registry sentinel errors.
+var (
+	ErrTaskExists   = hub.ErrTaskExists
+	ErrTaskNotFound = hub.ErrTaskNotFound
+	ErrBadTaskID    = hub.ErrBadTaskID
+)
+
+// ValidTaskID reports whether id is usable as a task ID (the charset
+// Hub.CreateTask enforces) — useful for validating external input before
+// doing side-effectful work keyed on the ID.
+func ValidTaskID(id string) bool { return hub.ValidTaskID(id) }
 
 // Device is a Crowd-ML device (Algorithm 1). Not safe for concurrent use.
 type Device = core.Device
@@ -97,6 +136,10 @@ type DeviceConfig = core.DeviceConfig
 
 // NewDevice constructs a device.
 func NewDevice(cfg DeviceConfig) (*Device, error) { return core.NewDevice(cfg) }
+
+// SampleSource yields a device's local sample stream for Device.Run;
+// io.EOF ends the stream cleanly.
+type SampleSource = core.SampleSource
 
 // Transport connects devices to a server.
 type Transport = core.Transport
@@ -118,20 +161,33 @@ var (
 // NewLoopback returns an in-process Transport wrapping the server.
 func NewLoopback(s *Server) Transport { return transport.NewLoopback(s) }
 
+// HTTPClient is the device-side HTTP transport. A fresh client targets
+// the server's default task via the legacy /v1/* paths; bind it to a
+// named task with WithTask. All its methods honor context cancellation
+// and deadlines.
+type HTTPClient = transport.HTTPClient
+
 // NewHTTPClient returns a Transport speaking to baseURL over HTTP
-// (nil client = 30 s timeout default). Its Register method enrolls via the
-// server's enrollment endpoint.
-func NewHTTPClient(baseURL string, client *http.Client) *transport.HTTPClient {
+// (nil client = 30 s timeout default). Its Register method enrolls via
+// the server's enrollment endpoint; WithTask binds it to one task's
+// /v1/tasks/{id}/ routes.
+func NewHTTPClient(baseURL string, client *http.Client) *HTTPClient {
 	return transport.NewHTTPClient(baseURL, client)
 }
 
-// NewHTTPHandler exposes a server over HTTP (checkout, checkin, stats).
-// If enrollKey is non-empty, a /v1/register endpoint is enabled so devices
-// holding the key can self-enroll.
-func NewHTTPHandler(s *Server, enrollKey string) http.Handler {
-	h := transport.NewHandler(s)
-	h.EnableEnrollment(enrollKey)
-	return h
+// TaskSummary is one row of the GET /v1/tasks listing.
+type TaskSummary = transport.TaskSummary
+
+// NewHTTPHandler exposes every task hosted on the hub over HTTP:
+// task-scoped routes /v1/tasks/{id}/{checkout,checkin,stats} plus a
+// /v1/tasks listing, with the legacy /v1/checkout, /v1/checkin and
+// /v1/stats paths aliased to the hub's default task. If enrollKey is
+// non-empty, /v1/register and /v1/tasks/{id}/register are enabled so
+// devices holding the key can self-enroll.
+func NewHTTPHandler(h *Hub, enrollKey string) http.Handler {
+	hd := transport.NewHandler(h)
+	hd.EnableEnrollment(enrollKey)
+	return hd
 }
 
 // NormalizeL1 scales x in place to unit L1 norm — the feature
@@ -163,12 +219,20 @@ type ServerState = core.ServerState
 // TaskInfo describes a crowd-learning task for the Web portal: objective,
 // sensory data, labels, algorithm, and privacy budget — the transparency
 // details of the paper's Section V-A portal.
-type TaskInfo = portal.TaskInfo
+type TaskInfo = hub.TaskInfo
 
-// NewPortal returns an http.Handler serving the public task page with
+// NewPortal returns an http.Handler serving one task's public page with
 // differentially private live statistics (error rate, label distribution).
 func NewPortal(s *Server, info TaskInfo) http.Handler {
 	return portal.New(s, info)
+}
+
+// NewPortalIndex returns the multi-task Web portal for a hub: "/" lists
+// every hosted task and "tasks/{id}" serves each task's transparency
+// page — the paper's portal where devices browse crowd-learning tasks
+// before joining one.
+func NewPortalIndex(h *Hub) http.Handler {
+	return portal.NewIndex(h)
 }
 
 // FileStore persists server checkpoints and checkin journals under a
@@ -181,6 +245,10 @@ func NewFileStore(dir string) (*FileStore, error) { return store.NewFileStore(di
 // ErrNoCheckpoint is returned by FileStore.Load when nothing has been
 // saved yet.
 var ErrNoCheckpoint = store.ErrNoCheckpoint
+
+// Journal is the append-only JSONL checkin audit log opened with
+// FileStore.OpenJournal.
+type Journal = store.Journal
 
 // JournalEntry is one audit record in the checkin journal: which device
 // contributed which sanitized aggregate at which iteration.

@@ -21,7 +21,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	token, err := server.RegisterDevice("phone-1")
+	ctx := context.Background()
+	token, err := server.RegisterDevice(ctx, "phone-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,6 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx := context.Background()
 	for i := 0; i < 200; i++ {
 		y := i % 2
 		x := []float64{0.1, 0.1, 0.1, 0.1}
@@ -60,18 +60,20 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicAPIHTTPWithEnrollment(t *testing.T) {
 	m := crowdml.NewLogisticRegression(2, 2)
-	server, err := crowdml.NewServer(crowdml.ServerConfig{
+	hub := crowdml.NewHub()
+	ctx := context.Background()
+	task, err := hub.CreateTask(ctx, "api-test", crowdml.ServerConfig{
 		Model:   m,
 		Updater: crowdml.NewSGD(crowdml.Constant{C: 0.5}, 0),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(crowdml.NewHTTPHandler(server, "join-key"))
+	server := task.Server()
+	ts := httptest.NewServer(crowdml.NewHTTPHandler(hub, "join-key"))
 	defer ts.Close()
 
 	client := crowdml.NewHTTPClient(ts.URL, nil)
-	ctx := context.Background()
 	token, err := client.Register(ctx, "phone-2", "join-key")
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +102,7 @@ func TestPublicAPIErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := server.Checkout("nobody", "tok"); !errors.Is(err, crowdml.ErrAuth) {
+	if _, err := server.Checkout(context.Background(), "nobody", "tok"); !errors.Is(err, crowdml.ErrAuth) {
 		t.Errorf("error = %v, want ErrAuth", err)
 	}
 }

@@ -10,8 +10,27 @@
 // noisy gradient in to a lightweight server that runs asynchronous
 // stochastic gradient descent.
 //
+// # The v1 API: a context-first, multi-task Hub
+//
+// The public surface is organized around two ideas:
+//
+// First, one server process hosts many learning tasks. The paper's Web
+// portal (Section V-A) lists multiple crowd-learning tasks that devices
+// browse and join; Hub is that registry. Each task is an independent
+// Server (Algorithm 2 instance) addressed by a stable ID, backed by a
+// sharded task registry so concurrent checkins to different tasks never
+// contend on one lock.
+//
+// Second, every method that does I/O or can block takes a
+// context.Context as its first parameter and returns an error last —
+// Server.Checkout/Checkin/RegisterDevice, Device.AddSample/Flush/Run,
+// Transport implementations, and FileStore persistence all honor
+// cancellation and deadlines.
+//
 // # Architecture
 //
+//	Hub     — named-task registry (sharded); CreateTask/Task/CloseTask,
+//	          a default task for the legacy single-task endpoints.
 //	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
 //	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria.
 //	Device  — Algorithm 1: sample buffering (minibatch b, cap B), gradient
@@ -21,25 +40,35 @@
 //	Models  — multiclass logistic regression (Table I), linear SVM,
 //	          ridge regression — anything with a bounded-sensitivity
 //	          (sub)gradient fits the framework.
+//	HTTP    — task-scoped routes /v1/tasks/{id}/checkout|checkin|stats|
+//	          register plus a /v1/tasks listing; the legacy /v1/* paths
+//	          alias the hub's default task. NewPortalIndex serves the
+//	          human-facing multi-task portal.
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	m := crowdml.NewLogisticRegression(3, 64)
-//	server, _ := crowdml.NewServer(crowdml.ServerConfig{
+//	hub := crowdml.NewHub()
+//	task, _ := hub.CreateTask(ctx, "activity", crowdml.ServerConfig{
 //		Model:   m,
 //		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
 //	})
-//	token, _ := server.RegisterDevice("phone-1")
+//	token, _ := task.Server().RegisterDevice(ctx, "phone-1")
 //	device, _ := crowdml.NewDevice(crowdml.DeviceConfig{
 //		ID: "phone-1", Token: token, Model: m,
-//		Transport: crowdml.NewLoopback(server),
+//		Transport: crowdml.NewLoopback(task.Server()),
 //		Minibatch: 1,
 //		Budget:    crowdml.Budget{Gradient: crowdml.FromInv(0.1)},
 //	})
 //	_ = device.AddSample(ctx, crowdml.Sample{X: features, Y: label})
 //
+// Over HTTP, serve the hub with NewHTTPHandler and point devices at it
+// with NewHTTPClient(baseURL, nil).WithTask("activity"); see README.md
+// for the v0 → v1 migration table.
+//
 // See examples/ for runnable programs (quickstart, activity recognition,
-// a digit-recognition simulation study, and a real HTTP cluster), and
-// cmd/crowdml-bench for the harness that regenerates every figure of the
-// paper's evaluation.
+// a digit-recognition simulation study, and a multi-task HTTP cluster),
+// and cmd/crowdml-bench for the harness that regenerates every figure of
+// the paper's evaluation plus an HTTP load bench.
 package crowdml

@@ -44,11 +44,12 @@ func run() error {
 		return err
 	}
 
+	ctx := context.Background()
 	gens := make([]*activity.Generator, phones)
 	devs := make([]*crowdml.Device, phones)
 	for i := range devs {
 		id := fmt.Sprintf("phone-%d", i)
-		token, err := server.RegisterDevice(id)
+		token, err := server.RegisterDevice(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -78,7 +79,6 @@ func run() error {
 	}.Total(activity.NumClasses)
 	fmt.Printf("7 phones, 3 activities, per-checkin privacy ε = %.2f\n\n", float64(total))
 
-	ctx := context.Background()
 	fmt.Println("samples  time-averaged error")
 	for n := 1; n <= totalSamples; n++ {
 		phone := (n - 1) % phones

@@ -1,15 +1,16 @@
-// HTTP cluster — the networked prototype end to end on one machine: a
-// Crowd-ML server listening on localhost, and a crowd of device processes
-// (goroutines here, but each speaking real HTTP through the same client a
-// separate process would use) enrolling with the enrollment key, streaming
-// privately sanitized activity-recognition gradients, and driving the
-// shared model. The server's public /v1/stats endpoint is polled like the
-// paper's Web portal.
+// HTTP cluster — the networked prototype end to end on one machine, now
+// multi-task: one server process hosts TWO crowd-learning tasks on a
+// shared Hub (the paper's Section V-A portal lists many tasks devices
+// can join), and a crowd of device processes (goroutines here, but each
+// speaking real HTTP through the same client a separate process would
+// use) enrolls into its task via the task-scoped /v1/tasks/{id}/ routes.
+// One device deliberately uses the legacy /v1/* paths to show they keep
+// working as aliases for the default task. The /v1/tasks listing is
+// polled like the paper's Web portal index.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -29,16 +30,34 @@ func main() {
 
 func run() error {
 	const (
-		devices   = 8
-		perDevice = 60
-		enrollKey = "demo-enroll-key"
+		devicesPerTask = 4
+		perDevice      = 60
+		enrollKey      = "demo-enroll-key"
 	)
-	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
-	server, err := crowdml.NewServer(crowdml.ServerConfig{
-		Model:   m,
+	ctx := context.Background()
+
+	// One process, one hub, two independent learning tasks.
+	hub := crowdml.NewHub()
+	activityModel := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
+	if _, err := hub.CreateTask(ctx, "activity", crowdml.ServerConfig{
+		Model:   activityModel,
 		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
-	})
-	if err != nil {
+	}, crowdml.WithTaskInfo(crowdml.TaskInfo{
+		Name:      "Activity recognition",
+		Algorithm: "multiclass logistic regression via private distributed SGD",
+		Labels:    activity.Names[:],
+	}), crowdml.AsDefaultTask()); err != nil {
+		return err
+	}
+	svmModel := crowdml.NewLinearSVM(activity.NumClasses, activity.FeatureDim)
+	if _, err := hub.CreateTask(ctx, "activity-svm", crowdml.ServerConfig{
+		Model:   svmModel,
+		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 5}, 0),
+	}, crowdml.WithTaskInfo(crowdml.TaskInfo{
+		Name:      "Activity recognition (SVM)",
+		Algorithm: "Crammer–Singer linear SVM via private distributed SGD",
+		Labels:    activity.Names[:],
+	})); err != nil {
 		return err
 	}
 
@@ -47,23 +66,33 @@ func run() error {
 		return err
 	}
 	httpServer := &http.Server{
-		Handler:           crowdml.NewHTTPHandler(server, enrollKey),
+		Handler:           crowdml.NewHTTPHandler(hub, enrollKey),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("server listening on %s\n", baseURL)
+	fmt.Printf("server listening on %s, hosting %d tasks\n", baseURL, hub.Len())
 
-	ctx := context.Background()
 	var wg sync.WaitGroup
-	errs := make(chan error, devices)
-	for i := 0; i < devices; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs <- runDevice(ctx, baseURL, enrollKey, i, perDevice)
-		}(i)
+	errs := make(chan error, 2*devicesPerTask)
+	for _, spec := range []struct {
+		taskID string
+		model  crowdml.Model
+	}{
+		{"activity", activityModel},
+		{"activity-svm", svmModel},
+	} {
+		for i := 0; i < devicesPerTask; i++ {
+			wg.Add(1)
+			go func(taskID string, m crowdml.Model, i int) {
+				defer wg.Done()
+				// Device 0 of the default task exercises the legacy /v1/*
+				// alias paths; everyone else uses /v1/tasks/{id}/ routes.
+				legacy := taskID == "activity" && i == 0
+				errs <- runDevice(ctx, baseURL, taskID, legacy, m, enrollKey, i, perDevice)
+			}(spec.taskID, spec.model, i)
+		}
 	}
 	wg.Wait()
 	close(errs)
@@ -73,26 +102,23 @@ func run() error {
 		}
 	}
 
-	// Poll the public stats endpoint, portal-style.
-	resp, err := http.Get(baseURL + "/v1/stats")
+	// Poll the task listing, portal-style, through the same client API.
+	tasks, err := crowdml.NewHTTPClient(baseURL, nil).Tasks(ctx)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	var stats struct {
-		Iteration     int       `json:"iteration"`
-		ErrorEstimate *float64  `json:"errorEstimate"`
-		PriorEstimate []float64 `json:"priorEstimate"`
+	fmt.Printf("\nportal task listing after %d device contributions:\n", 2*devicesPerTask*perDevice)
+	for _, t := range tasks {
+		marker := " "
+		if t.Default {
+			marker = "*"
+		}
+		line := fmt.Sprintf("%s %-22s iter=%4d", marker, t.ID, t.Iteration)
+		if t.ErrorEstimate != nil {
+			line += fmt.Sprintf("  online error=%.3f", *t.ErrorEstimate)
+		}
+		fmt.Println(line)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return err
-	}
-	fmt.Printf("\nportal stats after %d device contributions:\n", devices*perDevice)
-	fmt.Printf("  server iterations: %d\n", stats.Iteration)
-	if stats.ErrorEstimate != nil {
-		fmt.Printf("  online error:      %.3f\n", *stats.ErrorEstimate)
-	}
-	fmt.Printf("  activity prior:    %.2v\n", stats.PriorEstimate)
 
 	shutdownCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
@@ -103,14 +129,16 @@ func run() error {
 	return nil
 }
 
-func runDevice(ctx context.Context, baseURL, enrollKey string, idx, samples int) error {
-	id := fmt.Sprintf("phone-%02d", idx)
+func runDevice(ctx context.Context, baseURL, taskID string, legacy bool, m crowdml.Model, enrollKey string, idx, samples int) error {
+	id := fmt.Sprintf("%s-phone-%02d", taskID, idx)
 	client := crowdml.NewHTTPClient(baseURL, nil)
+	if !legacy {
+		client = client.WithTask(taskID)
+	}
 	token, err := client.Register(ctx, id, enrollKey)
 	if err != nil {
 		return fmt.Errorf("%s enroll: %w", id, err)
 	}
-	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
 	device, err := crowdml.NewDevice(crowdml.DeviceConfig{
 		ID: id, Token: token, Model: m,
 		Transport: client,
@@ -121,16 +149,10 @@ func runDevice(ctx context.Context, baseURL, enrollKey string, idx, samples int)
 	if err != nil {
 		return err
 	}
-	gen := activity.NewGenerator(uint64(100 + idx))
-	for n := 0; n < samples; n++ {
-		s, err := gen.Next()
-		if err != nil {
-			return err
-		}
-		if err := device.AddSample(ctx, s); err != nil {
-			return fmt.Errorf("%s sample %d: %w", id, n, err)
-		}
+	sent, err := device.Run(ctx, activity.NewGenerator(uint64(100+idx)), samples)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
 	}
-	fmt.Printf("  %s: %d samples in %d checkins\n", id, samples, device.Checkins())
+	fmt.Printf("  %s: %d samples in %d checkins\n", id, sent, device.Checkins())
 	return nil
 }

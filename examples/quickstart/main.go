@@ -26,20 +26,25 @@ func run() error {
 		perDevice = 200
 		dim       = 8
 	)
+	// Host the learning task on a hub — the unit one server process can
+	// hold many of (each addressable over HTTP as /v1/tasks/{id}/...).
+	ctx := context.Background()
 	m := crowdml.NewLogisticRegression(2, dim)
-	server, err := crowdml.NewServer(crowdml.ServerConfig{
+	hub := crowdml.NewHub()
+	task, err := hub.CreateTask(ctx, "quickstart", crowdml.ServerConfig{
 		Model:   m,
 		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
 	})
 	if err != nil {
 		return err
 	}
+	server := task.Server()
 
 	// Enroll devices; each gets its own auth token and privacy budget.
 	devs := make([]*crowdml.Device, devices)
 	for i := range devs {
 		id := fmt.Sprintf("device-%d", i)
-		token, err := server.RegisterDevice(id)
+		token, err := server.RegisterDevice(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -56,7 +61,6 @@ func run() error {
 	}
 
 	// Each device streams its own sensor-like data: two noisy clusters.
-	ctx := context.Background()
 	r := rng.New(7)
 	for round := 0; round < perDevice; round++ {
 		for i, d := range devs {

@@ -82,10 +82,11 @@ func run() error {
 		return err
 	}
 
+	ctx := context.Background()
 	devices := make([]*crowdml.Device, thermostats)
 	for i := range devices {
 		id := fmt.Sprintf("thermostat-%02d", i)
-		token, err := server.RegisterDevice(id)
+		token, err := server.RegisterDevice(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -101,7 +102,6 @@ func run() error {
 		}
 	}
 
-	ctx := context.Background()
 	streams := make([]*rng.RNG, thermostats)
 	for i := range streams {
 		streams[i] = rng.New(uint64(100 + i))

@@ -1,0 +1,3 @@
+module github.com/crowdml/crowdml
+
+go 1.24

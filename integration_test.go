@@ -3,6 +3,7 @@ package crowdml_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -53,7 +54,8 @@ func TestIntegrationFailureInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	token, _ := server.RegisterDevice("flaky-phone")
+	ctx := context.Background()
+	token, _ := server.RegisterDevice(ctx, "flaky-phone")
 	flaky := &flakyTransport{
 		inner: crowdml.NewLoopback(server), r: rng.New(1), dropRate: 0.4,
 	}
@@ -65,7 +67,6 @@ func TestIntegrationFailureInjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := activity.NewGenerator(2)
-	ctx := context.Background()
 	delivered := 0
 	for i := 0; i < 300; i++ {
 		s, err := gen.Next()
@@ -103,7 +104,9 @@ func TestIntegrationFailureInjection(t *testing.T) {
 // ρ stopping criterion and verifies devices observe Done.
 func TestIntegrationStoppingOverHTTP(t *testing.T) {
 	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
-	server, err := crowdml.NewServer(crowdml.ServerConfig{
+	hub := crowdml.NewHub()
+	ctx := context.Background()
+	task, err := hub.CreateTask(ctx, "stopping", crowdml.ServerConfig{
 		Model:             m,
 		Updater:           crowdml.NewSGD(crowdml.InvSqrt{C: 20}, 0),
 		TargetError:       0.2,
@@ -112,10 +115,11 @@ func TestIntegrationStoppingOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(crowdml.NewHTTPHandler(server, "key"))
+	server := task.Server()
+	ts := httptest.NewServer(crowdml.NewHTTPHandler(hub, "key"))
 	defer ts.Close()
-	client := crowdml.NewHTTPClient(ts.URL, nil)
-	ctx := context.Background()
+	// The task-scoped route and the legacy alias are the same task.
+	client := crowdml.NewHTTPClient(ts.URL, nil).WithTask("stopping")
 	token, err := client.Register(ctx, "p1", "key")
 	if err != nil {
 		t.Fatal(err)
@@ -158,14 +162,16 @@ func TestIntegrationStoppingOverHTTP(t *testing.T) {
 func TestIntegrationConcurrentHTTPCrowd(t *testing.T) {
 	const devices = 8
 	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
-	server, err := crowdml.NewServer(crowdml.ServerConfig{
+	hub := crowdml.NewHub()
+	task, err := hub.CreateTask(context.Background(), "crowd", crowdml.ServerConfig{
 		Model:   m,
 		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(crowdml.NewHTTPHandler(server, "key"))
+	server := task.Server()
+	ts := httptest.NewServer(crowdml.NewHTTPHandler(hub, "key"))
 	defer ts.Close()
 
 	var wg sync.WaitGroup
@@ -232,3 +238,117 @@ func TestIntegrationConcurrentHTTPCrowd(t *testing.T) {
 // asInternalModel converts the public Model alias back to the internal
 // interface (they are the same type; this keeps the call sites readable).
 func asInternalModel(m crowdml.Model) model.Model { return m }
+
+// TestIntegrationMultiTaskHub is the headline v1 scenario: ONE server
+// process hosts two concurrent learning tasks over HTTP. Device crowds
+// drive each task through its task-scoped /v1/tasks/{id}/ routes (one
+// crowd uses the legacy /v1/* aliases, which must keep addressing the
+// default task), the tasks learn independently, and the /v1/tasks
+// listing reflects both.
+func TestIntegrationMultiTaskHub(t *testing.T) {
+	const (
+		devicesPerTask = 4
+		perDevice      = 60
+		minibatch      = 5
+	)
+	ctx := context.Background()
+	hub := crowdml.NewHub()
+	models := map[string]crowdml.Model{
+		"activity-logreg": crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim),
+		"activity-svm":    crowdml.NewLinearSVM(activity.NumClasses, activity.FeatureDim),
+	}
+	for id, m := range models {
+		opts := []crowdml.TaskOption{}
+		if id == "activity-logreg" {
+			opts = append(opts, crowdml.AsDefaultTask())
+		}
+		if _, err := hub.CreateTask(ctx, id, crowdml.ServerConfig{
+			Model:   m,
+			Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
+		}, opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(crowdml.NewHTTPHandler(hub, "key"))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*devicesPerTask)
+	for taskID, m := range models {
+		for i := 0; i < devicesPerTask; i++ {
+			wg.Add(1)
+			go func(taskID string, m crowdml.Model, i int) {
+				defer wg.Done()
+				client := crowdml.NewHTTPClient(ts.URL, nil)
+				// One device of the default task exercises the legacy
+				// alias paths; everyone else is task-scoped.
+				if !(taskID == "activity-logreg" && i == 0) {
+					client = client.WithTask(taskID)
+				}
+				id := fmt.Sprintf("%s-dev-%d", taskID, i)
+				token, err := client.Register(ctx, id, "key")
+				if err != nil {
+					errCh <- fmt.Errorf("%s register: %w", id, err)
+					return
+				}
+				device, err := crowdml.NewDevice(crowdml.DeviceConfig{
+					ID: id, Token: token, Model: m,
+					Transport: client, Minibatch: minibatch,
+					Seed: uint64(i + 1),
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				gen := activity.NewGenerator(uint64(50 + i))
+				sent, err := device.Run(ctx, gen, perDevice)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+				if sent != perDevice {
+					errCh <- fmt.Errorf("%s sent %d of %d samples", id, sent, perDevice)
+					return
+				}
+				errCh <- nil
+			}(taskID, m, i)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both tasks advanced independently and by the full amount — the
+	// legacy-alias device must have landed on the default task.
+	wantIter := devicesPerTask * perDevice / minibatch
+	for id := range models {
+		task, ok := hub.Task(id)
+		if !ok {
+			t.Fatalf("task %s missing", id)
+		}
+		if got := task.Server().Iteration(); got != wantIter {
+			t.Errorf("task %s iterations = %d, want %d", id, got, wantIter)
+		}
+	}
+
+	// The portal-facing listing sees both tasks, with the default marked.
+	summaries, err := crowdml.NewHTTPClient(ts.URL, nil).Tasks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("task listing has %d entries, want 2", len(summaries))
+	}
+	for _, s := range summaries {
+		if s.Iteration != wantIter {
+			t.Errorf("listing %s iteration = %d, want %d", s.ID, s.Iteration, wantIter)
+		}
+		if s.Default != (s.ID == "activity-logreg") {
+			t.Errorf("listing %s default flag = %v", s.ID, s.Default)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"github.com/crowdml/crowdml/internal/linalg"
 	"github.com/crowdml/crowdml/internal/model"
@@ -110,6 +112,85 @@ func (d *Device) Dropped() int { return d.dropped }
 // Checkins returns the number of successful checkins so far.
 func (d *Device) Checkins() int { return d.checkins }
 
+// SampleSource yields a device's local sample stream. io.EOF signals a
+// clean end of the stream. activity.Generator satisfies this interface.
+type SampleSource interface {
+	Next() (model.Sample, error)
+}
+
+// Run drives the device from a sample source until the source is
+// exhausted (io.EOF), the server stops the task, the optional max sample
+// count is reached, or ctx is cancelled. It returns the number of
+// samples consumed from the source; consumed samples not yet confirmed
+// by the server remain buffered (see Buffered and Checkins). Transient
+// transport failures are non-critical (paper Remark 1) and do not abort
+// the run: the affected samples stay buffered and are retried on
+// subsequent steps. If the buffer reaches its cap B and cannot be
+// drained (the transport is persistently failing), Run returns
+// ErrBufferFull rather than spinning or discarding samples — the buffer
+// is retained, so the caller can back off and call Run again. A failure
+// to flush the trailing partial minibatch is likewise reported, with the
+// buffer retained. A cancelled context aborts with ctx.Err(); a stopped
+// task returns nil with the device's Done latched.
+func (d *Device) Run(ctx context.Context, src SampleSource, max int) (sent int, err error) {
+	if d.done {
+		// Already stood down: consume nothing.
+		return 0, nil
+	}
+	for max <= 0 || sent < max {
+		if err := ctx.Err(); err != nil {
+			return sent, err
+		}
+		// Drain a full buffer before pulling from the source, so no
+		// sample is ever discarded by AddSample's cap check.
+		if len(d.buffer) >= d.cfg.MaxBuffer {
+			switch ferr := d.Flush(ctx); {
+			case errors.Is(ferr, ErrStopped):
+				return sent, nil
+			case ferr != nil:
+				if ctx.Err() != nil {
+					return sent, ctx.Err()
+				}
+				// Full buffer and a failing transport: no progress is
+				// possible, so hand control back instead of busy-looping.
+				// Both the cause and ErrBufferFull stay errors.Is-able.
+				return sent, fmt.Errorf("core: buffer at cap and flush failing: %w (%w)", ferr, ErrBufferFull)
+			}
+		}
+		s, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return sent, fmt.Errorf("core: sample source: %w", err)
+		}
+		err = d.AddSample(ctx, s)
+		// On every path below except ErrBufferFull the sample was
+		// consumed and buffered (or flushed), so it counts toward sent.
+		switch {
+		case errors.Is(err, ErrStopped):
+			return sent + 1, nil
+		case errors.Is(err, ErrBufferFull):
+			// Unreachable given the pre-drain above, but don't spin if it
+			// ever happens.
+			return sent, err
+		case err != nil && ctx.Err() != nil:
+			return sent + 1, ctx.Err()
+		}
+		// Other transport errors: sample is buffered, retried later.
+		sent++
+	}
+	// Flush the trailing partial minibatch; a failure here would
+	// otherwise go unretried, so surface it (the buffer is retained).
+	if err := d.Flush(ctx); err != nil && !errors.Is(err, ErrStopped) {
+		if ctx.Err() != nil {
+			return sent, ctx.Err()
+		}
+		return sent, fmt.Errorf("core: final flush: %w", err)
+	}
+	return sent, nil
+}
+
 // AddSample implements Device Routine 1: buffer the sample and, when the
 // minibatch threshold b is reached, attempt a checkout+checkin round trip.
 //
@@ -143,6 +224,12 @@ func (d *Device) Flush(ctx context.Context) error {
 		return nil
 	}
 	co, err := d.cfg.Transport.Checkout(ctx, d.cfg.ID, d.cfg.Token)
+	if errors.Is(err, ErrStopped) {
+		// The transport relayed that the task is over (e.g. a closed or
+		// stopped task over HTTP): stand down like a Done checkout.
+		d.done = true
+		return ErrStopped
+	}
 	if err != nil {
 		return fmt.Errorf("checkout: %w", err)
 	}
@@ -200,6 +287,10 @@ func (d *Device) Flush(ctx context.Context) error {
 		Version:     co.Version,
 	}
 	if err := d.cfg.Transport.Checkin(ctx, d.cfg.ID, d.cfg.Token, req); err != nil {
+		if errors.Is(err, ErrStopped) {
+			d.done = true
+			return ErrStopped
+		}
 		return fmt.Errorf("checkin: %w", err)
 	}
 

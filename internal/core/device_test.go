@@ -298,12 +298,12 @@ func TestDeviceEndToEndWithServer(t *testing.T) {
 // without the import, keeping core's tests self-contained).
 type serverTransport struct{ s *Server }
 
-func (t serverTransport) Checkout(_ context.Context, id, token string) (*CheckoutResponse, error) {
-	return t.s.Checkout(id, token)
+func (t serverTransport) Checkout(ctx context.Context, id, token string) (*CheckoutResponse, error) {
+	return t.s.Checkout(ctx, id, token)
 }
 
-func (t serverTransport) Checkin(_ context.Context, id, token string, req *CheckinRequest) error {
-	return t.s.Checkin(id, token, req)
+func (t serverTransport) Checkin(ctx context.Context, id, token string, req *CheckinRequest) error {
+	return t.s.Checkin(ctx, id, token, req)
 }
 
 func TestDeviceDefaultsApplied(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/subtle"
 	"encoding/hex"
@@ -34,11 +35,11 @@ type ServerConfig struct {
 	// deterministic) initialization for the convex models in this repo.
 	InitParams *linalg.Matrix
 	// OnCheckin, if non-nil, is invoked after every successfully applied
-	// checkin with the device ID, the resulting iteration number, and the
-	// sanitized request (safe to log: it only ever contains sanitized
-	// data). It runs under the server lock — keep it fast, e.g. hand off
-	// to a store.Journal.
-	OnCheckin func(deviceID string, iteration int, req *CheckinRequest)
+	// checkin with the request context, the device ID, the resulting
+	// iteration number, and the sanitized request (safe to log: it only
+	// ever contains sanitized data). It runs under the server lock — keep
+	// it fast, e.g. hand off to a store.Journal.
+	OnCheckin func(ctx context.Context, deviceID string, iteration int, req *CheckinRequest)
 }
 
 // DeviceStats are the server's per-device progress counters from
@@ -106,7 +107,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // RegisterDevice enrolls a device and returns its authentication token
 // (the Web-portal "join task" step of Section V-A). Registering an already
 // known device rotates its token.
-func (s *Server) RegisterDevice(deviceID string) (token string, err error) {
+func (s *Server) RegisterDevice(ctx context.Context, deviceID string) (token string, err error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
 		return "", fmt.Errorf("core: token generation: %w", err)
@@ -134,7 +138,10 @@ func (s *Server) authenticate(deviceID, token string) error {
 // Checkout implements Server Routine 1: authenticate and hand out the
 // current parameters. A stopped server still answers (with Done set) so
 // devices learn to stand down.
-func (s *Server) Checkout(deviceID, token string) (*CheckoutResponse, error) {
+func (s *Server) Checkout(ctx context.Context, deviceID, token string) (*CheckoutResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.authenticate(deviceID, token); err != nil {
@@ -149,7 +156,10 @@ func (s *Server) Checkout(deviceID, token string) (*CheckoutResponse, error) {
 
 // Checkin implements Server Routine 2: authenticate, accumulate the
 // device's counters, and apply the SGD update w ← w − η(t)·ĝ.
-func (s *Server) Checkin(deviceID, token string, req *CheckinRequest) error {
+func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *CheckinRequest) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.authenticate(deviceID, token); err != nil {
@@ -190,7 +200,7 @@ func (s *Server) Checkin(deviceID, token string, req *CheckinRequest) error {
 	s.t++
 	s.cfg.Updater.Update(s.w, g, s.t)
 	if s.cfg.OnCheckin != nil {
-		s.cfg.OnCheckin(deviceID, s.t, req)
+		s.cfg.OnCheckin(ctx, deviceID, s.t, req)
 	}
 	return nil
 }
@@ -225,6 +235,12 @@ func (s *Server) Stop() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stopped = true
+}
+
+// ModelShape returns the task's (classes, dim) parameter shape — what a
+// compatible device model must match.
+func (s *Server) ModelShape() (classes, dim int) {
+	return s.cfg.Model.Shape()
 }
 
 // Iteration returns the server iteration counter t.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -10,6 +11,9 @@ import (
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
 )
+
+// ctx is the background context shared by the package's tests.
+var ctx = context.Background()
 
 func newTestServer(t *testing.T, cfg ServerConfig) *Server {
 	t.Helper()
@@ -28,7 +32,7 @@ func newTestServer(t *testing.T, cfg ServerConfig) *Server {
 
 func register(t *testing.T, s *Server, id string) string {
 	t.Helper()
-	token, err := s.RegisterDevice(id)
+	token, err := s.RegisterDevice(context.Background(), id)
 	if err != nil {
 		t.Fatalf("RegisterDevice: %v", err)
 	}
@@ -64,17 +68,17 @@ func TestNewServerValidation(t *testing.T) {
 
 func TestAuthRequired(t *testing.T) {
 	s := newTestServer(t, ServerConfig{})
-	if _, err := s.Checkout("ghost", "nope"); !errors.Is(err, ErrAuth) {
+	if _, err := s.Checkout(ctx, "ghost", "nope"); !errors.Is(err, ErrAuth) {
 		t.Errorf("unregistered checkout error = %v, want ErrAuth", err)
 	}
 	token := register(t, s, "d1")
-	if _, err := s.Checkout("d1", "wrong"); !errors.Is(err, ErrAuth) {
+	if _, err := s.Checkout(ctx, "d1", "wrong"); !errors.Is(err, ErrAuth) {
 		t.Errorf("wrong-token checkout error = %v, want ErrAuth", err)
 	}
-	if _, err := s.Checkout("d1", token); err != nil {
+	if _, err := s.Checkout(ctx, "d1", token); err != nil {
 		t.Errorf("valid checkout failed: %v", err)
 	}
-	if err := s.Checkin("d1", "wrong", validCheckin(0)); !errors.Is(err, ErrAuth) {
+	if err := s.Checkin(ctx, "d1", "wrong", validCheckin(0)); !errors.Is(err, ErrAuth) {
 		t.Errorf("wrong-token checkin error = %v, want ErrAuth", err)
 	}
 }
@@ -86,10 +90,10 @@ func TestTokenRotation(t *testing.T) {
 	if old == renew {
 		t.Error("re-registration should rotate the token")
 	}
-	if _, err := s.Checkout("d1", old); !errors.Is(err, ErrAuth) {
+	if _, err := s.Checkout(ctx, "d1", old); !errors.Is(err, ErrAuth) {
 		t.Error("old token should be rejected after rotation")
 	}
-	if _, err := s.Checkout("d1", renew); err != nil {
+	if _, err := s.Checkout(ctx, "d1", renew); err != nil {
 		t.Errorf("new token rejected: %v", err)
 	}
 }
@@ -101,7 +105,7 @@ func TestCheckinAppliesUpdate(t *testing.T) {
 	token := register(t, s, "d1")
 	req := validCheckin(0)
 	req.Grad[0] = 2 // w[0] should move by -η·2 = -2
-	if err := s.Checkin("d1", token, req); err != nil {
+	if err := s.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatalf("Checkin: %v", err)
 	}
 	w := s.Params()
@@ -126,7 +130,7 @@ func TestCheckinValidation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := s.Checkin("d1", token, tt.req); !errors.Is(err, ErrBadCheckin) {
+			if err := s.Checkin(ctx, "d1", token, tt.req); !errors.Is(err, ErrBadCheckin) {
 				t.Errorf("error = %v, want ErrBadCheckin", err)
 			}
 		})
@@ -137,17 +141,17 @@ func TestStoppingTmax(t *testing.T) {
 	s := newTestServer(t, ServerConfig{Tmax: 2})
 	token := register(t, s, "d1")
 	for i := 0; i < 2; i++ {
-		if err := s.Checkin("d1", token, validCheckin(i)); err != nil {
+		if err := s.Checkin(ctx, "d1", token, validCheckin(i)); err != nil {
 			t.Fatalf("checkin %d: %v", i, err)
 		}
 	}
 	if !s.Stopped() {
 		t.Error("server should stop at Tmax")
 	}
-	if err := s.Checkin("d1", token, validCheckin(2)); !errors.Is(err, ErrStopped) {
+	if err := s.Checkin(ctx, "d1", token, validCheckin(2)); !errors.Is(err, ErrStopped) {
 		t.Errorf("post-stop checkin error = %v, want ErrStopped", err)
 	}
-	co, err := s.Checkout("d1", token)
+	co, err := s.Checkout(ctx, "d1", token)
 	if err != nil {
 		t.Fatalf("post-stop checkout should answer: %v", err)
 	}
@@ -166,7 +170,7 @@ func TestStoppingTargetError(t *testing.T) {
 		ErrCount:    0,
 		LabelCounts: []int{10, 0, 0},
 	}
-	if err := s.Checkin("d1", token, req); err != nil {
+	if err := s.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatalf("Checkin: %v", err)
 	}
 	if !s.Stopped() {
@@ -180,7 +184,7 @@ func TestStoppingRespectsMinSamples(t *testing.T) {
 	req := &CheckinRequest{
 		Grad: make([]float64, 6), NumSamples: 5, LabelCounts: []int{5, 0, 0},
 	}
-	if err := s.Checkin("d1", token, req); err != nil {
+	if err := s.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatalf("Checkin: %v", err)
 	}
 	if s.Stopped() {
@@ -201,7 +205,7 @@ func TestEstimates(t *testing.T) {
 		Grad: make([]float64, 6), NumSamples: 10, ErrCount: 3,
 		LabelCounts: []int{6, 3, 1},
 	}
-	if err := s.Checkin("d1", token, req); err != nil {
+	if err := s.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatalf("Checkin: %v", err)
 	}
 	est, ok := s.ErrEstimate()
@@ -221,10 +225,10 @@ func TestDeviceStatsTracking(t *testing.T) {
 		t.Error("unknown device should not have stats")
 	}
 	// First checkin with version 0 (no staleness), second stale by 1.
-	if err := s.Checkin("d1", token, validCheckin(0)); err != nil {
+	if err := s.Checkin(ctx, "d1", token, validCheckin(0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Checkin("d1", token, validCheckin(0)); err != nil {
+	if err := s.Checkin(ctx, "d1", token, validCheckin(0)); err != nil {
 		t.Fatal(err)
 	}
 	st, ok := s.DeviceStats("d1")
@@ -273,12 +277,12 @@ func TestConcurrentCheckins(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < perDevice; j++ {
-				co, err := s.Checkout(deviceName(i), tokens[i])
+				co, err := s.Checkout(ctx, deviceName(i), tokens[i])
 				if err != nil {
 					t.Errorf("checkout: %v", err)
 					return
 				}
-				if err := s.Checkin(deviceName(i), tokens[i], validCheckin(co.Version)); err != nil {
+				if err := s.Checkin(ctx, deviceName(i), tokens[i], validCheckin(co.Version)); err != nil {
 					t.Errorf("checkin: %v", err)
 					return
 				}
@@ -299,7 +303,7 @@ func TestStopAdministrative(t *testing.T) {
 	s := newTestServer(t, ServerConfig{})
 	token := register(t, s, "d1")
 	s.Stop()
-	if err := s.Checkin("d1", token, validCheckin(0)); !errors.Is(err, ErrStopped) {
+	if err := s.Checkin(ctx, "d1", token, validCheckin(0)); !errors.Is(err, ErrStopped) {
 		t.Errorf("checkin after Stop = %v, want ErrStopped", err)
 	}
 }
@@ -307,7 +311,7 @@ func TestStopAdministrative(t *testing.T) {
 func TestOnCheckinObserver(t *testing.T) {
 	var got []int
 	s := newTestServer(t, ServerConfig{
-		OnCheckin: func(id string, iter int, req *CheckinRequest) {
+		OnCheckin: func(_ context.Context, id string, iter int, req *CheckinRequest) {
 			if id != "d1" {
 				t.Errorf("observer saw device %q", id)
 			}
@@ -319,7 +323,7 @@ func TestOnCheckinObserver(t *testing.T) {
 	})
 	token := register(t, s, "d1")
 	for i := 0; i < 3; i++ {
-		if err := s.Checkin("d1", token, validCheckin(i)); err != nil {
+		if err := s.Checkin(ctx, "d1", token, validCheckin(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -331,11 +335,11 @@ func TestOnCheckinObserver(t *testing.T) {
 func TestOnCheckinNotCalledOnRejection(t *testing.T) {
 	calls := 0
 	s := newTestServer(t, ServerConfig{
-		OnCheckin: func(string, int, *CheckinRequest) { calls++ },
+		OnCheckin: func(context.Context, string, int, *CheckinRequest) { calls++ },
 	})
 	token := register(t, s, "d1")
 	bad := &CheckinRequest{Grad: []float64{1}, LabelCounts: []int{0, 0, 0}}
-	if err := s.Checkin("d1", token, bad); err == nil {
+	if err := s.Checkin(ctx, "d1", token, bad); err == nil {
 		t.Fatal("expected rejection")
 	}
 	if calls != 0 {

@@ -17,7 +17,7 @@ func populatedServer(t *testing.T) (*Server, string) {
 		ErrCount:    2,
 		LabelCounts: []int{2, 1, 1},
 	}
-	if err := s.Checkin("d1", token, req); err != nil {
+	if err := s.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatal(err)
 	}
 	return s, token
@@ -55,11 +55,11 @@ func TestImportStateRequiresReauth(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tokens are not persisted: the device must re-register.
-	if _, err := dst.Checkout("d1", "old-token"); err == nil {
+	if _, err := dst.Checkout(ctx, "d1", "old-token"); err == nil {
 		t.Error("restored server must not accept unprovisioned credentials")
 	}
 	tok := register(t, dst, "d1")
-	if _, err := dst.Checkout("d1", tok); err != nil {
+	if _, err := dst.Checkout(ctx, "d1", tok); err != nil {
 		t.Errorf("re-registered device rejected: %v", err)
 	}
 }
@@ -69,7 +69,7 @@ func TestExportStateIsSnapshot(t *testing.T) {
 	st := src.ExportState()
 	before := append([]float64(nil), st.Params...)
 	// Mutate the server after the export.
-	if err := src.Checkin("d1", token, validCheckin(1)); err != nil {
+	if err := src.Checkin(ctx, "d1", token, validCheckin(1)); err != nil {
 		t.Fatal(err)
 	}
 	if !linalg.Equal(st.Params, before, 0) {

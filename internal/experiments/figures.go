@@ -74,8 +74,9 @@ func runFig3Trial(rate float64, devices, totalSamples int, seed uint64) (metrics
 	}
 	gens := make([]*activity.Generator, devices)
 	devs := make([]*core.Device, devices)
+	ctx := context.Background()
 	for i := range devs {
-		token, err := srv.RegisterDevice(fmt.Sprintf("phone-%d", i))
+		token, err := srv.RegisterDevice(ctx, fmt.Sprintf("phone-%d", i))
 		if err != nil {
 			return metrics.Series{}, err
 		}
@@ -93,7 +94,6 @@ func runFig3Trial(rate float64, devices, totalSamples int, seed uint64) (metrics
 		}
 	}
 	curve := metrics.Series{Name: fmt.Sprintf("c=%g", rate)}
-	ctx := context.Background()
 	for n := 1; n <= totalSamples; n++ {
 		dev := (n - 1) % devices // devices sample at equal rates
 		s, err := gens[dev].Next()
@@ -115,12 +115,12 @@ func runFig3Trial(rate float64, devices, totalSamples int, seed uint64) (metrics
 // to transport.Loopback.
 type serverLoopback struct{ s *core.Server }
 
-func (t serverLoopback) Checkout(_ context.Context, id, token string) (*core.CheckoutResponse, error) {
-	return t.s.Checkout(id, token)
+func (t serverLoopback) Checkout(ctx context.Context, id, token string) (*core.CheckoutResponse, error) {
+	return t.s.Checkout(ctx, id, token)
 }
 
-func (t serverLoopback) Checkin(_ context.Context, id, token string, req *core.CheckinRequest) error {
-	return t.s.Checkin(id, token, req)
+func (t serverLoopback) Checkin(ctx context.Context, id, token string, req *core.CheckinRequest) error {
+	return t.s.Checkin(ctx, id, token, req)
 }
 
 // comparisonNoPrivacy implements Figs. 4 and 7: centralized batch vs

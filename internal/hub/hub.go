@@ -1,0 +1,338 @@
+// Package hub hosts many named Crowd-ML learning tasks inside one server
+// process. The paper's Web portal (Section V-A) assumes a portal listing
+// multiple crowd-learning tasks that devices can browse and join; Hub is
+// the server-side registry backing that design: each task is an
+// independent core.Server (Algorithm 2 instance) addressed by a stable
+// task ID, and the HTTP layer routes /v1/tasks/{id}/... requests to it.
+//
+// The registry is sharded: task IDs hash onto a fixed set of
+// independently locked shards, so concurrent checkins to different tasks
+// never contend on one registry mutex. (Per-task learning updates still
+// serialize on that task's own server lock, which is the paper's intended
+// minimal-server-load design.)
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/privacy"
+)
+
+// NumShards is the number of independently locked registry shards.
+const NumShards = 16
+
+// maxTombstonesPerShard bounds the per-shard memory spent remembering
+// closed task IDs (see Hub.Closed).
+const maxTombstonesPerShard = 1024
+
+var (
+	// ErrTaskExists is returned by CreateTask for a duplicate task ID.
+	ErrTaskExists = errors.New("crowdml: task already exists")
+
+	// ErrTaskNotFound is returned when a task ID resolves to nothing —
+	// it was never created, or it has been closed.
+	ErrTaskNotFound = errors.New("crowdml: task not found")
+
+	// ErrBadTaskID is returned for task IDs that are empty, too long, or
+	// contain characters outside [A-Za-z0-9._-] (task IDs appear in URL
+	// paths and on-disk state directories).
+	ErrBadTaskID = errors.New("crowdml: invalid task id")
+)
+
+// TaskInfo describes a crowd-learning task to prospective participants —
+// the transparency details the paper's portal lists: objective, sensory
+// data collected, labels collected, learning algorithm, and the privacy
+// budget each contribution spends.
+type TaskInfo struct {
+	// Name is the task's display name.
+	Name string
+	// Objective explains what is being learned and why.
+	Objective string
+	// SensorData describes what raw data devices process locally.
+	SensorData string
+	// Labels names the target classes.
+	Labels []string
+	// Algorithm describes the learner (e.g. "multiclass logistic
+	// regression via private distributed SGD").
+	Algorithm string
+	// Budget is the per-checkin privacy budget, displayed with its
+	// composed total so participants can judge the privacy level.
+	Budget privacy.Budget
+}
+
+// Task is one hosted learning task: a core.Server plus its portal
+// metadata. Tasks are created with Hub.CreateTask and remain valid (but
+// stopped) after Hub.CloseTask removes them from the registry.
+type Task struct {
+	id     string
+	server *core.Server
+	info   TaskInfo
+}
+
+// ID returns the task's registry key.
+func (t *Task) ID() string { return t.id }
+
+// Server returns the task's underlying Crowd-ML server.
+func (t *Task) Server() *core.Server { return t.server }
+
+// Info returns the task's portal metadata.
+func (t *Task) Info() TaskInfo { return t.info }
+
+// TaskOption customizes CreateTask.
+type TaskOption func(*createOptions)
+
+type createOptions struct {
+	info      TaskInfo
+	asDefault bool
+}
+
+// WithInfo attaches portal metadata to the task. When the info has no
+// Name, the task ID is used.
+func WithInfo(info TaskInfo) TaskOption {
+	return func(o *createOptions) { o.info = info }
+}
+
+// AsDefault makes the new task the hub's default task — the one the
+// legacy single-task /v1/* endpoints are aliased to. Without this
+// option, a created task only becomes the default when the hub has none
+// (it is the first task, or the previous default was closed).
+func AsDefault() TaskOption {
+	return func(o *createOptions) { o.asDefault = true }
+}
+
+// shard is one independently locked slice of the registry.
+type shard struct {
+	mu     sync.RWMutex
+	tasks  map[string]*Task
+	closed map[string]struct{} // tombstones for CloseTask'd IDs
+}
+
+// Hub is a sharded registry of named learning tasks. It is safe for
+// concurrent use; operations on different tasks proceed without shared
+// lock contention.
+type Hub struct {
+	shards [NumShards]shard
+
+	defaultMu sync.RWMutex
+	defaultID string
+	// defaultClosed records that the default slot is empty because its
+	// task was closed (vs never assigned), so the legacy endpoints can
+	// tell devices to stand down (409) rather than 404.
+	defaultClosed bool
+}
+
+// New returns an empty hub.
+func New() *Hub {
+	h := &Hub{}
+	for i := range h.shards {
+		h.shards[i].tasks = make(map[string]*Task)
+		h.shards[i].closed = make(map[string]struct{})
+	}
+	return h
+}
+
+// shardFor picks the shard owning a task ID (FNV-1a).
+func (h *Hub) shardFor(taskID string) *shard {
+	f := fnv.New32a()
+	f.Write([]byte(taskID))
+	return &h.shards[f.Sum32()%NumShards]
+}
+
+// ValidTaskID reports whether id is usable as a task ID: non-empty, at
+// most 128 bytes, charset [A-Za-z0-9._-], and not a filesystem dot path
+// (task IDs appear in URL paths and on-disk state directories).
+func ValidTaskID(id string) bool {
+	if id == "" || len(id) > 128 || id == "." || id == ".." {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CreateTask constructs a core.Server from cfg and registers it under
+// taskID. Whenever the hub has no default task — it is empty, or the
+// previous default was closed — the created task becomes the default
+// (see AsDefault). Re-using the ID of a previously closed task clears
+// that task's tombstone. It fails with ErrTaskExists for duplicate IDs
+// and ErrBadTaskID for IDs unusable in URLs.
+func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConfig, opts ...TaskOption) (*Task, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !ValidTaskID(taskID) {
+		return nil, fmt.Errorf("%q: %w", taskID, ErrBadTaskID)
+	}
+	var o createOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.info.Name == "" {
+		o.info.Name = taskID
+	}
+	server, err := core.NewServer(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("task %q: %w", taskID, err)
+	}
+	task := &Task{id: taskID, server: server, info: o.info}
+
+	sh := h.shardFor(taskID)
+	sh.mu.Lock()
+	if _, ok := sh.tasks[taskID]; ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%q: %w", taskID, ErrTaskExists)
+	}
+	sh.tasks[taskID] = task
+	delete(sh.closed, taskID)
+	sh.mu.Unlock()
+
+	h.defaultMu.Lock()
+	if h.defaultID == "" || o.asDefault {
+		h.defaultID = taskID
+		h.defaultClosed = false
+	}
+	h.defaultMu.Unlock()
+	// A concurrent CloseTask may have removed the task between the shard
+	// insert and the default election above; don't leave the default
+	// pointing at a task that no longer resolves.
+	if _, ok := h.Task(taskID); !ok {
+		h.defaultMu.Lock()
+		if h.defaultID == taskID {
+			h.defaultID = ""
+		}
+		h.defaultMu.Unlock()
+	}
+	return task, nil
+}
+
+// Task looks up a task by ID.
+func (h *Hub) Task(taskID string) (*Task, bool) {
+	sh := h.shardFor(taskID)
+	sh.mu.RLock()
+	t, ok := sh.tasks[taskID]
+	sh.mu.RUnlock()
+	return t, ok
+}
+
+// DefaultTask returns the task the legacy single-task endpoints are bound
+// to, or false when the hub is empty (or the default has been closed).
+func (h *Hub) DefaultTask() (*Task, bool) {
+	h.defaultMu.RLock()
+	id := h.defaultID
+	h.defaultMu.RUnlock()
+	if id == "" {
+		return nil, false
+	}
+	return h.Task(id)
+}
+
+// SetDefaultTask rebinds the legacy endpoints to an existing task.
+func (h *Hub) SetDefaultTask(taskID string) error {
+	if _, ok := h.Task(taskID); !ok {
+		return fmt.Errorf("%q: %w", taskID, ErrTaskNotFound)
+	}
+	h.defaultMu.Lock()
+	h.defaultID = taskID
+	h.defaultClosed = false
+	h.defaultMu.Unlock()
+	return nil
+}
+
+// DefaultClosed reports that the hub currently has no default task
+// because the previous default was closed (rather than never set).
+func (h *Hub) DefaultClosed() bool {
+	h.defaultMu.RLock()
+	defer h.defaultMu.RUnlock()
+	return h.defaultID == "" && h.defaultClosed
+}
+
+// CloseTask stops the task's server (administrative shutdown, so devices
+// checking out learn to stand down if they still hold the pointer) and
+// removes it from the registry, leaving a tombstone so the HTTP layer
+// can tell remote devices the task has stopped (409) rather than that
+// it never existed (404). Closing the default task leaves the hub with
+// no default until SetDefaultTask or the next CreateTask.
+func (h *Hub) CloseTask(ctx context.Context, taskID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := h.shardFor(taskID)
+	sh.mu.Lock()
+	t, ok := sh.tasks[taskID]
+	if ok {
+		delete(sh.tasks, taskID)
+		if len(sh.closed) >= maxTombstonesPerShard {
+			// Bound tombstone memory under task churn by evicting an
+			// arbitrary old entry; devices of a task evicted here fall
+			// back to 404 instead of 409, which still fails their run.
+			for old := range sh.closed {
+				delete(sh.closed, old)
+				break
+			}
+		}
+		sh.closed[taskID] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%q: %w", taskID, ErrTaskNotFound)
+	}
+	t.server.Stop()
+	h.defaultMu.Lock()
+	if h.defaultID == taskID {
+		h.defaultID = ""
+		h.defaultClosed = true
+	}
+	h.defaultMu.Unlock()
+	return nil
+}
+
+// Closed reports whether the task ID was hosted here and has been
+// closed (and not re-created since). Tombstones are bounded per shard,
+// so under heavy task churn the oldest closures may be forgotten.
+func (h *Hub) Closed(taskID string) bool {
+	sh := h.shardFor(taskID)
+	sh.mu.RLock()
+	_, ok := sh.closed[taskID]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Tasks returns every hosted task, sorted by ID (a stable order for the
+// portal listing and the /v1/tasks endpoint).
+func (h *Hub) Tasks() []*Task {
+	var out []*Task
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.tasks {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Len reports the number of hosted tasks.
+func (h *Hub) Len() int {
+	n := 0
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		n += len(sh.tasks)
+		sh.mu.RUnlock()
+	}
+	return n
+}

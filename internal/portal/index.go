@@ -1,0 +1,140 @@
+package portal
+
+import (
+	"html/template"
+	"net/http"
+	"sync"
+
+	"github.com/crowdml/crowdml/internal/hub"
+)
+
+// Index is the multi-task Web portal of the paper's Section V-A: the
+// front page lists every crowd-learning task hosted on the hub so
+// prospective participants can browse and pick one; each task links to
+// its full transparency page (objective, collected data, algorithm,
+// privacy budget, live DP statistics).
+//
+// Routes (relative to wherever the Index is mounted):
+//
+//	GET /              — task listing
+//	GET /tasks/{task}  — one task's detail page
+type Index struct {
+	hub *hub.Hub
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	pages map[string]*Portal // lazily created per-task detail pages
+}
+
+var _ http.Handler = (*Index)(nil)
+
+// NewIndex builds the portal index for a hub.
+func NewIndex(h *hub.Hub) *Index {
+	idx := &Index{hub: h, mux: http.NewServeMux(), pages: make(map[string]*Portal)}
+	idx.mux.HandleFunc("GET /{$}", idx.handleIndex)
+	idx.mux.HandleFunc("GET /tasks/{task}", idx.handleTask)
+	return idx
+}
+
+// ServeHTTP implements http.Handler.
+func (i *Index) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	i.mux.ServeHTTP(w, r)
+}
+
+// indexRow is one task entry in the listing's view model.
+type indexRow struct {
+	ID            string
+	Name          string
+	Algorithm     string
+	Iteration     int
+	Stopped       bool
+	HasEstimate   bool
+	ErrorEstimate float64
+}
+
+func (i *Index) handleIndex(w http.ResponseWriter, r *http.Request) {
+	tasks := i.hub.Tasks()
+	// Prune detail pages for tasks that have been closed, so task churn
+	// does not grow the page cache without bound.
+	live := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		live[t.ID()] = true
+	}
+	i.mu.Lock()
+	for id := range i.pages {
+		if !live[id] {
+			delete(i.pages, id)
+		}
+	}
+	i.mu.Unlock()
+
+	var rows []indexRow
+	for _, t := range tasks {
+		row := indexRow{
+			ID:        t.ID(),
+			Name:      t.Info().Name,
+			Algorithm: t.Info().Algorithm,
+			Iteration: t.Server().Iteration(),
+			Stopped:   t.Server().Stopped(),
+		}
+		if est, ok := t.Server().ErrEstimate(); ok {
+			row.HasEstimate = true
+			row.ErrorEstimate = est
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, rows); err != nil {
+		return
+	}
+}
+
+func (i *Index) handleTask(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("task")
+	t, ok := i.hub.Task(id)
+	if !ok {
+		i.mu.Lock()
+		delete(i.pages, id) // the task may have been closed
+		i.mu.Unlock()
+		http.Error(w, "task not found", http.StatusNotFound)
+		return
+	}
+	i.mu.Lock()
+	page, ok := i.pages[id]
+	if !ok || page.server != t.Server() {
+		page = New(t.Server(), t.Info())
+		i.pages[id] = page
+	}
+	i.mu.Unlock()
+	page.ServeHTTP(w, r)
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html>
+<head><title>Crowd-ML tasks</title>
+<style>
+ body { font-family: sans-serif; max-width: 48rem; margin: 2rem auto; }
+ table { border-collapse: collapse; width: 100%; }
+ td, th { text-align: left; padding: .3rem .8rem .3rem 0; border-bottom: 1px solid #ddd; }
+ .muted { color: #666; }
+</style>
+</head>
+<body>
+<h1>Crowd-ML learning tasks</h1>
+{{if .}}
+<table>
+<tr><th>Task</th><th>Algorithm</th><th>Iteration</th><th>Error est.</th><th>Status</th></tr>
+{{range .}}<tr>
+ <td><a href="tasks/{{.ID}}">{{.Name}}</a></td>
+ <td>{{.Algorithm}}</td>
+ <td>{{.Iteration}}</td>
+ <td>{{if .HasEstimate}}{{printf "%.3f" .ErrorEstimate}}{{else}}–{{end}}</td>
+ <td>{{if .Stopped}}completed{{else}}recruiting{{end}}</td>
+</tr>
+{{end}}</table>
+{{else}}
+<p class="muted">No tasks are currently hosted.</p>
+{{end}}
+</body>
+</html>
+`))

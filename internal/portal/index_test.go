@@ -1,0 +1,116 @@
+package portal
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+)
+
+func newTestHub(t *testing.T) *hub.Hub {
+	t.Helper()
+	h := hub.New()
+	ctx := context.Background()
+	for _, id := range []string{"activity", "thermostat"} {
+		_, err := h.CreateTask(ctx, id, core.ServerConfig{
+			Model:   model.NewLogisticRegression(2, 2),
+			Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+		}, hub.WithInfo(hub.TaskInfo{
+			Name:      "Task " + id,
+			Objective: "objective of " + id,
+			Labels:    []string{"a", "b"},
+			Algorithm: "logreg on " + id,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexListsAllTasks(t *testing.T) {
+	h := newTestHub(t)
+	ts := httptest.NewServer(NewIndex(h))
+	defer ts.Close()
+	code, page := get(t, ts, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"Task activity", "Task thermostat",
+		`href="tasks/activity"`, `href="tasks/thermostat"`,
+		"recruiting",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexEmptyHub(t *testing.T) {
+	ts := httptest.NewServer(NewIndex(hub.New()))
+	defer ts.Close()
+	code, page := get(t, ts, "/")
+	if code != http.StatusOK || !strings.Contains(page, "No tasks") {
+		t.Errorf("empty hub index: status %d, page %q", code, page)
+	}
+}
+
+func TestIndexTaskDetailPage(t *testing.T) {
+	h := newTestHub(t)
+	ts := httptest.NewServer(NewIndex(h))
+	defer ts.Close()
+	code, page := get(t, ts, "/tasks/activity")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"Task activity", "objective of activity", "logreg on activity"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("detail page missing %q", want)
+		}
+	}
+	if code, _ := get(t, ts, "/tasks/ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown task status = %d, want 404", code)
+	}
+}
+
+func TestIndexDetailDropsClosedTasks(t *testing.T) {
+	h := newTestHub(t)
+	ts := httptest.NewServer(NewIndex(h))
+	defer ts.Close()
+	if code, _ := get(t, ts, "/tasks/activity"); code != http.StatusOK {
+		t.Fatal("warm-up fetch failed")
+	}
+	if err := h.CloseTask(context.Background(), "activity"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, ts, "/tasks/activity"); code != http.StatusNotFound {
+		t.Errorf("closed task detail status = %d, want 404", code)
+	}
+	// The listing no longer shows it either.
+	_, page := get(t, ts, "/")
+	if strings.Contains(page, "Task activity") {
+		t.Error("closed task still listed")
+	}
+}

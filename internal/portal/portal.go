@@ -16,28 +16,14 @@ import (
 	"sync"
 
 	"github.com/crowdml/crowdml/internal/core"
-	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/hub"
 )
 
 // TaskInfo describes the crowd-learning task to prospective participants —
 // the transparency details the paper lists: objective, sensory data
-// collected, labels collected, and learning algorithm used.
-type TaskInfo struct {
-	// Name is the task's display name.
-	Name string
-	// Objective explains what is being learned and why.
-	Objective string
-	// SensorData describes what raw data devices process locally.
-	SensorData string
-	// Labels names the target classes.
-	Labels []string
-	// Algorithm describes the learner (e.g. "multiclass logistic
-	// regression via private distributed SGD").
-	Algorithm string
-	// Budget is the per-checkin privacy budget, displayed with its
-	// composed total so participants can judge the privacy level.
-	Budget privacy.Budget
-}
+// collected, labels collected, and learning algorithm used. It is the
+// hub's task metadata type; tasks hosted on a hub carry it directly.
+type TaskInfo = hub.TaskInfo
 
 // historyPoint is one observed (iteration, error-estimate) pair.
 type historyPoint struct {

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -89,12 +90,13 @@ func TestPortalPrivacyOffNotice(t *testing.T) {
 
 func TestPortalShowsStatsAfterCheckins(t *testing.T) {
 	srv, p := testSetup(t, privacy.Budget{Gradient: 1})
-	token, _ := srv.RegisterDevice("d1")
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
 	req := &core.CheckinRequest{
 		Grad: make([]float64, 12), NumSamples: 10, ErrCount: 3,
 		LabelCounts: []int{5, 3, 2},
 	}
-	if err := srv.Checkin("d1", token, req); err != nil {
+	if err := srv.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatal(err)
 	}
 	page := fetch(t, p)
@@ -111,13 +113,14 @@ func TestPortalShowsStatsAfterCheckins(t *testing.T) {
 
 func TestPortalHistoryAccumulates(t *testing.T) {
 	srv, p := testSetup(t, privacy.Budget{Gradient: 1})
-	token, _ := srv.RegisterDevice("d1")
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
 	for i := 0; i < 3; i++ {
 		req := &core.CheckinRequest{
 			Grad: make([]float64, 12), NumSamples: 10, ErrCount: 3 - i,
 			LabelCounts: []int{5, 3, 2},
 		}
-		if err := srv.Checkin("d1", token, req); err != nil {
+		if err := srv.Checkin(ctx, "d1", token, req); err != nil {
 			t.Fatal(err)
 		}
 		fetch(t, p)

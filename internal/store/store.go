@@ -15,12 +15,14 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
@@ -58,7 +60,10 @@ func (f *FileStore) checkpointPath() string {
 }
 
 // Save atomically writes a checkpoint of the given state.
-func (f *FileStore) Save(state *core.ServerState, now time.Time) error {
+func (f *FileStore) Save(ctx context.Context, state *core.ServerState, now time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if state == nil {
 		return errors.New("store: nil state")
 	}
@@ -92,7 +97,10 @@ func (f *FileStore) Save(state *core.ServerState, now time.Time) error {
 
 // Load reads the most recent checkpoint. It returns ErrNoCheckpoint when
 // none has been saved.
-func (f *FileStore) Load() (*Checkpoint, error) {
+func (f *FileStore) Load(ctx context.Context) (*Checkpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	payload, err := os.ReadFile(f.checkpointPath())
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, ErrNoCheckpoint
@@ -124,15 +132,20 @@ type JournalEntry struct {
 	GradNorm1    float64 `json:"gradNorm1"`
 }
 
-// Journal is an append-only JSONL log of checkins.
+// Journal is an append-only JSONL log of checkins. It is safe for
+// concurrent use; a shutdown-path Close can race in-flight Appends.
 type Journal struct {
+	mu   sync.Mutex
 	file *os.File
 	w    *bufio.Writer
 }
 
 // OpenJournal opens (creating if needed) the journal file inside the
 // store directory for appending.
-func (f *FileStore) OpenJournal() (*Journal, error) {
+func (f *FileStore) OpenJournal(ctx context.Context) (*Journal, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	file, err := os.OpenFile(filepath.Join(f.dir, "checkins.jsonl"),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -145,11 +158,16 @@ func (f *FileStore) OpenJournal() (*Journal, error) {
 // loses at most the entry being written. Checkin volume is low (one line
 // per minibatch crowd-wide), so per-entry flushing costs nothing
 // noticeable.
-func (j *Journal) Append(e JournalEntry) error {
+func (j *Journal) Append(ctx context.Context, e JournalEntry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	payload, err := json.Marshal(&e)
 	if err != nil {
 		return fmt.Errorf("store: encode journal entry: %w", err)
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if _, err := j.w.Write(payload); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
@@ -164,6 +182,8 @@ func (j *Journal) Append(e JournalEntry) error {
 
 // Close flushes and closes the journal.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if err := j.w.Flush(); err != nil {
 		j.file.Close()
 		return fmt.Errorf("store: flush journal: %w", err)
@@ -173,7 +193,10 @@ func (j *Journal) Close() error {
 
 // ReadJournal loads every entry from the journal file (for audits and
 // tests). A missing journal yields an empty slice.
-func (f *FileStore) ReadJournal() ([]JournalEntry, error) {
+func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	file, err := os.Open(filepath.Join(f.dir, "checkins.jsonl"))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil

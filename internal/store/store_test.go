@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,6 +12,33 @@ import (
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
 )
+
+// ctx is the background context shared by the package's tests.
+var ctx = context.Background()
+
+// TestJournalConcurrentAppendClose exercises the shutdown race: Close
+// must serialize with in-flight Appends (run with -race).
+func TestJournalConcurrentAppendClose(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			// Errors are expected once Close wins the race; the point is
+			// that the race detector stays quiet.
+			_ = j.Append(ctx, JournalEntry{DeviceID: "d", Iteration: i})
+		}
+	}()
+	j.Close()
+	<-done
+}
 
 func newServer(t *testing.T) *core.Server {
 	t.Helper()
@@ -30,20 +58,20 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
+	token, _ := srv.RegisterDevice(ctx, "d1")
 	req := &core.CheckinRequest{
 		Grad: []float64{1, 2, 3, 4, 5, 6}, NumSamples: 3, ErrCount: 1,
 		LabelCounts: []int{1, 1, 1},
 	}
-	if err := srv.Checkin("d1", token, req); err != nil {
+	if err := srv.Checkin(ctx, "d1", token, req); err != nil {
 		t.Fatal(err)
 	}
 
 	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
-	if err := fs.Save(srv.ExportState(), now); err != nil {
+	if err := fs.Save(ctx, srv.ExportState(), now); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	cp, err := fs.Load()
+	cp, err := fs.Load(ctx)
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -69,7 +97,7 @@ func TestLoadWithoutCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Load(); !errors.Is(err, ErrNoCheckpoint) {
+	if _, err := fs.Load(ctx); !errors.Is(err, ErrNoCheckpoint) {
 		t.Errorf("error = %v, want ErrNoCheckpoint", err)
 	}
 }
@@ -79,7 +107,7 @@ func TestSaveNilState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Save(nil, time.Now()); err == nil {
+	if err := fs.Save(ctx, nil, time.Now()); err == nil {
 		t.Error("nil state should be rejected")
 	}
 }
@@ -91,7 +119,7 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	}
 	srv := newServer(t)
 	for i := 0; i < 3; i++ {
-		if err := fs.Save(srv.ExportState(), time.Now()); err != nil {
+		if err := fs.Save(ctx, srv.ExportState(), time.Now()); err != nil {
 			t.Fatalf("save %d: %v", i, err)
 		}
 	}
@@ -105,7 +133,7 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 			t.Errorf("leftover temp file %s", e.Name())
 		}
 	}
-	if _, err := fs.Load(); err != nil {
+	if _, err := fs.Load(ctx); err != nil {
 		t.Errorf("Load after overwrites: %v", err)
 	}
 }
@@ -119,7 +147,7 @@ func TestLoadCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Load(); err == nil {
+	if _, err := fs.Load(ctx); err == nil {
 		t.Error("corrupt checkpoint should fail to load")
 	}
 }
@@ -129,12 +157,12 @@ func TestJournalAppendAndRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := fs.OpenJournal()
+	j, err := fs.OpenJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		err := j.Append(JournalEntry{
+		err := j.Append(ctx, JournalEntry{
 			AtUnixMillis: int64(1000 + i),
 			DeviceID:     "d1",
 			Iteration:    i + 1,
@@ -149,7 +177,7 @@ func TestJournalAppendAndRead(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal()
+	entries, err := fs.ReadJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,18 +195,18 @@ func TestJournalAppendAcrossReopens(t *testing.T) {
 		t.Fatal(err)
 	}
 	for session := 0; session < 2; session++ {
-		j, err := fs.OpenJournal()
+		j, err := fs.OpenJournal(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := j.Append(JournalEntry{Iteration: session}); err != nil {
+		if err := j.Append(ctx, JournalEntry{Iteration: session}); err != nil {
 			t.Fatal(err)
 		}
 		if err := j.Close(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	entries, err := fs.ReadJournal()
+	entries, err := fs.ReadJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +220,7 @@ func TestReadJournalMissingFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal()
+	entries, err := fs.ReadJournal(ctx)
 	if err != nil || entries != nil {
 		t.Errorf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
 	}
@@ -207,7 +235,7 @@ func TestReadJournalCorruptLine(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "checkins.jsonl"), []byte("{bad\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.ReadJournal(); err == nil {
+	if _, err := fs.ReadJournal(ctx); err == nil {
 		t.Error("corrupt journal line should error")
 	}
 }
@@ -233,7 +261,7 @@ func TestSaveFailsWhenDirRemoved(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := newServer(t)
-	if err := fs.Save(srv.ExportState(), time.Now()); err == nil {
+	if err := fs.Save(ctx, srv.ExportState(), time.Now()); err == nil {
 		t.Error("expected error saving into a removed directory")
 	}
 }
@@ -247,7 +275,7 @@ func TestOpenJournalFailsWhenDirRemoved(t *testing.T) {
 	if err := os.RemoveAll(fs.Dir()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.OpenJournal(); err == nil {
+	if _, err := fs.OpenJournal(ctx); err == nil {
 		t.Error("expected error opening journal in removed directory")
 	}
 }
@@ -262,7 +290,7 @@ func TestLoadCheckpointMissingState(t *testing.T) {
 		[]byte(`{"savedAtUnixMillis": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Load(); err == nil {
+	if _, err := fs.Load(ctx); err == nil {
 		t.Error("checkpoint without state should fail to load")
 	}
 }
@@ -272,15 +300,15 @@ func TestJournalEntriesDurableWithoutClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := fs.OpenJournal()
+	j, err := fs.OpenJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Do NOT close: entries must already be on disk (crash durability).
-	if err := j.Append(JournalEntry{Iteration: 1}); err != nil {
+	if err := j.Append(ctx, JournalEntry{Iteration: 1}); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal()
+	entries, err := fs.ReadJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

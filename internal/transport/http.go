@@ -8,13 +8,20 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
 )
 
-// HTTP endpoint paths served by Handler and used by HTTPClient.
+// HTTP endpoint paths served by Handler and used by HTTPClient. The
+// task-scoped forms live under PathTasks ("/v1/tasks/{task}/checkout",
+// …); the legacy single-task paths are aliases bound to the hub's
+// default task.
 const (
+	PathTasks    = "/v1/tasks"
 	PathCheckout = "/v1/checkout"
 	PathCheckin  = "/v1/checkin"
 	PathStats    = "/v1/stats"
@@ -23,32 +30,67 @@ const (
 	headerToken    = "X-Crowdml-Token"
 )
 
-// statsResponse is the public progress view served at PathStats — the
-// differentially private statistics the paper's Web portal displays
-// (error rates and label distributions, Section V-A).
+// taskPath builds a task-scoped endpoint path, e.g.
+// taskPath("activity", "checkout") → "/v1/tasks/activity/checkout".
+func taskPath(taskID, endpoint string) string {
+	return PathTasks + "/" + url.PathEscape(taskID) + "/" + endpoint
+}
+
+// statsResponse is the public progress view served at the stats
+// endpoints — the differentially private statistics the paper's Web
+// portal displays (error rates and label distributions, Section V-A).
 type statsResponse struct {
+	TaskID        string    `json:"taskId"`
 	Iteration     int       `json:"iteration"`
 	Stopped       bool      `json:"stopped"`
 	ErrorEstimate *float64  `json:"errorEstimate,omitempty"`
 	PriorEstimate []float64 `json:"priorEstimate,omitempty"`
 }
 
-// Handler adapts a core.Server to net/http. Register it on any mux; all
-// endpoints speak JSON.
+// TaskSummary is one row of the GET /v1/tasks listing — the programmatic
+// equivalent of the paper's portal task index.
+type TaskSummary struct {
+	ID            string   `json:"id"`
+	Name          string   `json:"name"`
+	Algorithm     string   `json:"algorithm,omitempty"`
+	Labels        []string `json:"labels,omitempty"`
+	Classes       int      `json:"classes"`
+	Dim           int      `json:"dim"`
+	Iteration     int      `json:"iteration"`
+	Stopped       bool     `json:"stopped"`
+	ErrorEstimate *float64 `json:"errorEstimate,omitempty"`
+	Default       bool     `json:"default,omitempty"`
+}
+
+// errorResponse is the JSON error body every endpoint emits via
+// writeError.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler adapts a hub.Hub to net/http: task-scoped device-protocol
+// routes under /v1/tasks/{task}/, a /v1/tasks listing, and the legacy
+// single-task /v1/* aliases bound to the hub's default task. All
+// endpoints speak JSON; method mismatches get 405 with an Allow header
+// (via net/http's method-aware patterns).
 type Handler struct {
-	server *core.Server
-	mux    *http.ServeMux
+	hub *hub.Hub
+	mux *http.ServeMux
 }
 
 var _ http.Handler = (*Handler)(nil)
 
-// NewHandler wraps a server in an http.Handler.
-func NewHandler(s *core.Server) *Handler {
-	h := &Handler{server: s, mux: http.NewServeMux()}
-	h.mux.HandleFunc(PathCheckout, h.handleCheckout)
-	h.mux.HandleFunc(PathCheckin, h.handleCheckin)
-	h.mux.HandleFunc(PathStats, h.handleStats)
-	return h
+// NewHandler wraps a hub in an http.Handler.
+func NewHandler(h *hub.Hub) *Handler {
+	hd := &Handler{hub: h, mux: http.NewServeMux()}
+	hd.mux.HandleFunc("GET "+PathTasks, hd.handleListTasks)
+	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/checkout", hd.handleCheckout)
+	hd.mux.HandleFunc("POST "+PathTasks+"/{task}/checkin", hd.handleCheckin)
+	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/stats", hd.handleStats)
+	hd.mux.HandleFunc("GET "+PathCheckout, hd.handleCheckout)
+	hd.mux.HandleFunc("POST "+PathCheckin, hd.handleCheckin)
+	hd.mux.HandleFunc("GET "+PathStats, hd.handleStats)
+	return hd
 }
 
 // ServeHTTP implements http.Handler.
@@ -56,12 +98,73 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// task resolves the request's target task: the {task} path segment when
+// present, the hub's default task on the legacy alias paths. A failed
+// resolution writes the response itself and returns ok=false: 409 (the
+// stopped-task status) for a task that existed and was closed — so
+// remote devices stand down instead of retrying a 404 forever — and 404
+// for a task that never existed.
+func (h *Handler) task(w http.ResponseWriter, r *http.Request) (*hub.Task, bool) {
+	id := r.PathValue("task")
+	var (
+		t  *hub.Task
+		ok bool
+	)
+	if id == "" {
+		if t, ok = h.hub.DefaultTask(); !ok {
+			if h.hub.DefaultClosed() {
+				writeError(w, fmt.Errorf("the default task has been closed: %w", core.ErrStopped))
+			} else {
+				writeError(w, fmt.Errorf("no default task: %w", hub.ErrTaskNotFound))
+			}
+			return nil, false
+		}
+	} else if t, ok = h.hub.Task(id); !ok {
+		if h.hub.Closed(id) {
+			writeError(w, fmt.Errorf("task %q has been closed: %w", id, core.ErrStopped))
+		} else {
+			writeError(w, fmt.Errorf("%q: %w", id, hub.ErrTaskNotFound))
+		}
+		return nil, false
+	}
+	return t, true
+}
+
+func (h *Handler) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	var defaultID string
+	if t, ok := h.hub.DefaultTask(); ok {
+		defaultID = t.ID()
+	}
+	out := make([]TaskSummary, 0, h.hub.Len())
+	for _, t := range h.hub.Tasks() {
+		info := t.Info()
+		classes, dim := t.Server().ModelShape()
+		s := TaskSummary{
+			ID:        t.ID(),
+			Name:      info.Name,
+			Algorithm: info.Algorithm,
+			Labels:    info.Labels,
+			Classes:   classes,
+			Dim:       dim,
+			Iteration: t.Server().Iteration(),
+			Stopped:   t.Server().Stopped(),
+			Default:   t.ID() == defaultID,
+		}
+		if est, ok := t.Server().ErrEstimate(); ok {
+			s.ErrorEstimate = &est
+		}
+		out = append(out, s)
+	}
+	writeJSON(w, out)
+}
+
 func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	t, ok := h.task(w, r)
+	if !ok {
 		return
 	}
-	resp, err := h.server.Checkout(r.Header.Get(headerDeviceID), r.Header.Get(headerToken))
+	resp, err := t.Server().Checkout(r.Context(),
+		r.Header.Get(headerDeviceID), r.Header.Get(headerToken))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -70,16 +173,17 @@ func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	t, ok := h.task(w, r)
+	if !ok {
 		return
 	}
 	var req core.CheckinRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
 		return
 	}
-	if err := h.server.Checkin(r.Header.Get(headerDeviceID), r.Header.Get(headerToken), &req); err != nil {
+	if err := t.Server().Checkin(r.Context(),
+		r.Header.Get(headerDeviceID), r.Header.Get(headerToken), &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -87,23 +191,26 @@ func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	t, ok := h.task(w, r)
+	if !ok {
 		return
 	}
+	s := t.Server()
 	resp := statsResponse{
-		Iteration: h.server.Iteration(),
-		Stopped:   h.server.Stopped(),
+		TaskID:    t.ID(),
+		Iteration: s.Iteration(),
+		Stopped:   s.Stopped(),
 	}
-	if est, ok := h.server.ErrEstimate(); ok {
+	if est, ok := s.ErrEstimate(); ok {
 		resp.ErrorEstimate = &est
 	}
-	if prior, ok := h.server.PriorEstimate(); ok {
+	if prior, ok := s.PriorEstimate(); ok {
 		resp.PriorEstimate = prior
 	}
 	writeJSON(w, resp)
 }
 
+// writeJSON emits v with the JSON content type.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -112,22 +219,35 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// writeError is the single error path for every endpoint: it maps the
+// framework's sentinel errors onto HTTP statuses (ErrAuth→401,
+// ErrBadCheckin→400, ErrStopped→409, ErrTaskNotFound→404, cancelled
+// request contexts→499-style 400) and emits a JSON body.
 func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, core.ErrAuth):
-		http.Error(w, err.Error(), http.StatusUnauthorized)
+		status = http.StatusUnauthorized
 	case errors.Is(err, core.ErrStopped):
-		http.Error(w, err.Error(), http.StatusConflict)
+		status = http.StatusConflict
 	case errors.Is(err, core.ErrBadCheckin):
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		status = http.StatusBadRequest
+	case errors.Is(err, hub.ErrTaskNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusBadRequest
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()}) //nolint:errcheck // headers sent
 }
 
-// HTTPClient is the device-side HTTP transport.
+// HTTPClient is the device-side HTTP transport. The zero task ID targets
+// the server's legacy single-task endpoints; WithTask derives a client
+// bound to one named task.
 type HTTPClient struct {
 	baseURL string
+	taskID  string
 	client  *http.Client
 }
 
@@ -135,17 +255,40 @@ var _ core.Transport = (*HTTPClient)(nil)
 
 // NewHTTPClient returns a transport speaking to the given base URL
 // (e.g. "http://learning.example.com:8080"). A nil client uses a default
-// with a 30 s timeout.
+// with a 30 s timeout; per-request deadlines and cancellation always
+// follow the context passed to each call.
 func NewHTTPClient(baseURL string, client *http.Client) *HTTPClient {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &HTTPClient{baseURL: baseURL, client: client}
+	return &HTTPClient{baseURL: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// WithTask returns a copy of the client bound to the given task ID, so
+// its Checkout/Checkin/Register calls hit the task-scoped
+// /v1/tasks/{task}/ routes. An empty taskID returns to the legacy paths.
+func (c *HTTPClient) WithTask(taskID string) *HTTPClient {
+	cp := *c
+	cp.taskID = taskID
+	return &cp
+}
+
+// TaskID returns the task the client is bound to ("" = default task via
+// the legacy paths).
+func (c *HTTPClient) TaskID() string { return c.taskID }
+
+// endpoint resolves a legacy path ("/v1/checkout") or its task-scoped
+// equivalent depending on the client's task binding.
+func (c *HTTPClient) endpoint(legacy string) string {
+	if c.taskID == "" {
+		return c.baseURL + legacy
+	}
+	return c.baseURL + taskPath(c.taskID, strings.TrimPrefix(legacy, "/v1/"))
 }
 
 // Checkout implements core.Transport.
 func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+PathCheckout, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint(PathCheckout), nil)
 	if err != nil {
 		return nil, fmt.Errorf("transport: build checkout: %w", err)
 	}
@@ -172,7 +315,7 @@ func (c *HTTPClient) Checkin(ctx context.Context, deviceID, token string, body *
 	if err != nil {
 		return fmt.Errorf("transport: encode checkin: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+PathCheckin, bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(PathCheckin), bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("transport: build checkin: %w", err)
 	}
@@ -187,8 +330,50 @@ func (c *HTTPClient) Checkin(ctx context.Context, deviceID, token string, body *
 	return checkStatus(resp)
 }
 
-// checkStatus converts HTTP error statuses back into the core sentinel
-// errors so device code behaves identically across transports.
+// Tasks fetches the server's task listing (GET /v1/tasks) — the
+// programmatic portal index a device browses before joining a task.
+func (c *HTTPClient) Tasks(ctx context.Context) ([]TaskSummary, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+PathTasks, nil)
+	if err != nil {
+		return nil, fmt.Errorf("transport: build task listing: %w", err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: task listing: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var out []TaskSummary
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("transport: decode task listing: %w", err)
+	}
+	return out, nil
+}
+
+// errorMessage extracts the message from a JSON error body, falling back
+// to the raw bytes for non-JSON responses.
+func errorMessage(body []byte) string {
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// wrapSentinel attaches a sentinel to a server-reported message without
+// printing the sentinel twice (the server's message usually already ends
+// with the sentinel's own text).
+func wrapSentinel(msg string, sentinel error) error {
+	if s := sentinel.Error(); strings.HasSuffix(msg, s) {
+		return fmt.Errorf("%s%w", strings.TrimSuffix(msg, s), sentinel)
+	}
+	return fmt.Errorf("%s: %w", msg, sentinel)
+}
+
+// checkStatus converts HTTP error statuses back into the framework's
+// sentinel errors so device code behaves identically across transports.
 func checkStatus(resp *http.Response) error {
 	switch {
 	case resp.StatusCode < 300:
@@ -197,11 +382,21 @@ func checkStatus(resp *http.Response) error {
 		return core.ErrAuth
 	case resp.StatusCode == http.StatusConflict:
 		return core.ErrStopped
+	case resp.StatusCode == http.StatusNotFound:
+		// Only our handlers emit the JSON error envelope; a plain-text
+		// 404 is an unregistered route (wrong base URL, enrollment
+		// disabled, …), not a task-registry miss.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return wrapSentinel(er.Error, hub.ErrTaskNotFound)
+		}
+		return fmt.Errorf("transport: server returned 404: %s", bytes.TrimSpace(body))
 	case resp.StatusCode == http.StatusBadRequest:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("%s: %w", bytes.TrimSpace(body), core.ErrBadCheckin)
+		return wrapSentinel(errorMessage(body), core.ErrBadCheckin)
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("transport: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return fmt.Errorf("transport: server returned %d: %s", resp.StatusCode, errorMessage(body))
 	}
 }

@@ -27,16 +27,10 @@ func NewLoopback(s *core.Server) *Loopback {
 
 // Checkout implements core.Transport.
 func (l *Loopback) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return l.server.Checkout(deviceID, token)
+	return l.server.Checkout(ctx, deviceID, token)
 }
 
 // Checkin implements core.Transport.
 func (l *Loopback) Checkin(ctx context.Context, deviceID, token string, req *core.CheckinRequest) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	return l.server.Checkin(deviceID, token, req)
+	return l.server.Checkin(ctx, deviceID, token, req)
 }

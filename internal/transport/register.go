@@ -8,10 +8,13 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"github.com/crowdml/crowdml/internal/core"
 )
 
-// PathRegister is the enrollment endpoint, the programmatic equivalent of
-// the paper's Web portal "join a crowd-learning task" flow (Section V-A).
+// PathRegister is the legacy enrollment endpoint, the programmatic
+// equivalent of the paper's Web portal "join a crowd-learning task" flow
+// (Section V-A). The task-scoped form is /v1/tasks/{task}/register.
 const PathRegister = "/v1/register"
 
 const headerEnrollKey = "X-Crowdml-Enroll-Key"
@@ -24,50 +27,56 @@ type registerResponse struct {
 	Token string `json:"token"`
 }
 
-// EnableEnrollment adds the PathRegister endpoint to the handler, guarded
-// by the given enrollment key. Devices presenting the key receive an
-// authentication token for checkout/checkin. An empty key leaves
-// enrollment disabled (devices must be registered through the Go API).
+// EnableEnrollment adds the enrollment endpoints — PathRegister for the
+// default task and /v1/tasks/{task}/register for each hosted task —
+// guarded by the given enrollment key. Devices presenting the key
+// receive an authentication token for checkout/checkin. An empty key
+// leaves enrollment disabled (devices must be registered through the Go
+// API).
 func (h *Handler) EnableEnrollment(key string) {
 	if key == "" {
 		return
 	}
-	h.mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	handle := func(w http.ResponseWriter, r *http.Request) {
 		got := r.Header.Get(headerEnrollKey)
 		if subtle.ConstantTimeCompare([]byte(got), []byte(key)) != 1 {
-			http.Error(w, "bad enrollment key", http.StatusUnauthorized)
+			writeError(w, fmt.Errorf("bad enrollment key: %w", core.ErrAuth))
+			return
+		}
+		t, ok := h.task(w, r)
+		if !ok {
 			return
 		}
 		var req registerRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
 			return
 		}
 		if strings.TrimSpace(req.DeviceID) == "" {
-			http.Error(w, "deviceId is required", http.StatusBadRequest)
+			writeError(w, fmt.Errorf("deviceId is required: %w", core.ErrBadCheckin))
 			return
 		}
-		token, err := h.server.RegisterDevice(req.DeviceID)
+		token, err := t.Server().RegisterDevice(r.Context(), req.DeviceID)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, registerResponse{Token: token})
-	})
+	}
+	h.mux.HandleFunc("POST "+PathRegister, handle)
+	h.mux.HandleFunc("POST "+PathTasks+"/{task}/register", handle)
 }
 
-// Register enrolls a device over HTTP and returns its token.
+// Register enrolls a device over HTTP and returns its token. A client
+// bound with WithTask enrolls into that task; otherwise the server's
+// default task.
 func (c *HTTPClient) Register(ctx context.Context, deviceID, enrollKey string) (string, error) {
 	payload, err := json.Marshal(registerRequest{DeviceID: deviceID})
 	if err != nil {
 		return "", fmt.Errorf("transport: encode register: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.baseURL+PathRegister, strings.NewReader(string(payload)))
+		c.endpoint(PathRegister), strings.NewReader(string(payload)))
 	if err != nil {
 		return "", fmt.Errorf("transport: build register: %w", err)
 	}

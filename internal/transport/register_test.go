@@ -12,8 +12,7 @@ import (
 )
 
 func TestEnrollmentFlow(t *testing.T) {
-	srv := newServer(t)
-	h := NewHandler(srv)
+	h, _ := newHandler(t)
 	h.EnableEnrollment("sesame")
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -34,8 +33,7 @@ func TestEnrollmentFlow(t *testing.T) {
 }
 
 func TestEnrollmentBadKey(t *testing.T) {
-	srv := newServer(t)
-	h := NewHandler(srv)
+	h, _ := newHandler(t)
 	h.EnableEnrollment("sesame")
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -46,8 +44,8 @@ func TestEnrollmentBadKey(t *testing.T) {
 }
 
 func TestEnrollmentDisabledByDefault(t *testing.T) {
-	srv := newServer(t)
-	ts := httptest.NewServer(NewHandler(srv))
+	h, _ := newHandler(t)
+	ts := httptest.NewServer(h)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
 	if _, err := client.Register(context.Background(), "d", "anything"); err == nil {
@@ -56,8 +54,7 @@ func TestEnrollmentDisabledByDefault(t *testing.T) {
 }
 
 func TestEnrollmentEmptyKeyIgnored(t *testing.T) {
-	srv := newServer(t)
-	h := NewHandler(srv)
+	h, _ := newHandler(t)
 	h.EnableEnrollment("")
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -72,8 +69,7 @@ func TestEnrollmentEmptyKeyIgnored(t *testing.T) {
 }
 
 func TestEnrollmentValidation(t *testing.T) {
-	srv := newServer(t)
-	h := NewHandler(srv)
+	h, _ := newHandler(t)
 	h.EnableEnrollment("k")
 	ts := httptest.NewServer(h)
 	defer ts.Close()

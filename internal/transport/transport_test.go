@@ -12,6 +12,7 @@ import (
 	"testing/quick"
 
 	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
 )
@@ -28,6 +29,21 @@ func newServer(t *testing.T) *core.Server {
 	return s
 }
 
+// newHandler hosts a fresh server as the hub's default task "alpha" and
+// returns the HTTP handler plus the task's server.
+func newHandler(t *testing.T) (*Handler, *core.Server) {
+	t.Helper()
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "alpha", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	})
+	if err != nil {
+		t.Fatalf("CreateTask: %v", err)
+	}
+	return NewHandler(h), task.Server()
+}
+
 func checkinReq() *core.CheckinRequest {
 	return &core.CheckinRequest{
 		Grad:        []float64{1, 0, 0, 0},
@@ -38,7 +54,7 @@ func checkinReq() *core.CheckinRequest {
 
 func TestLoopbackRoundTrip(t *testing.T) {
 	srv := newServer(t)
-	token, err := srv.RegisterDevice("d1")
+	token, err := srv.RegisterDevice(context.Background(), "d1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +77,7 @@ func TestLoopbackRoundTrip(t *testing.T) {
 
 func TestLoopbackRespectsContext(t *testing.T) {
 	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
 	lb := NewLoopback(srv)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -74,12 +90,12 @@ func TestLoopbackRespectsContext(t *testing.T) {
 }
 
 func TestHTTPRoundTrip(t *testing.T) {
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
-	ctx := context.Background()
 
 	co, err := client.Checkout(ctx, "d1", token)
 	if err != nil {
@@ -108,8 +124,8 @@ func TestHTTPRoundTrip(t *testing.T) {
 }
 
 func TestHTTPAuthErrors(t *testing.T) {
-	srv := newServer(t)
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, _ := newHandler(t)
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
 	ctx := context.Background()
@@ -122,9 +138,9 @@ func TestHTTPAuthErrors(t *testing.T) {
 }
 
 func TestHTTPBadCheckin(t *testing.T) {
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
 	bad := &core.CheckinRequest{Grad: []float64{1}, LabelCounts: []int{0, 0}}
@@ -134,10 +150,10 @@ func TestHTTPBadCheckin(t *testing.T) {
 }
 
 func TestHTTPStoppedMapsToErrStopped(t *testing.T) {
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
 	srv.Stop()
-	ts := httptest.NewServer(NewHandler(srv))
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
 	if err := client.Checkin(context.Background(), "d1", token, checkinReq()); !errors.Is(err, core.ErrStopped) {
@@ -153,9 +169,9 @@ func TestHTTPStoppedMapsToErrStopped(t *testing.T) {
 }
 
 func TestHTTPStatsEndpoint(t *testing.T) {
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	client := NewHTTPClient(ts.URL, nil)
 	if err := client.Checkin(context.Background(), "d1", token, checkinReq()); err != nil {
@@ -187,15 +203,19 @@ func TestHTTPStatsEndpoint(t *testing.T) {
 }
 
 func TestHTTPMethodEnforcement(t *testing.T) {
-	srv := newServer(t)
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, _ := newHandler(t)
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	tests := []struct {
 		method, path string
+		allow        string
 	}{
-		{method: http.MethodPost, path: PathCheckout},
-		{method: http.MethodGet, path: PathCheckin},
-		{method: http.MethodPost, path: PathStats},
+		{method: http.MethodPost, path: PathCheckout, allow: "GET"},
+		{method: http.MethodGet, path: PathCheckin, allow: "POST"},
+		{method: http.MethodPost, path: PathStats, allow: "GET"},
+		{method: http.MethodPost, path: taskPath("alpha", "checkout"), allow: "GET"},
+		{method: http.MethodGet, path: taskPath("alpha", "checkin"), allow: "POST"},
+		{method: http.MethodDelete, path: PathTasks, allow: "GET"},
 	}
 	for _, tt := range tests {
 		req, _ := http.NewRequest(tt.method, ts.URL+tt.path, strings.NewReader("{}"))
@@ -207,13 +227,16 @@ func TestHTTPMethodEnforcement(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s %s status = %d, want 405", tt.method, tt.path, resp.StatusCode)
 		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, tt.allow) {
+			t.Errorf("%s %s Allow = %q, want it to contain %q", tt.method, tt.path, allow, tt.allow)
+		}
 	}
 }
 
 func TestHTTPBadJSON(t *testing.T) {
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice("d1")
-	ts := httptest.NewServer(NewHandler(srv))
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
 	defer ts.Close()
 	req, _ := http.NewRequest(http.MethodPost, ts.URL+PathCheckin, strings.NewReader("{not json"))
 	req.Header.Set(headerDeviceID, "d1")
@@ -232,15 +255,17 @@ func TestDeviceOverHTTP(t *testing.T) {
 	// Full Algorithm 1 device driving a real HTTP server — the networked
 	// prototype end to end.
 	m := model.NewLogisticRegression(2, 2)
-	srv, err := core.NewServer(core.ServerConfig{
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "phones", core.ServerConfig{
 		Model:   m,
 		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 0.5}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	token, _ := srv.RegisterDevice("phone-1")
-	ts := httptest.NewServer(NewHandler(srv))
+	srv := task.Server()
+	token, _ := srv.RegisterDevice(context.Background(), "phone-1")
+	ts := httptest.NewServer(NewHandler(h))
 	defer ts.Close()
 
 	dev, err := core.NewDevice(core.DeviceConfig{
