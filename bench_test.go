@@ -181,6 +181,72 @@ func BenchmarkServerCheckinFullPath(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckoutParallel measures concurrent checkout throughput on one
+// task — the portal-scale read path (Section IV-B1: a million-device portal
+// is read-mostly). Checkouts are served from an immutable parameter
+// snapshot, so throughput should scale with GOMAXPROCS instead of
+// plateauing on a shared server lock.
+func BenchmarkCheckoutParallel(b *testing.B) {
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	srv, err := core.NewServer(core.ServerConfig{
+		Model:   m,
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Checkout(ctx, "bench", token); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCheckinBatched measures concurrent checkin throughput against a
+// single task — the write path where the batched applier groups queued
+// gradient deltas under one lock acquisition instead of serializing every
+// device on its own lock round-trip.
+func BenchmarkCheckinBatched(b *testing.B) {
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	srv, err := core.NewServer(core.ServerConfig{
+		Model:   m,
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker owns its request buffers: Checkin is synchronous, so
+		// the server is done with them when the call returns.
+		req := &core.CheckinRequest{
+			Grad:        make([]float64, mnistClasses*mnistDim),
+			NumSamples:  20,
+			LabelCounts: make([]int, mnistClasses),
+		}
+		for pb.Next() {
+			if err := srv.Checkin(ctx, "bench", token, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkCommPayloadBytes reports the JSON checkin payload size per
 // sample for b ∈ {1, 20}: the b-fold communication reduction of
 // Section IV-B2 (each checkin carries one gradient regardless of b).

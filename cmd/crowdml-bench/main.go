@@ -51,11 +51,12 @@ func run() error {
 		devices   = flag.Int("devices", 8, "concurrent devices in the load bench")
 		samples   = flag.Int("samples", 200, "samples per device in the load bench")
 		minibatch = flag.Int("minibatch", 5, "minibatch size b in the load bench")
+		checkouts = flag.Int("checkouts", 0, "after the checkin run, also measure this many checkouts per device (the portal-scale read path; 0 skips)")
 	)
 	flag.Parse()
 
 	if *serverURL != "" {
-		return loadBench(*serverURL, *taskID, *enrollKey, *devices, *samples, *minibatch)
+		return loadBench(*serverURL, *taskID, *enrollKey, *devices, *samples, *minibatch, *checkouts)
 	}
 
 	cfg := experiments.Config{
@@ -104,12 +105,13 @@ func run() error {
 }
 
 // loadBench drives a concurrent crowd of HTTP devices against one task
-// of a live server and reports end-to-end checkin throughput — a
-// baseline for the sharding and batching work the Hub architecture
-// enables. The target task's parameter shape is read from the /v1/tasks
-// listing, so any hosted task can be benched (activity-shaped tasks get
-// the realistic accelerometer stream, others a synthetic one).
-func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch int) error {
+// of a live server and reports end-to-end checkin throughput (served by
+// the batched applier) plus, with -checkouts, checkout throughput (the
+// lock-free snapshot read path). The target task's parameter shape is
+// read from the /v1/tasks listing, so any hosted task can be benched
+// (activity-shaped tasks get the realistic accelerometer stream, others
+// a synthetic one).
+func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch, checkouts int) error {
 	if enrollKey == "" {
 		return fmt.Errorf("the load bench needs -enroll-key to enroll its devices")
 	}
@@ -136,8 +138,9 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch 
 		devices, samples, minibatch, serverURL, summary.ID, summary.Classes, summary.Dim)
 
 	var wg sync.WaitGroup
-	errs := make(chan error, devices)
+	errs := make(chan error, 2*devices)
 	checkins := make(chan int, devices)
+	tokens := make([]string, devices)
 	start := time.Now()
 	for i := 0; i < devices; i++ {
 		wg.Add(1)
@@ -153,6 +156,7 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch 
 				errs <- fmt.Errorf("%s enroll: %w", id, err)
 				return
 			}
+			tokens[i] = token
 			device, err := crowdml.NewDevice(crowdml.DeviceConfig{
 				ID: id, Token: token, Model: m,
 				Transport: client, Minibatch: minibatch,
@@ -176,14 +180,13 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch 
 		}(i)
 	}
 	wg.Wait()
-	close(errs)
 	close(checkins)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
 	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
 	total := 0
 	for n := range checkins {
 		total += n
@@ -192,6 +195,40 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch 
 		total, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(),
 		float64(total*minibatch)/elapsed.Seconds())
+
+	if checkouts > 0 {
+		// Read-path phase: every device hammers checkout concurrently —
+		// served server-side from the immutable parameter snapshot, so
+		// this measures transport + JSON cost, not lock contention.
+		start = time.Now()
+		for i := 0; i < devices; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				client := crowdml.NewHTTPClient(serverURL, nil)
+				if taskID != "" {
+					client = client.WithTask(taskID)
+				}
+				id := fmt.Sprintf("bench-%03d", i)
+				for n := 0; n < checkouts; n++ {
+					if _, err := client.Checkout(ctx, id, tokens[i]); err != nil {
+						errs <- fmt.Errorf("%s checkout: %w", id, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		fmt.Printf("  %d checkouts in %v — %.0f checkouts/s\n",
+			devices*checkouts, elapsed.Round(time.Millisecond),
+			float64(devices*checkouts)/elapsed.Seconds())
+	}
 	return nil
 }
 

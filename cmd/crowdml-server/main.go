@@ -71,6 +71,27 @@ type taskSpec struct {
 	Objective   string   `json:"objective"`
 	SensorData  string   `json:"sensorData"`
 	Default     bool     `json:"default"`
+	// Batched-checkin tuning (0 = server defaults): how many queued
+	// checkins one batch leader applies per parameter-lock acquisition,
+	// how deep the bounded pending queue is before checkins block, and
+	// how many milliseconds a leader lingers to fill a partial batch.
+	CheckinBatch   int `json:"checkinBatch"`
+	CheckinQueue   int `json:"checkinQueue"`
+	CheckinFlushMs int `json:"checkinFlushMs"`
+	// checkinFlush carries the -checkin-flush flag at full resolution for
+	// the single-task path (unexported: the JSON path uses the
+	// millisecond field above).
+	checkinFlush time.Duration
+}
+
+// flushInterval resolves the spec's flush setting, preferring the
+// full-resolution flag value over the integer-millisecond JSON field so
+// sub-millisecond flags are not truncated to "apply immediately".
+func (s taskSpec) flushInterval() time.Duration {
+	if s.checkinFlush > 0 {
+		return s.checkinFlush
+	}
+	return time.Duration(s.CheckinFlushMs) * time.Millisecond
 }
 
 // taskState bundles a running task with its persistence handles.
@@ -98,6 +119,10 @@ func run() error {
 		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -state-dir")
 		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal (single-task flags)")
 		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal (single-task flags)")
+
+		checkinBatch = flag.Int("checkin-batch", 0, "max checkins applied per lock acquisition (0 = server default)")
+		checkinQueue = flag.Int("checkin-queue", 0, "bounded pending-checkin queue depth (0 = server default)")
+		checkinFlush = flag.Duration("checkin-flush", 0, "how long a batch leader lingers to fill a partial batch (0 = apply immediately)")
 	)
 	flag.Parse()
 
@@ -108,6 +133,8 @@ func run() error {
 		ID: *taskID, Name: *taskName, Model: *modelName,
 		Classes: *classes, Dim: *dim, Rate: *rate, Radius: *radius,
 		Tmax: *tmax, TargetError: *rho, Default: true,
+		CheckinBatch: *checkinBatch, CheckinQueue: *checkinQueue,
+		checkinFlush: *checkinFlush,
 	}}
 	if *taskLabels != "" {
 		specs[0].Labels = strings.Split(*taskLabels, ",")
@@ -255,10 +282,13 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 		return nil, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
 	}
 	cfg := crowdml.ServerConfig{
-		Model:       m,
-		Updater:     crowdml.NewSGD(crowdml.InvSqrt{C: spec.Rate}, spec.Radius),
-		Tmax:        spec.Tmax,
-		TargetError: spec.TargetError,
+		Model:                m,
+		Updater:              crowdml.NewSGD(crowdml.InvSqrt{C: spec.Rate}, spec.Radius),
+		Tmax:                 spec.Tmax,
+		TargetError:          spec.TargetError,
+		CheckinBatchSize:     spec.CheckinBatch,
+		CheckinQueueDepth:    spec.CheckinQueue,
+		CheckinFlushInterval: spec.flushInterval(),
 	}
 
 	st := &taskState{}
@@ -289,9 +319,14 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 				ErrCount:     req.ErrCount,
 				GradNorm1:    norm1,
 			}
-			// The checkin is already applied to the model at this point, so
-			// the audit record must be written even if the device's request
-			// context has since been cancelled.
+			// The hook runs outside the server's parameter lock (the batch
+			// leader invokes it after releasing the critical section), so a
+			// slow disk here never blocks checkouts or stats reads — later
+			// checkins queue behind it. Entries still arrive in iteration
+			// order: hooks are invoked sequentially by the single active
+			// leader. The checkin is already applied to the model at
+			// this point, so the audit record must be written even if the
+			// device's request context has since been cancelled.
 			if err := st.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
 				log.Printf("task %s: journal append failed: %v", spec.ID, err)
 			}

@@ -81,10 +81,17 @@ func NewAdaGrad(eta, radius float64) Updater {
 	return &optimizer.AdaGrad{Eta: eta, Radius: radius}
 }
 
-// Server is the Crowd-ML server (Algorithm 2). Safe for concurrent use.
+// Server is the Crowd-ML server (Algorithm 2). Safe for concurrent use
+// and built for read-mostly traffic: checkouts and statistics are served
+// lock-free from an immutable parameter snapshot and atomic counters,
+// while concurrent checkins are applied in groups by a batch leader under
+// a single lock acquisition (see ServerConfig's CheckinBatchSize,
+// CheckinQueueDepth and CheckinFlushInterval).
 type Server = core.Server
 
-// ServerConfig configures a Server.
+// ServerConfig configures a Server. Note the OnCheckin concurrency
+// contract: hooks run outside the server's parameter lock, sequentially
+// in iteration order.
 type ServerConfig = core.ServerConfig
 
 // NewServer constructs a standalone server. Most deployments should

@@ -27,12 +27,34 @@
 // Transport implementations, and FileStore persistence all honor
 // cancellation and deadlines.
 //
+// # Concurrency
+//
+// The server hot path is built for read-mostly traffic at portal scale
+// (Section IV-B1: devices do the heavy lifting; the server's update is
+// O(C·D)):
+//
+//   - Checkout and the statistics endpoints are lock-free: parameters are
+//     served from an immutable copy-on-write snapshot behind an atomic
+//     pointer, crowd totals are atomic counters, and device credentials
+//     live in a hash-striped registry. Readers never wait on writers.
+//   - Checkins go through a batched applier: concurrent callers enqueue
+//     their sanitized deltas into a bounded queue and a batch leader
+//     applies up to ServerConfig.CheckinBatchSize of them under a single
+//     parameter-lock acquisition. Algorithm 2 semantics are preserved
+//     delta by delta (per-checkin iteration number, η(t) step, staleness
+//     accounting, ρ-stop evaluation); Checkin stays synchronous.
+//   - ServerConfig.OnCheckin runs OUTSIDE the parameter critical section,
+//     invoked by the batch leader sequentially in iteration order after
+//     the updates are applied — journaling never extends the lock hold
+//     or blocks reads (later checkins queue behind a slow hook).
+//
 // # Architecture
 //
 //	Hub     — named-task registry (sharded); CreateTask/Task/CloseTask,
 //	          a default task for the legacy single-task endpoints.
 //	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
-//	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria.
+//	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria;
+//	          lock-free checkout/stats, batched checkin application.
 //	Device  — Algorithm 1: sample buffering (minibatch b, cap B), gradient
 //	          computation, local sanitization, check-in with retry.
 //	Privacy — Eq. (10) gradient perturbation, Eqs. (11)–(12) count

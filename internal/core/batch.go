@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// pendingCheckin is one validated, authenticated checkin on its way
+// through the batched applier. done is allocated (buffered, capacity 1)
+// only when the checkin takes the queued slow path; a fast-path checkin
+// is applied directly by its own goroutine and never needs it.
+type pendingCheckin struct {
+	ctx      context.Context
+	deviceID string
+	req      *CheckinRequest
+	grad     *linalg.Matrix
+	done     chan error
+
+	// iteration is the t assigned at apply time, for the OnCheckin hook.
+	iteration int
+
+	// abandoned is set when this item's own Checkin call is unwinding
+	// from a leader panic while the item is still queued: its caller has
+	// already observed a failure, so a later leader must not apply the
+	// delta behind its back (the device will retry the whole checkin).
+	abandoned atomic.Bool
+}
+
+// submit runs p through leader-based group commit and blocks until it has
+// been applied (or rejected by the stopping rule).
+//
+// Fast path: when no batch leader is active, the caller becomes one
+// immediately and applies its own delta — plus anything already queued —
+// without touching the queue. Uncontended checkins therefore cost one
+// semaphore acquire on top of the raw update.
+//
+// Slow path: with a leader active, the caller enqueues into the bounded
+// queue (blocking for backpressure if it is full) and then either waits
+// for a leader to apply its item or becomes the next leader itself.
+//
+// Invariant: an item removed from the queue has its done channel
+// signalled before the removing leader releases leaderSem. So a caller
+// holding leadership whose own item is not done can rely on that item
+// still being in the queue.
+func (s *Server) submit(ctx context.Context, p *pendingCheckin) error {
+	select {
+	case s.leaderSem <- struct{}{}:
+		// Release via defer: a panic in a user-supplied Updater or hook
+		// must not wedge the applier (the old per-checkin mutex was
+		// likewise defer-released).
+		return func() error {
+			defer func() { <-s.leaderSem }()
+			return s.leadFast(p)
+		}()
+	default:
+	}
+
+	p.done = make(chan error, 1)
+	select {
+	case s.queue <- p:
+	default:
+		// Queue full: apply backpressure, bailing out if the caller's
+		// context dies first.
+		select {
+		case s.queue <- p:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for {
+		select {
+		case err := <-p.done:
+			return err
+		case s.leaderSem <- struct{}{}:
+			err, applied := func() (error, bool) {
+				defer func() { <-s.leaderSem }()
+				// A panic while leading someone else's batch unwinds out
+				// of this Checkin call even though p may still be queued;
+				// mark p abandoned (before leadership is released — defers
+				// run LIFO) so no later leader applies it after its caller
+				// already saw the failure.
+				defer func() {
+					if r := recover(); r != nil {
+						p.abandoned.Store(true)
+						panic(r)
+					}
+				}()
+				return s.lead(p)
+			}()
+			if applied {
+				return err
+			}
+			// p was drained and signalled by a previous leader; the next
+			// loop iteration collects the buffered result.
+		}
+	}
+}
+
+// leadFast applies own (first) plus any queued backlog as one batch.
+// Caller holds leaderSem.
+func (s *Server) leadFast(own *pendingCheckin) error {
+	batch := make([]*pendingCheckin, 0, s.cfg.CheckinBatchSize)
+	batch = append(batch, own)
+	batch = s.drainInto(batch)
+	return s.applyBatch(batch)[0]
+}
+
+// lead runs the caller as batch leader until its own item has been
+// applied or the queue is empty (meaning a previous leader already
+// handled it — see the invariant on submit). Returns (result, true) when
+// own's result was observed. Caller holds leaderSem.
+func (s *Server) lead(own *pendingCheckin) (error, bool) {
+	for {
+		select {
+		case err := <-own.done:
+			return err, true
+		default:
+		}
+		batch := s.drainInto(make([]*pendingCheckin, 0, s.cfg.CheckinBatchSize))
+		if len(batch) == 0 {
+			return nil, false
+		}
+		s.applyBatch(batch)
+	}
+}
+
+// drainInto collects pending checkins into batch, up to CheckinBatchSize
+// total, without blocking. With a positive CheckinFlushInterval and a
+// non-full batch it lingers up to that long for more arrivals, trading
+// latency for amortization — but only when the queue actually yielded
+// something this call: an uncontended fast-path leader whose batch holds
+// just its own item has nothing to amortize and must not tax every
+// checkin with the flush interval on an idle server.
+func (s *Server) drainInto(batch []*pendingCheckin) []*pendingCheckin {
+	maxBatch := s.cfg.CheckinBatchSize
+	drainedFrom := len(batch)
+	for len(batch) < maxBatch {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.CheckinFlushInterval > 0 && len(batch) > drainedFrom && len(batch) < maxBatch {
+		timer := time.NewTimer(s.cfg.CheckinFlushInterval)
+		defer timer.Stop()
+		for len(batch) < maxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+			case <-timer.C:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// applyBatch applies a group of checkins under one acquisition of the
+// parameter lock, then — outside the critical section — runs the
+// OnCheckin hooks in iteration order. The caller delivers the returned
+// per-item results to any waiters. Checkout snapshots are republished
+// lazily by the next reader (see refreshSnapshot), so applying a batch
+// never copies the parameter matrix.
+//
+// Algorithm 2 semantics are preserved delta by delta: each checkin gets
+// its own iteration number t, its own η(t) update step, its own staleness
+// measurement against the pre-update counter, and its own evaluation of
+// the stopping rule (a checkin later in the batch observes the stop
+// tripped by an earlier one and is rejected, exactly as if it had lost a
+// per-checkin lock race).
+// applyBatch also delivers each queued waiter's result on its done
+// channel (fast-path leaders have no channel and read the return value
+// directly); delivery is guaranteed even when a callback panics, so
+// waiters never hang on a dead leader.
+func (s *Server) applyBatch(batch []*pendingCheckin) []error {
+	results := make([]error, len(batch))
+	applied := 0 // items whose apply step completed; their result is authoritative
+	delivered := false
+	defer func() {
+		if delivered {
+			return
+		}
+		// Unwinding from a panic in the Updater or a hook: no waiter may
+		// be stranded, and no waiter may be told its applied delta failed
+		// (a retry would double-apply the gradient). Items the critical
+		// section completed get their real result; the rest get
+		// ErrCheckinAborted. The panic itself keeps propagating out of
+		// the leader's Checkin call.
+		for i, p := range batch {
+			if p.done == nil {
+				continue
+			}
+			if i < applied {
+				p.done <- results[i]
+			} else {
+				p.done <- ErrCheckinAborted
+			}
+		}
+	}()
+	s.wMu.Lock()
+	func() {
+		defer s.wMu.Unlock()
+		s.applyBatchLocked(batch, results, &applied)
+	}()
+
+	// Journaling and other hooks run outside the critical section so a
+	// slow sink never extends the lock hold. The single active leader
+	// invokes them sequentially in iteration order, so an order-sensitive
+	// sink (e.g. store.Journal) still sees monotonically increasing
+	// iterations. Each hook is isolated: one panicking hook must not
+	// silently skip the remaining items' hooks (their checkins ARE
+	// applied, and an audit sink is entitled to a record per applied
+	// checkin), so every hook still runs, the waiters get their real
+	// results, and the first captured panic then resumes out of the
+	// leader's own Checkin call — the same caller that observed a hook
+	// panic under the old per-checkin lock.
+	var hookPanic any
+	if s.cfg.OnCheckin != nil {
+		for i, p := range batch {
+			if results[i] != nil {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil && hookPanic == nil {
+						hookPanic = r
+					}
+				}()
+				s.cfg.OnCheckin(p.ctx, p.deviceID, p.iteration, p.req)
+			}()
+		}
+	}
+	delivered = true
+	for i, p := range batch {
+		if p.done != nil {
+			p.done <- results[i]
+		}
+	}
+	if hookPanic != nil {
+		panic(hookPanic)
+	}
+	return results
+}
+
+// applyBatchLocked is the parameter-lock critical section of applyBatch.
+// It advances *applied past each item whose outcome is settled, so the
+// panic-recovery path in applyBatch can tell applied deltas apart from
+// aborted ones.
+func (s *Server) applyBatchLocked(batch []*pendingCheckin, results []error, applied *int) {
+	for i, p := range batch {
+		if p.abandoned.Load() {
+			// Its caller already unwound from an earlier leader panic and
+			// reported failure; applying now would double-count a retry.
+			results[i] = ErrCheckinAborted
+			*applied = i + 1
+			continue
+		}
+		if s.evalStopped() {
+			results[i] = ErrStopped
+			*applied = i + 1
+			continue
+		}
+		staleness := int(s.t.Load()) - p.req.Version
+
+		// The Updater runs before anything is committed for this item: if
+		// it panics, the item's iteration and counters were never taken,
+		// so the ErrCheckinAborted its waiter receives is honest and a
+		// device retry cannot double-count. (w itself may hold a partial
+		// update — unavoidable with a panicking updater, and exactly the
+		// exposure the old per-checkin lock had.) t only advances under
+		// wMu, so Load+Store is single-writer safe.
+		t := int(s.t.Load()) + 1
+		s.cfg.Updater.Update(s.w, p.grad, t)
+		s.t.Store(int64(t))
+
+		// Crowd totals: errors and label counts strictly before samples,
+		// so a concurrent lock-free ΣN_e/ΣN_s read can only overestimate
+		// the error rate (see evalStopped).
+		s.totalNe.Add(int64(p.req.ErrCount))
+		for k, c := range p.req.LabelCounts {
+			s.totalNky[k].Add(int64(c))
+		}
+		s.totalNs.Add(int64(p.req.NumSamples))
+
+		s.devices.applyCheckinStats(p.deviceID, p.req, staleness)
+
+		p.iteration = t
+		*applied = i + 1
+	}
+}

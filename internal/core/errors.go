@@ -19,4 +19,11 @@ var (
 	// buffer has reached its maximum size B and collection is paused
 	// (Device Routine 1: "stop collection to prevent resource outage").
 	ErrBufferFull = errors.New("crowdml: device buffer full")
+
+	// ErrCheckinAborted is returned to checkins waiting in an apply batch
+	// whose leader panicked (a user-supplied Updater or OnCheckin hook
+	// misbehaving). The panic itself propagates out of the leader's own
+	// Checkin call; waiters get this error instead of hanging, and the
+	// server remains usable.
+	ErrCheckinAborted = errors.New("crowdml: checkin aborted by a panic in the batch apply")
 )

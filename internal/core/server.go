@@ -3,14 +3,23 @@ package core
 import (
 	"context"
 	"crypto/rand"
-	"crypto/subtle"
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/crowdml/crowdml/internal/linalg"
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
+)
+
+// Default checkin-batching parameters (see ServerConfig).
+const (
+	DefaultCheckinBatchSize  = 32
+	defaultQueueDepthFactor  = 4
+	minDefaultCheckinQueue   = 64
+	maxCheckinQueueHardLimit = 1 << 20
 )
 
 // ServerConfig configures a Crowd-ML server (Algorithm 2 inputs).
@@ -37,9 +46,35 @@ type ServerConfig struct {
 	// OnCheckin, if non-nil, is invoked after every successfully applied
 	// checkin with the request context, the device ID, the resulting
 	// iteration number, and the sanitized request (safe to log: it only
-	// ever contains sanitized data). It runs under the server lock — keep
-	// it fast, e.g. hand off to a store.Journal.
+	// ever contains sanitized data).
+	//
+	// Concurrency contract: OnCheckin does NOT run under the server's
+	// parameter lock. The batch leader that applied the checkin invokes it
+	// after releasing the critical section, sequentially and in iteration
+	// order, and the originating Checkin call does not return until its
+	// hook has run. A slow hook therefore back-pressures the write path —
+	// subsequent checkins queue until the hook returns — but never blocks
+	// checkouts or statistics reads, and never extends the parameter-lock
+	// hold itself.
 	OnCheckin func(ctx context.Context, deviceID string, iteration int, req *CheckinRequest)
+	// CheckinBatchSize is the maximum number of queued checkins one batch
+	// leader applies per acquisition of the parameter lock. Larger batches
+	// amortize lock traffic and snapshot publication under load; a batch
+	// of 1 (the uncontended case) behaves exactly like the unbatched
+	// server. Defaults to DefaultCheckinBatchSize; values < 1 use the
+	// default.
+	CheckinBatchSize int
+	// CheckinQueueDepth bounds the pending-checkin queue. When the queue
+	// is full, Checkin blocks (backpressure) until space frees or its
+	// context is cancelled. Defaults to 4× CheckinBatchSize (at least 64).
+	CheckinQueueDepth int
+	// CheckinFlushInterval is how long a batch leader lingers to collect
+	// more queued checkins when its batch is not yet full, trading a
+	// little latency for better amortization under bursty load. The
+	// default of 0 applies whatever is queued immediately — deltas never
+	// wait on a timer, because every pending checkin has a caller ready to
+	// become the next leader.
+	CheckinFlushInterval time.Duration
 }
 
 // DeviceStats are the server's per-device progress counters from
@@ -58,22 +93,60 @@ type DeviceStats struct {
 	StalenessSum int
 }
 
+// paramSnapshot is the immutable copy-on-write view served to checkouts:
+// the flattened parameters and the iteration they were captured at. A new
+// snapshot is published after every applied batch; readers load it with a
+// single atomic pointer read and never contend with writers.
+type paramSnapshot struct {
+	params  []float64 // immutable after publication
+	version int
+}
+
 // Server is the Crowd-ML server of Algorithm 2. It is safe for concurrent
-// use by many devices; a single mutex guards the parameter vector, which is
-// appropriate because the update itself is O(C·D) and the paper's design
-// goal is a minimal server load (Section IV-B1).
+// use by many devices and built for read-mostly traffic (Section IV-B1:
+// devices do the heavy lifting, the server's update is O(C·D)):
+//
+//   - Checkouts and statistics reads are lock-free. Parameters are served
+//     from an immutable snapshot behind an atomic pointer, and the crowd
+//     totals are atomic counters, so a million-device portal polling for
+//     parameters never serializes on the update lock.
+//   - Device credentials and per-device counters live in a hash-striped
+//     registry (16 shards), so authentication scales with cores.
+//   - Checkins are applied in batches: callers enqueue their sanitized
+//     delta into a bounded queue and one caller — the batch leader —
+//     drains up to CheckinBatchSize deltas and applies them under a
+//     single acquisition of the parameter lock, preserving Algorithm 2
+//     semantics exactly (each delta still gets its own iteration number,
+//     η(t) step, staleness accounting and ρ-stop evaluation). Checkin
+//     remains synchronous: it returns once its delta has been applied and
+//     its OnCheckin hook has run.
 type Server struct {
 	cfg ServerConfig
 
-	mu       sync.Mutex
-	w        *linalg.Matrix
-	t        int // iteration counter (completed checkins)
-	stopped  bool
-	devices  map[string]*DeviceStats
-	tokens   map[string]string
-	totalNs  int
-	totalNe  int
-	totalNky []int
+	// snap is the published checkout snapshot (copy-on-write).
+	snap atomic.Pointer[paramSnapshot]
+
+	// wMu is the parameter/apply lock: it guards w and serializes batch
+	// application, snapshot publication, and state import/export. The
+	// read paths never take it.
+	wMu sync.Mutex
+	w   *linalg.Matrix
+
+	// Learning-state counters, written only while wMu is held, read
+	// lock-free by the stats endpoints.
+	t        atomic.Int64 // iteration counter (completed checkins)
+	stopped  atomic.Bool
+	totalNs  atomic.Int64
+	totalNe  atomic.Int64
+	totalNky []atomic.Int64
+
+	devices *deviceRegistry
+
+	// queue and leaderSem implement the batched applier: pending checkins
+	// wait in queue; whoever holds the single leaderSem slot drains and
+	// applies them (see batch.go).
+	queue     chan *pendingCheckin
+	leaderSem chan struct{}
 }
 
 // NewServer constructs a server. It returns an error if the config is
@@ -89,19 +162,65 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MinSamplesForStop == 0 {
 		cfg.MinSamplesForStop = 10 * classes
 	}
+	if cfg.CheckinBatchSize < 1 {
+		cfg.CheckinBatchSize = DefaultCheckinBatchSize
+	}
+	if cfg.CheckinQueueDepth < 1 {
+		cfg.CheckinQueueDepth = defaultQueueDepthFactor * cfg.CheckinBatchSize
+		if cfg.CheckinQueueDepth < minDefaultCheckinQueue {
+			cfg.CheckinQueueDepth = minDefaultCheckinQueue
+		}
+	}
+	if cfg.CheckinQueueDepth > maxCheckinQueueHardLimit {
+		cfg.CheckinQueueDepth = maxCheckinQueueHardLimit
+	}
 	w := model.NewParams(cfg.Model)
 	if cfg.InitParams != nil {
 		if err := w.CopyFrom(cfg.InitParams); err != nil {
 			return nil, fmt.Errorf("core: init params: %w", err)
 		}
 	}
-	return &Server{
-		cfg:      cfg,
-		w:        w,
-		devices:  make(map[string]*DeviceStats),
-		tokens:   make(map[string]string),
-		totalNky: make([]int, classes),
-	}, nil
+	s := &Server{
+		cfg:       cfg,
+		w:         w,
+		totalNky:  make([]atomic.Int64, classes),
+		devices:   newDeviceRegistry(),
+		queue:     make(chan *pendingCheckin, cfg.CheckinQueueDepth),
+		leaderSem: make(chan struct{}, 1),
+	}
+	s.publishSnapshotLocked() // initial snapshot at iteration 0
+	return s, nil
+}
+
+// publishSnapshotLocked captures w into a fresh immutable snapshot and
+// swaps it in. Callers must hold wMu (NewServer is exempt: the server is
+// not yet shared). Because t only advances under wMu, published versions
+// are monotonically non-decreasing.
+func (s *Server) publishSnapshotLocked() {
+	s.snap.Store(&paramSnapshot{
+		params:  linalg.Copy(s.w.Data()),
+		version: int(s.t.Load()),
+	})
+}
+
+// refreshSnapshot returns the current snapshot, republishing it first
+// when it trails the iteration counter and the parameter lock is free.
+// Publication is lazy — batch application never copies the parameters;
+// the first reader after a write burst does, and subsequent readers share
+// that snapshot. When a batch holds the lock mid-apply, the reader serves
+// the previous snapshot instead of blocking: bounded staleness a delayed
+// checkout would produce anyway, and the echoed Version keeps the
+// staleness accounting exact.
+func (s *Server) refreshSnapshot() *paramSnapshot {
+	snap := s.snap.Load()
+	if snap.version == int(s.t.Load()) {
+		return snap
+	}
+	if s.wMu.TryLock() {
+		s.publishSnapshotLocked()
+		s.wMu.Unlock()
+	}
+	return s.snap.Load()
 }
 
 // RegisterDevice enrolls a device and returns its authentication token
@@ -116,56 +235,46 @@ func (s *Server) RegisterDevice(ctx context.Context, deviceID string) (token str
 		return "", fmt.Errorf("core: token generation: %w", err)
 	}
 	token = hex.EncodeToString(buf)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tokens[deviceID] = token
-	if _, ok := s.devices[deviceID]; !ok {
-		classes, _ := s.cfg.Model.Shape()
-		s.devices[deviceID] = &DeviceStats{LabelCounts: make([]int, classes)}
-	}
+	classes, _ := s.cfg.Model.Shape()
+	s.devices.register(deviceID, token, classes)
 	return token, nil
 }
 
-// authenticate verifies a device's token under the lock.
-func (s *Server) authenticate(deviceID, token string) error {
-	want, ok := s.tokens[deviceID]
-	if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(token)) != 1 {
-		return ErrAuth
-	}
-	return nil
-}
-
 // Checkout implements Server Routine 1: authenticate and hand out the
-// current parameters. A stopped server still answers (with Done set) so
+// current parameters. It is lock-free — authentication takes one shard
+// read lock and the parameters come from the immutable snapshot — so
+// checkout throughput scales with cores instead of serializing behind
+// concurrent checkins. A stopped server still answers (with Done set) so
 // devices learn to stand down.
 func (s *Server) Checkout(ctx context.Context, deviceID, token string) (*CheckoutResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.authenticate(deviceID, token); err != nil {
+	if err := s.devices.authenticate(deviceID, token); err != nil {
 		return nil, err
 	}
+	snap := s.refreshSnapshot()
 	return &CheckoutResponse{
-		Params:  linalg.Copy(s.w.Data()),
-		Version: s.t,
-		Done:    s.stoppedLocked(),
+		Params:  linalg.Copy(snap.params), // callers own the returned slice
+		Version: snap.version,
+		Done:    s.evalStopped(),
 	}, nil
 }
 
 // Checkin implements Server Routine 2: authenticate, accumulate the
-// device's counters, and apply the SGD update w ← w − η(t)·ĝ.
+// device's counters, and apply the SGD update w ← w − η(t)·ĝ. The update
+// is applied through the batched applier (see the Server doc comment);
+// the call returns once the delta has been applied — so callers may
+// immediately reuse req's slices — or with the context's error if the
+// bounded queue stays full past cancellation.
 func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *CheckinRequest) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.authenticate(deviceID, token); err != nil {
+	if err := s.devices.authenticate(deviceID, token); err != nil {
 		return err
 	}
-	if s.stoppedLocked() {
+	if s.evalStopped() {
 		return ErrStopped
 	}
 	classes, dim := s.cfg.Model.Shape()
@@ -180,44 +289,41 @@ func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *Check
 	if req.NumSamples < 0 {
 		return fmt.Errorf("negative sample count: %w", ErrBadCheckin)
 	}
-
-	st := s.devices[deviceID]
-	st.Samples += req.NumSamples
-	st.Errors += req.ErrCount
-	for k, c := range req.LabelCounts {
-		st.LabelCounts[k] += c
-		s.totalNky[k] += c
-	}
-	st.Checkins++
-	st.StalenessSum += s.t - req.Version
-	s.totalNs += req.NumSamples
-	s.totalNe += req.ErrCount
-
 	g, err := linalg.NewMatrixFrom(classes, dim, req.Grad)
 	if err != nil {
 		return fmt.Errorf("%v: %w", err, ErrBadCheckin)
 	}
-	s.t++
-	s.cfg.Updater.Update(s.w, g, s.t)
-	if s.cfg.OnCheckin != nil {
-		s.cfg.OnCheckin(ctx, deviceID, s.t, req)
-	}
-	return nil
+	return s.submit(ctx, &pendingCheckin{
+		ctx:      ctx,
+		deviceID: deviceID,
+		req:      req,
+		grad:     g,
+	})
 }
 
-// stoppedLocked evaluates the Algorithm 2 stopping criteria under the lock.
-func (s *Server) stoppedLocked() bool {
-	if s.stopped {
+// evalStopped evaluates the Algorithm 2 stopping criteria from the atomic
+// counters. Once a criterion trips the decision is latched, matching the
+// locked implementation's stickiness (the ρ estimate may drift back above
+// the target later; a stopped task stays stopped). Batch leaders call
+// this while holding wMu, which makes their view authoritative; lock-free
+// callers may observe the transition one batch late, never early enough
+// to matter (counters are updated errors-before-samples, so a torn read
+// can only overestimate the error rate and delay the ρ stop).
+func (s *Server) evalStopped() bool {
+	if s.stopped.Load() {
 		return true
 	}
-	if s.cfg.Tmax > 0 && s.t >= s.cfg.Tmax {
-		s.stopped = true
+	if s.cfg.Tmax > 0 && int(s.t.Load()) >= s.cfg.Tmax {
+		s.stopped.Store(true)
 		return true
 	}
-	if s.cfg.TargetError > 0 && s.totalNs >= s.cfg.MinSamplesForStop {
-		if est := float64(s.totalNe) / float64(s.totalNs); est <= s.cfg.TargetError {
-			s.stopped = true
-			return true
+	if s.cfg.TargetError > 0 {
+		ns := s.totalNs.Load()
+		if ns >= int64(s.cfg.MinSamplesForStop) {
+			if est := float64(s.totalNe.Load()) / float64(ns); est <= s.cfg.TargetError {
+				s.stopped.Store(true)
+				return true
+			}
 		}
 	}
 	return false
@@ -225,16 +331,12 @@ func (s *Server) stoppedLocked() bool {
 
 // Stopped reports whether the stopping criteria have been met.
 func (s *Server) Stopped() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stoppedLocked()
+	return s.evalStopped()
 }
 
 // Stop forces the task to end (administrative shutdown).
 func (s *Server) Stop() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stopped = true
+	s.stopped.Store(true)
 }
 
 // ModelShape returns the task's (classes, dim) parameter shape — what a
@@ -245,41 +347,50 @@ func (s *Server) ModelShape() (classes, dim int) {
 
 // Iteration returns the server iteration counter t.
 func (s *Server) Iteration() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t
+	return int(s.t.Load())
+}
+
+// SnapshotVersion returns the iteration of the currently published
+// checkout snapshot. Publication is lazy, so it can trail Iteration until
+// the next checkout (or while a batch is mid-apply), but it never
+// decreases.
+func (s *Server) SnapshotVersion() int {
+	return s.snap.Load().version
 }
 
 // Params returns a snapshot copy of the current parameter matrix.
 func (s *Server) Params() *linalg.Matrix {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.w.Clone()
+	snap := s.refreshSnapshot()
+	classes, dim := s.cfg.Model.Shape()
+	m, err := linalg.NewMatrixFrom(classes, dim, linalg.Copy(snap.params))
+	if err != nil {
+		// The snapshot is always published with the model's shape.
+		panic(err)
+	}
+	return m
 }
 
 // ErrEstimate returns the running error estimate ΣN_e/ΣN_s of Eq. (14).
 // The second return is false until any samples have been reported.
 func (s *Server) ErrEstimate() (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.totalNs == 0 {
+	ns := s.totalNs.Load()
+	if ns == 0 {
 		return 0, false
 	}
-	return float64(s.totalNe) / float64(s.totalNs), true
+	return float64(s.totalNe.Load()) / float64(ns), true
 }
 
 // PriorEstimate returns the running class-prior estimate P̂(y=k) of
 // Eq. (14). The second return is false until any samples have been
 // reported.
 func (s *Server) PriorEstimate() ([]float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.totalNs == 0 {
+	ns := s.totalNs.Load()
+	if ns == 0 {
 		return nil, false
 	}
 	out := make([]float64, len(s.totalNky))
-	for k, c := range s.totalNky {
-		out[k] = float64(c) / float64(s.totalNs)
+	for k := range s.totalNky {
+		out[k] = float64(s.totalNky[k].Load()) / float64(ns)
 	}
 	return out, true
 }
@@ -287,13 +398,5 @@ func (s *Server) PriorEstimate() ([]float64, bool) {
 // DeviceStats returns a copy of the per-device counters, or false if the
 // device is unknown.
 func (s *Server) DeviceStats(deviceID string) (DeviceStats, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.devices[deviceID]
-	if !ok {
-		return DeviceStats{}, false
-	}
-	cp := *st
-	cp.LabelCounts = append([]int(nil), st.LabelCounts...)
-	return cp, true
+	return s.devices.statsCopy(deviceID)
 }

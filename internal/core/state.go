@@ -46,24 +46,31 @@ type DeviceStateEntry struct {
 	StalenessSum int   `json:"stalenessSum"`
 }
 
-// ExportState snapshots the server's learning state.
+// ExportState snapshots the server's learning state. It takes the apply
+// lock, so the exported parameters, iteration counter, crowd totals and
+// per-device counters all come from the same quiescent point between
+// batches.
 func (s *Server) ExportState() *ServerState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wMu.Lock()
+	defer s.wMu.Unlock()
 	classes, dim := s.cfg.Model.Shape()
+	totalNky := make([]int, len(s.totalNky))
+	for k := range s.totalNky {
+		totalNky[k] = int(s.totalNky[k].Load())
+	}
 	st := &ServerState{
 		ModelName:        s.cfg.Model.Name(),
 		Classes:          classes,
 		Dim:              dim,
 		Params:           linalg.Copy(s.w.Data()),
-		Iteration:        s.t,
-		Stopped:          s.stopped,
-		TotalSamples:     s.totalNs,
-		TotalErrors:      s.totalNe,
-		TotalLabelCounts: append([]int(nil), s.totalNky...),
-		Devices:          make(map[string]DeviceStateEntry, len(s.devices)),
+		Iteration:        int(s.t.Load()),
+		Stopped:          s.stopped.Load(),
+		TotalSamples:     int(s.totalNs.Load()),
+		TotalErrors:      int(s.totalNe.Load()),
+		TotalLabelCounts: totalNky,
+		Devices:          make(map[string]DeviceStateEntry),
 	}
-	for id, d := range s.devices {
+	s.devices.forEach(func(id string, d *DeviceStats) {
 		st.Devices[id] = DeviceStateEntry{
 			Samples:      d.Samples,
 			Errors:       d.Errors,
@@ -71,7 +78,7 @@ func (s *Server) ExportState() *ServerState {
 			Checkins:     d.Checkins,
 			StalenessSum: d.StalenessSum,
 		}
-	}
+	})
 	return st
 }
 
@@ -79,6 +86,11 @@ func (s *Server) ExportState() *ServerState {
 // match the server's model name and shape. Devices present in the snapshot
 // are re-created with their counters but WITHOUT credentials; they must
 // re-register (see ServerState's security note).
+//
+// ImportState is a startup-time operation: restore the checkpoint before
+// the server starts taking traffic. It excludes concurrent batch
+// application via the apply lock, but lock-free stats readers racing the
+// restore may observe a mix of old and new counters.
 func (s *Server) ImportState(st *ServerState) error {
 	if st == nil {
 		return fmt.Errorf("core: nil state")
@@ -95,26 +107,31 @@ func (s *Server) ImportState(st *ServerState) error {
 		return fmt.Errorf("core: state label counts length %d, want %d",
 			len(st.TotalLabelCounts), classes)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	copy(s.w.Data(), st.Params)
-	s.t = st.Iteration
-	s.stopped = st.Stopped
-	s.totalNs = st.TotalSamples
-	s.totalNe = st.TotalErrors
-	copy(s.totalNky, st.TotalLabelCounts)
 	for id, entry := range st.Devices {
 		if len(entry.LabelCounts) != classes {
 			return fmt.Errorf("core: device %s label counts length %d, want %d",
 				id, len(entry.LabelCounts), classes)
 		}
-		s.devices[id] = &DeviceStats{
+	}
+	s.wMu.Lock()
+	defer s.wMu.Unlock()
+	copy(s.w.Data(), st.Params)
+	s.t.Store(int64(st.Iteration))
+	s.totalNs.Store(int64(st.TotalSamples))
+	s.totalNe.Store(int64(st.TotalErrors))
+	for k := range s.totalNky {
+		s.totalNky[k].Store(int64(st.TotalLabelCounts[k]))
+	}
+	s.stopped.Store(st.Stopped)
+	for id, entry := range st.Devices {
+		s.devices.importStats(id, DeviceStats{
 			Samples:      entry.Samples,
 			Errors:       entry.Errors,
 			LabelCounts:  append([]int(nil), entry.LabelCounts...),
 			Checkins:     entry.Checkins,
 			StalenessSum: entry.StalenessSum,
-		}
+		})
 	}
+	s.publishSnapshotLocked()
 	return nil
 }

@@ -7,9 +7,13 @@
 //
 // The registry is sharded: task IDs hash onto a fixed set of
 // independently locked shards, so concurrent checkins to different tasks
-// never contend on one registry mutex. (Per-task learning updates still
-// serialize on that task's own server lock, which is the paper's intended
-// minimal-server-load design.)
+// never contend on one registry mutex. Within a task, the core.Server hot
+// path is built for read-mostly concurrency: checkouts and stats reads
+// are lock-free (immutable parameter snapshots, atomic counters, a
+// hash-striped device registry), and concurrent checkins are applied in
+// groups by a batch leader under a single parameter-lock acquisition —
+// see core.ServerConfig's CheckinBatchSize/CheckinQueueDepth/
+// CheckinFlushInterval knobs, which CreateTask passes through untouched.
 package hub
 
 import (
@@ -140,7 +144,7 @@ func New() *Hub {
 // shardFor picks the shard owning a task ID (FNV-1a).
 func (h *Hub) shardFor(taskID string) *shard {
 	f := fnv.New32a()
-	f.Write([]byte(taskID))
+	_, _ = f.Write([]byte(taskID)) // fnv never errors
 	return &h.shards[f.Sum32()%NumShards]
 }
 

@@ -235,10 +235,40 @@ func TestConcurrentMultiTaskCheckins(t *testing.T) {
 	}
 }
 
+// BenchmarkHubCheckout measures parallel authenticated checkouts against
+// one task resolved through the hub — the full portal-scale read path
+// (registry lookup + lock-free snapshot read). It should scale with
+// GOMAXPROCS: no stage of it takes a write lock.
+func BenchmarkHubCheckout(b *testing.B) {
+	h := New()
+	ctx := context.Background()
+	task, err := h.CreateTask(ctx, "bench", core.ServerConfig{
+		Model:   model.NewLogisticRegression(10, 50),
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	token, err := task.Server().RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			task, _ := h.Task("bench")
+			if _, err := task.Server().Checkout(ctx, "bench", token); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkHubCheckin measures parallel authenticated checkins spread
-// across N tasks on one hub — the baseline for later sharding/batching
-// work. Task count 1 measures pure single-server-lock throughput; higher
-// counts show how far independent tasks scale on the sharded registry.
+// across N tasks on one hub. Task count 1 measures single-task batched
+// checkin throughput; higher counts show how far independent tasks scale
+// on the sharded registry.
 func BenchmarkHubCheckin(b *testing.B) {
 	for _, tasks := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {

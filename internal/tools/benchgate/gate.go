@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkCheckoutParallel-8   161577   8118 ns/op   4144 B/op   2 allocs/op
+//
+// The GOMAXPROCS suffix stays part of the name: a -cpu change is a
+// different experiment and must not be compared against the old one.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Result aggregates the -count repetitions of one benchmark.
+type Result struct {
+	Name    string    `json:"name"`
+	NsPerOp []float64 `json:"nsPerOp"`
+	// Median is recorded for reporting.
+	Median float64 `json:"median"`
+	// Min is the regression-gate statistic. Scheduling interference on a
+	// shared CI runner only inflates a run's ns/op, never deflates it, so
+	// the best of N short runs is far more stable than their median at
+	// small -benchtime — while a real regression shifts the whole
+	// distribution, minimum included.
+	Min float64 `json:"min"`
+}
+
+// Suite is the JSON artifact written by -json and consumed as -baseline.
+type Suite struct {
+	Benchmarks map[string]*Result `json:"benchmarks"`
+}
+
+// ParseBench reads raw `go test -bench` output and aggregates the
+// repetitions of each benchmark.
+func ParseBench(r io.Reader) (*Suite, error) {
+	s := &Suite{Benchmarks: make(map[string]*Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op %q: %w", m[3], err)
+		}
+		res, ok := s.Benchmarks[m[1]]
+		if !ok {
+			res = &Result{Name: m[1]}
+			s.Benchmarks[m[1]] = res
+		}
+		res.NsPerOp = append(res.NsPerOp, ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: scan: %w", err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark results found in input")
+	}
+	for _, res := range s.Benchmarks {
+		res.Median = median(res.NsPerOp)
+		res.Min = res.NsPerOp[0]
+		for _, v := range res.NsPerOp[1:] {
+			if v < res.Min {
+				res.Min = v
+			}
+		}
+	}
+	return s, nil
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name      string
+	Base      float64 // baseline min ns/op
+	Current   float64 // current min ns/op
+	Ratio     float64 // Current/Base − 1 (positive = slower)
+	Regressed bool
+}
+
+// Compare evaluates current against baseline with the given regression
+// threshold (0.20 = fail when >20% slower). Benchmarks only present on
+// one side are reported in missing/added and never fail the gate: CI may
+// legitimately run a subset, and new benchmarks have no baseline yet.
+func Compare(baseline, current *Suite, threshold float64) (deltas []Delta, missing, added []string) {
+	for name, base := range baseline.Benchmarks {
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		d := Delta{Name: name, Base: gateStat(base), Current: gateStat(cur)}
+		if d.Base > 0 {
+			d.Ratio = d.Current/d.Base - 1
+		}
+		d.Regressed = d.Ratio > threshold
+		deltas = append(deltas, d)
+	}
+	for name := range current.Benchmarks {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(missing)
+	sort.Strings(added)
+	return deltas, missing, added
+}
+
+// Render writes a benchstat-style comparison table.
+func Render(w io.Writer, deltas []Delta, missing, added []string, threshold float64) {
+	fmt.Fprintf(w, "%-50s %14s %14s %9s\n", "benchmark", "base ns/op", "current ns/op", "delta")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+8.1f%%%s\n",
+			d.Name, d.Base, d.Current, d.Ratio*100, mark)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-50s (in baseline, not measured this run)\n", name)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "%-50s (new, no baseline — add with -update)\n", name)
+	}
+	fmt.Fprintf(w, "gate: fail when current > base × %.2f\n", 1+threshold)
+}
+
+// gateStat picks a result's gate statistic: the minimum, falling back to
+// the median for baselines written before Min was recorded.
+func gateStat(r *Result) float64 {
+	if r.Min > 0 {
+		return r.Min
+	}
+	return r.Median
+}
+
+// Regressions filters the deltas that trip the gate.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

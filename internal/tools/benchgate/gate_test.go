@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/crowdml/crowdml
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCheckoutParallel-8   	 1348351	       918.4 ns/op	    4144 B/op	       2 allocs/op
+BenchmarkCheckoutParallel-8   	 1300000	       905.0 ns/op
+BenchmarkCheckoutParallel-8   	 1200000	      1100.0 ns/op
+BenchmarkCheckinBatched-8     	 1831282	       649.4 ns/op
+BenchmarkCheckinBatched-8     	 1800000	       655.1 ns/op
+BenchmarkCheckinBatched-8     	 1700000	       700.9 ns/op
+PASS
+ok  	github.com/crowdml/crowdml	14.451s
+`
+
+func parse(t *testing.T, out string) *Suite {
+	t.Helper()
+	s, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseBenchAggregatesRepetitions(t *testing.T) {
+	s := parse(t, sampleOutput)
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(s.Benchmarks))
+	}
+	co := s.Benchmarks["BenchmarkCheckoutParallel-8"]
+	if co == nil {
+		t.Fatal("BenchmarkCheckoutParallel-8 missing (the -cpu suffix must be kept)")
+	}
+	if len(co.NsPerOp) != 3 {
+		t.Fatalf("got %d repetitions, want 3", len(co.NsPerOp))
+	}
+	if co.Median != 918.4 {
+		t.Errorf("median = %v, want 918.4", co.Median)
+	}
+	if co.Min != 905.0 {
+		t.Errorf("min = %v, want 905.0", co.Min)
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance check for the CI
+// gate: a >20% slowdown must trip it, a smaller one must not.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base := parse(t, sampleOutput)
+
+	// +25% on every line of one benchmark: must regress.
+	slow := strings.ReplaceAll(sampleOutput, "649.4", "811.8")
+	slow = strings.ReplaceAll(slow, "655.1", "818.9")
+	slow = strings.ReplaceAll(slow, "700.9", "876.1")
+	deltas, missing, added := Compare(base, parse(t, slow), 0.20)
+	if len(missing) != 0 || len(added) != 0 {
+		t.Fatalf("missing=%v added=%v, want none", missing, added)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkCheckinBatched-8" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkCheckinBatched-8", regs)
+	}
+
+	// +10%: within the threshold, must pass.
+	mild := strings.ReplaceAll(sampleOutput, "649.4", "714.3")
+	mild = strings.ReplaceAll(mild, "655.1", "720.6")
+	mild = strings.ReplaceAll(mild, "700.9", "771.0")
+	deltas, _, _ = Compare(base, parse(t, mild), 0.20)
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none at +10%%", regs)
+	}
+
+	// Identical runs: zero delta.
+	deltas, _, _ = Compare(base, parse(t, sampleOutput), 0.20)
+	for _, d := range deltas {
+		if d.Ratio != 0 || d.Regressed {
+			t.Errorf("%s: ratio = %v regressed = %v, want 0/false", d.Name, d.Ratio, d.Regressed)
+		}
+	}
+}
+
+// TestCompareDisjointSuites checks subset runs and new benchmarks are
+// reported but never fail the gate.
+func TestCompareDisjointSuites(t *testing.T) {
+	base := parse(t, sampleOutput)
+	onlyCheckout := `BenchmarkCheckoutParallel-8   	 1348351	       918.4 ns/op
+BenchmarkBrandNew-8           	  100000	      1000.0 ns/op
+`
+	deltas, missing, added := Compare(base, parse(t, onlyCheckout), 0.20)
+	if len(deltas) != 1 || deltas[0].Name != "BenchmarkCheckoutParallel-8" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkCheckinBatched-8" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkBrandNew-8" {
+		t.Fatalf("added = %v", added)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("disjoint suites must not regress, got %+v", regs)
+	}
+}

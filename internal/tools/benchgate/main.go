@@ -1,0 +1,101 @@
+// Command benchgate is the CI benchmark regression gate: it parses raw
+// `go test -bench` output, aggregates repeated runs (-count=N), and
+// compares each benchmark's best (minimum) ns/op against a baseline,
+// failing (exit 1) on any regression beyond the threshold. The minimum
+// is the gate statistic because scheduler interference on shared runners
+// only ever inflates a run, while a real regression shifts every run.
+//
+// Typical CI usage:
+//
+//	go test -run '^$' -bench 'Checkout|Checkin' -benchtime=1000x -count=5 . | tee bench.txt
+//	go run ./internal/tools/benchgate -input bench.txt -json BENCH_pr.json -baseline BENCH_baseline.json
+//
+// Refreshing the committed baseline after an intentional change:
+//
+//	go test -run '^$' -bench 'Checkout|Checkin' -benchtime=1000x -count=5 . |
+//	    go run ./internal/tools/benchgate -update -baseline BENCH_baseline.json
+//
+// The gate compares per-benchmark minimums, which tolerates noisy runs;
+// it cannot tolerate comparing different machines against each other, so
+// refresh the baseline from hardware comparable to the CI runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input     = flag.String("input", "-", "raw `go test -bench` output file (- = stdin)")
+		jsonOut   = flag.String("json", "", "also write the parsed current results to this JSON file")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or to write with -update)")
+		threshold = flag.Float64("threshold", 0.20, "fail when a benchmark's best ns/op regresses by more than this fraction")
+		update    = flag.Bool("update", false, "write the parsed results to -baseline instead of comparing")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return fmt.Errorf("benchgate: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := ParseBench(in)
+	if err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		if err := writeSuite(*jsonOut, current); err != nil {
+			return err
+		}
+	}
+	if *update {
+		if err := writeSuite(*baseline, current); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d benchmark baselines to %s\n",
+			len(current.Benchmarks), *baseline)
+		return nil
+	}
+
+	payload, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("benchgate: read baseline: %w", err)
+	}
+	var base Suite
+	if err := json.Unmarshal(payload, &base); err != nil {
+		return fmt.Errorf("benchgate: parse baseline %s: %w", *baseline, err)
+	}
+	deltas, missing, added := Compare(&base, current, *threshold)
+	Render(os.Stdout, deltas, missing, added, *threshold)
+	if regs := Regressions(deltas); len(regs) > 0 {
+		return fmt.Errorf("benchgate: %d benchmark(s) regressed beyond %.0f%%", len(regs), *threshold*100)
+	}
+	fmt.Println("benchgate: no regressions")
+	return nil
+}
+
+func writeSuite(path string, s *Suite) error {
+	payload, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchgate: encode: %w", err)
+	}
+	if err := os.WriteFile(path, append(payload, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchgate: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -39,6 +39,8 @@ func taskPath(taskID, endpoint string) string {
 // statsResponse is the public progress view served at the stats
 // endpoints — the differentially private statistics the paper's Web
 // portal displays (error rates and label distributions, Section V-A).
+// Every field is read lock-free from the server's atomic counters, so a
+// crowd polling its portal never slows the learning hot path down.
 type statsResponse struct {
 	TaskID        string    `json:"taskId"`
 	Iteration     int       `json:"iteration"`
@@ -158,6 +160,9 @@ func (h *Handler) handleListTasks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleCheckout serves the parameter checkout. The underlying
+// core.Server read is lock-free (immutable snapshot + sharded auth), so
+// this endpoint scales with whatever concurrency net/http throws at it.
 func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	t, ok := h.task(w, r)
 	if !ok {
