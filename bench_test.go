@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"testing"
 
+	crowdml "github.com/crowdml/crowdml"
 	"github.com/crowdml/crowdml/internal/core"
 	"github.com/crowdml/crowdml/internal/dataset"
 	"github.com/crowdml/crowdml/internal/experiments"
@@ -245,6 +246,52 @@ func BenchmarkCheckinBatched(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCheckinJournaled is BenchmarkCheckinBatched with the
+// durability layer on: the task runs on a hub with a file-backed Store,
+// so every applied checkin is write-ahead journaled (on the batch
+// leader, outside the parameter lock) before it is acknowledged, and the
+// asynchronous checkpointer snapshots in the background. The delta
+// against BenchmarkCheckinBatched is the WAL overhead benchgate guards.
+func BenchmarkCheckinJournaled(b *testing.B) {
+	ctx := context.Background()
+	fs, err := crowdml.NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := crowdml.NewHub()
+	task, err := h.CreateTask(ctx, "bench", crowdml.ServerConfig{
+		Model:   crowdml.NewLogisticRegression(mnistClasses, mnistDim),
+		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 1}, 0),
+	}, crowdml.WithStore(fs),
+		crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 4096}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := task.Server()
+	token, err := srv.RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := &core.CheckinRequest{
+			Grad:        make([]float64, mnistClasses*mnistDim),
+			NumSamples:  20,
+			LabelCounts: make([]int, mnistClasses),
+		}
+		for pb.Next() {
+			if err := srv.Checkin(ctx, "bench", token, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := h.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkCommPayloadBytes reports the JSON checkin payload size per

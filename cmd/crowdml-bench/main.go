@@ -2,7 +2,9 @@
 // (Figs. 3–9; Figs. 7–9 are the Appendix D object-recognition repeats) and
 // prints each as an aligned text table. With -server it instead load-tests
 // a live Crowd-ML server over HTTP, measuring checkin throughput against
-// one hosted task.
+// one hosted task; with -durability it measures the cost of write-ahead
+// journaling on an in-process crowd (the same task run store-less, then
+// with a file-backed WAL + asynchronous checkpoints).
 //
 // Examples:
 //
@@ -11,6 +13,7 @@
 //	crowdml-bench -fig fig5 -trials 10      # the paper's 10-trial protocol
 //	crowdml-bench -server http://localhost:8080 -task activity \
 //	    -enroll-key join -devices 16 -samples 200   # HTTP load bench
+//	crowdml-bench -durability -devices 16 -samples 400   # WAL overhead
 package main
 
 import (
@@ -45,16 +48,20 @@ func run() error {
 		points = flag.Int("points", 50, "test-error measurements per curve")
 		outDir = flag.String("o", "", "also write one <figure>.csv per figure into this directory")
 
-		serverURL = flag.String("server", "", "load-bench a live server at this base URL instead of regenerating figures")
-		taskID    = flag.String("task", "", "task ID to bench against (empty: the server's default task)")
-		enrollKey = flag.String("enroll-key", "", "enrollment key for the load bench")
-		devices   = flag.Int("devices", 8, "concurrent devices in the load bench")
-		samples   = flag.Int("samples", 200, "samples per device in the load bench")
-		minibatch = flag.Int("minibatch", 5, "minibatch size b in the load bench")
-		checkouts = flag.Int("checkouts", 0, "after the checkin run, also measure this many checkouts per device (the portal-scale read path; 0 skips)")
+		serverURL  = flag.String("server", "", "load-bench a live server at this base URL instead of regenerating figures")
+		durability = flag.Bool("durability", false, "measure in-process checkin throughput with the write-ahead journal off vs on, then exit")
+		taskID     = flag.String("task", "", "task ID to bench against (empty: the server's default task)")
+		enrollKey  = flag.String("enroll-key", "", "enrollment key for the load bench")
+		devices    = flag.Int("devices", 8, "concurrent devices in the load bench")
+		samples    = flag.Int("samples", 200, "samples per device in the load bench")
+		minibatch  = flag.Int("minibatch", 5, "minibatch size b in the load bench")
+		checkouts  = flag.Int("checkouts", 0, "after the checkin run, also measure this many checkouts per device (the portal-scale read path; 0 skips)")
 	)
 	flag.Parse()
 
+	if *durability {
+		return durabilityBench(*devices, *samples, *minibatch)
+	}
 	if *serverURL != "" {
 		return loadBench(*serverURL, *taskID, *enrollKey, *devices, *samples, *minibatch, *checkouts)
 	}
@@ -229,6 +236,124 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 			devices*checkouts, elapsed.Round(time.Millisecond),
 			float64(devices*checkouts)/elapsed.Seconds())
 	}
+	return nil
+}
+
+// durabilityBench measures what the durability layer costs the write
+// path: the same in-process crowd (loopback transport, activity-shaped
+// task) runs once store-less and once with a file-backed write-ahead
+// journal plus asynchronous checkpoints, and the phase reports both
+// throughputs and the relative overhead. The journal append runs on the
+// batch leader outside the parameter lock, so this measures the honest
+// per-checkin fsync-free file-append cost — the number benchgate guards
+// via BenchmarkCheckinJournaled.
+func durabilityBench(devices, samples, minibatch int) error {
+	ctx := context.Background()
+	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
+
+	run := func(st crowdml.Store) (checkins int, elapsed time.Duration, err error) {
+		h := crowdml.NewHub()
+		opts := []crowdml.TaskOption{}
+		if st != nil {
+			opts = append(opts,
+				crowdml.WithStore(st),
+				// A count policy keeps the checkpointer busy during the run
+				// instead of idling behind a one-minute timer.
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 256}))
+		}
+		task, err := h.CreateTask(ctx, "bench", crowdml.ServerConfig{
+			Model:   m,
+			Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 10}, 0),
+		}, opts...)
+		if err != nil {
+			return 0, 0, err
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, devices)
+		counts := make(chan int, devices)
+		start := time.Now()
+		for i := 0; i < devices; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				id := fmt.Sprintf("bench-%03d", i)
+				token, err := task.Server().RegisterDevice(ctx, id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				device, err := crowdml.NewDevice(crowdml.DeviceConfig{
+					ID: id, Token: token, Model: m,
+					Transport: crowdml.NewLoopback(task.Server()),
+					Minibatch: minibatch,
+					Seed:      uint64(i + 1),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := device.Run(ctx, activity.NewGenerator(uint64(1000+i)), samples); err != nil {
+					errs <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+				counts <- device.Checkins()
+			}(i)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+		close(counts)
+		select {
+		case err := <-errs:
+			return 0, 0, err
+		default:
+		}
+		for n := range counts {
+			checkins += n
+		}
+		if err := h.Close(ctx); err != nil {
+			return 0, 0, fmt.Errorf("flush: %w", err)
+		}
+		return checkins, elapsed, nil
+	}
+
+	fmt.Printf("durability bench: %d devices × %d samples (b=%d), in-process loopback\n",
+		devices, samples, minibatch)
+	baseN, baseT, err := run(nil)
+	if err != nil {
+		return err
+	}
+	baseRate := float64(baseN) / baseT.Seconds()
+	fmt.Printf("  store-less:  %d checkins in %v — %.0f checkins/s\n",
+		baseN, baseT.Round(time.Millisecond), baseRate)
+
+	dir, err := os.MkdirTemp("", "crowdml-durability-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := crowdml.NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	walN, walT, err := run(fs)
+	if err != nil {
+		return err
+	}
+	walRate := float64(walN) / walT.Seconds()
+	fmt.Printf("  journaled:   %d checkins in %v — %.0f checkins/s\n",
+		walN, walT.Round(time.Millisecond), walRate)
+	if walRate > 0 {
+		fmt.Printf("  WAL overhead: %.1f%% (every acknowledged checkin durable + replayable)\n",
+			(baseRate/walRate-1)*100)
+	}
+	entries, err := fs.ReadJournal(ctx)
+	if err != nil {
+		return fmt.Errorf("verify journal: %w", err)
+	}
+	if len(entries) != walN {
+		return fmt.Errorf("journal has %d entries for %d acknowledged checkins", len(entries), walN)
+	}
+	fmt.Printf("  journal verified: %d entries, one per acknowledged checkin\n", len(entries))
 	return nil
 }
 

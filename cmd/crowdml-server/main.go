@@ -21,9 +21,14 @@
 //	  {"id": "gestures", "model": "svm", "classes": 5, "dim": 32, "rate": 5}
 //	]
 //
-// With -state-dir, every task checkpoints its learning state to its own
-// subdirectory and resumes from the latest checkpoint on restart (the
-// MySQL durability role in the original prototype).
+// With -state-dir, every task is durable (the MySQL role in the original
+// prototype): each applied checkin is write-ahead journaled into the
+// task's subdirectory before it is acknowledged, the hub checkpoints
+// asynchronously every -checkpoint-every, and a restarted server resumes
+// each task on the exact pre-crash iteration and parameters (latest
+// checkpoint + journal-tail replay). All of that is hub-managed —
+// CreateTask(WithStore, WithCheckpointPolicy) on the way in, Hub.Close
+// on the way out.
 //
 // Example: a 3-class activity-recognition task over 64-bin FFT features:
 //
@@ -78,6 +83,10 @@ type taskSpec struct {
 	CheckinBatch   int `json:"checkinBatch"`
 	CheckinQueue   int `json:"checkinQueue"`
 	CheckinFlushMs int `json:"checkinFlushMs"`
+	// CheckpointAfterN adds a count trigger to the task's checkpoint
+	// policy: snapshot once this many checkins accumulated since the
+	// last one (0 = timer only).
+	CheckpointAfterN int `json:"checkpointAfterN"`
 	// checkinFlush carries the -checkin-flush flag at full resolution for
 	// the single-task path (unexported: the JSON path uses the
 	// millisecond field above).
@@ -94,13 +103,6 @@ func (s taskSpec) flushInterval() time.Duration {
 	return time.Duration(s.CheckinFlushMs) * time.Millisecond
 }
 
-// taskState bundles a running task with its persistence handles.
-type taskState struct {
-	task    *crowdml.Task
-	fs      *crowdml.FileStore
-	journal *crowdml.Journal
-}
-
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
@@ -115,8 +117,8 @@ func run() error {
 		rho        = flag.Float64("target-error", 0, "stop when error estimate ≤ ρ (0 disables)")
 		enrollKey  = flag.String("enroll-key", "", "enrollment key; empty disables self-enrollment")
 		devices    = flag.Int("preregister", 0, "pre-register this many devices on the default task and print their tokens")
-		stateDir   = flag.String("state-dir", "", "checkpoint directory, one subdirectory per task (empty disables persistence)")
-		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -state-dir")
+		stateDir   = flag.String("state-dir", "", "durability directory, one store per task (empty disables persistence)")
+		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "asynchronous checkpoint interval with -state-dir")
 		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal (single-task flags)")
 		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal (single-task flags)")
 
@@ -156,63 +158,17 @@ func run() error {
 	}
 
 	h := crowdml.NewHub()
-	var states []*taskState
 	for _, spec := range specs {
-		st, err := createTask(ctx, h, spec, *stateDir)
-		if err != nil {
+		if err := createTask(ctx, h, spec, *stateDir, *saveEvery); err != nil {
+			flushHub(h)
 			return err
 		}
-		states = append(states, st)
 	}
-
-	// Periodic checkpoints for every persistent task, plus a final save on
-	// shutdown.
-	saveAll := func(ctx context.Context) {
-		for _, st := range states {
-			if st.fs == nil {
-				continue
-			}
-			if err := st.fs.Save(ctx, st.task.Server().ExportState(), time.Now()); err != nil {
-				log.Printf("task %s: checkpoint failed: %v", st.task.ID(), err)
-			}
-		}
-	}
-	checkpointsDone := make(chan struct{})
-	if *stateDir != "" {
-		go func() {
-			defer close(checkpointsDone)
-			ticker := time.NewTicker(*saveEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ticker.C:
-					saveAll(ctx)
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
-	} else {
-		close(checkpointsDone)
-	}
-	defer func() {
-		stop() // unblock the checkpoint goroutine on early error returns
-		<-checkpointsDone
-		if *stateDir != "" {
-			// Final checkpoint. This runs after httpServer.Shutdown has
-			// drained in-flight requests, so checkins applied during the
-			// drain are included. The serving context is gone — use a
-			// fresh one with a short deadline.
-			flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			saveAll(flushCtx)
-			cancel()
-		}
-		for _, st := range states {
-			if st.journal != nil {
-				st.journal.Close()
-			}
-		}
-	}()
+	// Durability shutdown: flush a final checkpoint and close the journal
+	// for every task, whatever path run() exits through. The normal path
+	// flushes explicitly (inside the shutdown deadline) first; this defer
+	// then finds everything already closed and is a no-op.
+	defer flushHub(h)
 
 	for i := 0; i < *devices; i++ {
 		task, ok := h.DefaultTask()
@@ -249,27 +205,54 @@ func run() error {
 		return err
 	case <-ctx.Done():
 		log.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain in-flight HTTP requests (checkins applied during the drain
+		// are journaled by their own requests), then flush every task's
+		// durability under its OWN deadline — a slow client exhausting the
+		// drain budget must not leave the final checkpoints to run (and
+		// fail) against an already-dead context.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return httpServer.Shutdown(shutdownCtx)
+		err := httpServer.Shutdown(drainCtx)
+		flushHub(h)
+		return err
 	}
 }
 
-// createTask builds one task from its spec: model, updater, optional
-// per-task persistence (checkpoint restore + checkin journal), and the
-// hub registration.
-func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string) (*taskState, error) {
+// flushHub closes hub durability (final checkpoint + journal close per
+// task) under its own fresh deadline, logging each task's flush error
+// instead of dropping it.
+func flushHub(h *crowdml.Hub) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := h.Close(ctx)
+	if err == nil {
+		return
+	}
+	// Hub.Close joins one error per failing task; log them one line each.
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			log.Printf("durability flush: %v", e)
+		}
+		return
+	}
+	log.Printf("durability flush: %v", err)
+}
+
+// createTask builds one task from its spec and registers it on the hub;
+// with a state directory the task is durable (write-ahead journal +
+// asynchronous checkpoints) and resumes any persisted state.
+func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery time.Duration) error {
 	// Validate the ID before it is used as an on-disk directory name —
 	// hub.CreateTask would reject it too, but only after the state dir
-	// and journal had been created at a possibly escaped path.
+	// had been created at a possibly escaped path.
 	if !crowdml.ValidTaskID(spec.ID) {
-		return nil, fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
+		return fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
 	}
 	if spec.Rate == 0 {
 		spec.Rate = 10
 	}
 	if spec.Classes < 2 || spec.Dim < 1 {
-		return nil, fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
+		return fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
 			spec.ID, spec.Classes, spec.Dim)
 	}
 	var m crowdml.Model
@@ -279,7 +262,7 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	case "svm":
 		m = crowdml.NewLinearSVM(spec.Classes, spec.Dim)
 	default:
-		return nil, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
+		return fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
 	}
 	cfg := crowdml.ServerConfig{
 		Model:                m,
@@ -289,48 +272,6 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 		CheckinBatchSize:     spec.CheckinBatch,
 		CheckinQueueDepth:    spec.CheckinQueue,
 		CheckinFlushInterval: spec.flushInterval(),
-	}
-
-	st := &taskState{}
-	if stateDir != "" {
-		fs, err := crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
-		if err != nil {
-			return nil, err
-		}
-		journal, err := fs.OpenJournal(ctx)
-		if err != nil {
-			return nil, err
-		}
-		st.fs, st.journal = fs, journal
-		cfg.OnCheckin = func(ctx context.Context, deviceID string, iteration int, req *crowdml.CheckinRequest) {
-			var norm1 float64
-			for _, v := range req.Grad {
-				if v < 0 {
-					norm1 -= v
-				} else {
-					norm1 += v
-				}
-			}
-			entry := crowdml.JournalEntry{
-				AtUnixMillis: time.Now().UnixMilli(),
-				DeviceID:     deviceID,
-				Iteration:    iteration,
-				NumSamples:   req.NumSamples,
-				ErrCount:     req.ErrCount,
-				GradNorm1:    norm1,
-			}
-			// The hook runs outside the server's parameter lock (the batch
-			// leader invokes it after releasing the critical section), so a
-			// slow disk here never blocks checkouts or stats reads — later
-			// checkins queue behind it. Entries still arrive in iteration
-			// order: hooks are invoked sequentially by the single active
-			// leader. The checkin is already applied to the model at
-			// this point, so the audit record must be written even if the
-			// device's request context has since been cancelled.
-			if err := st.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
-				log.Printf("task %s: journal append failed: %v", spec.ID, err)
-			}
-		}
 	}
 
 	labels := spec.Labels
@@ -361,25 +302,35 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	if spec.Default {
 		opts = append(opts, crowdml.AsDefaultTask())
 	}
+	var fs *crowdml.FileStore
+	if stateDir != "" {
+		var err error
+		fs, err = crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
+		if err != nil {
+			return err
+		}
+		opts = append(opts,
+			crowdml.WithStore(fs),
+			crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
+				Every:  saveEvery,
+				AfterN: spec.CheckpointAfterN,
+			}))
+	}
 	task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	st.task = task
-
-	if st.fs != nil {
-		cp, err := st.fs.Load(ctx)
-		switch {
-		case err == nil:
-			if err := task.Server().ImportState(cp.State); err != nil {
-				return nil, fmt.Errorf("task %s: restore checkpoint: %w", spec.ID, err)
-			}
-			log.Printf("task %s: restored checkpoint at iteration %d", spec.ID, cp.State.Iteration)
-		case errors.Is(err, crowdml.ErrNoCheckpoint):
-			log.Printf("task %s: no checkpoint; starting fresh", spec.ID)
-		default:
-			return nil, err
+	if fs != nil {
+		// Iteration alone can't tell "fresh" from "restored at iteration
+		// 0" (a clean shutdown before any checkin still checkpoints); the
+		// store's existence probe avoids re-decoding the checkpoint the
+		// restore path just loaded.
+		hasCP, _ := fs.HasCheckpoint(ctx)
+		if hasCP || task.Server().Iteration() > 0 {
+			log.Printf("task %s: resumed at iteration %d", spec.ID, task.Server().Iteration())
+		} else {
+			log.Printf("task %s: no persisted state; starting fresh", spec.ID)
 		}
 	}
-	return st, nil
+	return nil
 }

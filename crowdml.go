@@ -1,7 +1,9 @@
 package crowdml
 
 import (
+	"context"
 	"net/http"
+	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
 	"github.com/crowdml/crowdml/internal/hub"
@@ -116,6 +118,40 @@ type TaskOption = hub.TaskOption
 // NewHub returns an empty task hub.
 func NewHub() *Hub { return hub.New() }
 
+// OpenHub reconstructs a hub from persisted state after a restart: every
+// task ID listed under root is re-created via configure (which supplies
+// what a Store cannot hold — the model, updater and portal metadata, or
+// ErrSkipTask to leave a task unopened), restored to its exact pre-crash
+// iteration, parameters and totals (latest checkpoint + journal-tail
+// replay), and resumes journaling and checkpointing. Shut the hub down
+// with Hub.Close, which flushes a final snapshot per task.
+func OpenHub(ctx context.Context, root StoreRoot, configure TaskConfig) (*Hub, error) {
+	h := hub.New()
+	if _, err := h.Restore(ctx, root, configure); err != nil {
+		// Tasks restored before the failure have open journals; flush them
+		// so a half-failed open never strands file handles. The cleanup
+		// gets its own short deadline (detached from the possibly-dead
+		// ctx) so a wedged store cannot hang OpenHub's error return.
+		cleanupCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+		defer cancel()
+		_ = h.Close(cleanupCtx)
+		return nil, err
+	}
+	return h, nil
+}
+
+// TaskConfig supplies the runtime configuration for a persisted task
+// being restored by OpenHub or Hub.Restore.
+type TaskConfig = hub.TaskConfig
+
+// CheckpointPolicy controls a durable task's asynchronous checkpoint
+// cadence (WithCheckpointPolicy): Every snapshots on a timer, AfterN
+// after that many checkins since the last snapshot; both coalesce. The
+// zero policy defaults to once a minute. Checkpoints only bound journal
+// replay time — the write-ahead journal alone already makes every
+// acknowledged checkin durable.
+type CheckpointPolicy = hub.CheckpointPolicy
+
 // WithTaskInfo attaches portal metadata to a task at creation.
 func WithTaskInfo(info TaskInfo) TaskOption { return hub.WithInfo(info) }
 
@@ -123,11 +159,23 @@ func WithTaskInfo(info TaskInfo) TaskOption { return hub.WithInfo(info) }
 // single-task /v1/* endpoints (by default, the first task created).
 func AsDefaultTask() TaskOption { return hub.AsDefault() }
 
-// Task-registry sentinel errors.
+// WithStore makes the task durable on st: persisted state is restored
+// before the task goes live, every applied checkin is journaled ahead of
+// its acknowledgment, and an asynchronous coalescing checkpointer
+// snapshots the state per WithCheckpointPolicy — all off the lock-free
+// hot path. Flush with Hub.Close or Hub.CloseTask.
+func WithStore(st Store) TaskOption { return hub.WithStore(st) }
+
+// WithCheckpointPolicy sets a durable task's checkpoint cadence (only
+// meaningful together with WithStore).
+func WithCheckpointPolicy(p CheckpointPolicy) TaskOption { return hub.WithCheckpointPolicy(p) }
+
+// Task-registry and restore sentinel errors.
 var (
 	ErrTaskExists   = hub.ErrTaskExists
 	ErrTaskNotFound = hub.ErrTaskNotFound
 	ErrBadTaskID    = hub.ErrBadTaskID
+	ErrSkipTask     = hub.ErrSkipTask
 )
 
 // ValidTaskID reports whether id is usable as a task ID (the charset
@@ -223,6 +271,16 @@ func NormalizeL1(x []float64) {
 // part of the state.
 type ServerState = core.ServerState
 
+// ReplayRecord is one journaled, previously-acknowledged checkin for
+// Server.Replay — the low-level recovery entry point WithStore-managed
+// restore is built on (most callers never touch it directly).
+type ReplayRecord = core.ReplayRecord
+
+// ErrReplayGap is returned by Server.Replay when the journal tail skips
+// an iteration — replaying past a gap would silently diverge from the
+// pre-crash state.
+var ErrReplayGap = core.ErrReplayGap
+
 // TaskInfo describes a crowd-learning task for the Web portal: objective,
 // sensory data, labels, algorithm, and privacy budget — the transparency
 // details of the paper's Section V-A portal.
@@ -242,21 +300,56 @@ func NewPortalIndex(h *Hub) http.Handler {
 	return portal.NewIndex(h)
 }
 
-// FileStore persists server checkpoints and checkin journals under a
-// directory — the file-backed stand-in for the paper's MySQL state store.
+// Store is the pluggable durability backend for one task's learning
+// state: atomic checkpoints (Save/Load) plus a write-ahead checkin
+// journal (OpenJournal/ReadJournal) — the role MySQL played in the
+// paper's prototype. Attach one to a task with WithStore; recovery is
+// load-latest-checkpoint + deterministic replay of the journal tail.
+type Store = store.Store
+
+// FileStore is the file-backed Store: JSON checkpoints (atomic
+// write-to-temp + rename) and a JSONL journal under one directory.
 type FileStore = store.FileStore
 
-// NewFileStore opens (creating if needed) a checkpoint directory.
+// NewFileStore opens (creating if needed) a store directory.
 func NewFileStore(dir string) (*FileStore, error) { return store.NewFileStore(dir) }
 
-// ErrNoCheckpoint is returned by FileStore.Load when nothing has been
-// saved yet.
-var ErrNoCheckpoint = store.ErrNoCheckpoint
+// MemStore is the in-memory Store, for tests, benchmarks and embedded
+// use; a "crash" is simulated by dropping the hub while keeping the
+// store.
+type MemStore = store.MemStore
 
-// Journal is the append-only JSONL checkin audit log opened with
-// FileStore.OpenJournal.
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return store.NewMemStore() }
+
+// StoreRoot is a namespace of per-task Stores — what OpenHub restores a
+// whole process from. NewFileRoot exposes a directory of per-task
+// subdirectories (the cmd/crowdml-server -state-dir layout); NewMemRoot
+// is its in-memory counterpart.
+type StoreRoot = store.Root
+
+// NewFileRoot opens (creating if needed) a root directory of per-task
+// stores.
+func NewFileRoot(dir string) (*store.FileRoot, error) { return store.NewFileRoot(dir) }
+
+// NewMemRoot returns an empty in-memory root of per-task stores.
+func NewMemRoot() *store.MemRoot { return store.NewMemRoot() }
+
+// Store-layer sentinel errors. ErrNoCheckpoint is returned by Store.Load
+// when nothing has been saved yet; ErrJournalTruncated accompanies the
+// valid prefix ReadJournal returns when the journal's final record is
+// torn (the expected artifact of a crash mid-append — recovery treats it
+// as success for the returned entries).
+var (
+	ErrNoCheckpoint     = store.ErrNoCheckpoint
+	ErrJournalTruncated = store.ErrJournalTruncated
+)
+
+// Journal is a task's append-only write-ahead checkin log, opened with
+// Store.OpenJournal. Entries are durable before Append returns.
 type Journal = store.Journal
 
-// JournalEntry is one audit record in the checkin journal: which device
-// contributed which sanitized aggregate at which iteration.
+// JournalEntry is one write-ahead record: the complete sanitized checkin
+// (device, iteration, perturbed gradient, counters, echoed checkout
+// version), enough to deterministically re-apply it during recovery.
 type JournalEntry = store.JournalEntry

@@ -48,10 +48,69 @@
 //     the updates are applied — journaling never extends the lock hold
 //     or blocks reads (later checkins queue behind a slow hook).
 //
+// # Durability and recovery
+//
+// Persistence is a pluggable Store (the MySQL role in the paper's
+// prototype): atomic checkpoints of the learning state plus an
+// append-only write-ahead checkin journal. Two implementations ship —
+// FileStore (a directory) and MemStore (in-memory, for tests and
+// benchmarks) — and both pass one shared conformance suite. Durability
+// is hub-managed:
+//
+//	st, _ := crowdml.NewFileStore("/var/lib/crowdml/activity")
+//	task, _ := hub.CreateTask(ctx, "activity", cfg,
+//	    crowdml.WithStore(st),
+//	    crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
+//	        Every: time.Minute, AfterN: 1024,
+//	    }))
+//	...
+//	hub.Close(ctx) // final snapshot + journal close, every task
+//
+// Every applied checkin is journaled with its full sanitized content
+// (gradient, counters, echoed checkout version) before the Checkin call
+// returns, so recovery — load the latest checkpoint, then Server.Replay
+// the journal tail — reconstructs the exact pre-crash iteration counter,
+// parameters and totals: no acknowledged checkin is ever lost. (Exact
+// parameters assume an updater that is a pure function of (w, ĝ, t),
+// like the paper's SGD schedules; AdaGrad's internal accumulators are
+// not part of ServerState and reset on any restore.) After a
+// restart, OpenHub (or Hub.Restore) rebuilds every persisted task from a
+// StoreRoot. Checkpoints are written by an asynchronous, coalescing
+// per-task checkpointer and bound how much of the journal must be
+// re-APPLIED at restart (the journal is kept whole as an audit log and
+// re-read in full); the hot path above is untouched (the journal append
+// runs on the batch leader, outside the parameter lock). Durability is
+// against process crashes — FileStore does not fsync per entry, so
+// machine-level power loss can lose the newest journal entries.
+//
+// The ordering contract between OnCheckin and the journal: for a durable
+// task, the hub journals iteration t and THEN runs the user's OnCheckin
+// hook for t, both before the originating Checkin returns. A user hook
+// that observes iteration t can therefore rely on t's journal record
+// being durable. The converse edge is at-least-once: a crash after the
+// journal append but before the device saw the acknowledgment replays
+// the checkin on recovery, and a device that retries it contributes that
+// minibatch twice — the same semantics as a network-level retry, which
+// asynchronous SGD absorbs.
+//
+// A journal whose final record is torn by a crash mid-append is
+// repaired on reopen (the record was never durable, so it was never
+// acknowledged); Store.ReadJournal surfaces the same case as
+// ErrJournalTruncated with the valid prefix. If a journal append FAILS
+// (disk full, I/O error), the task fail-stops: it stops accepting
+// checkins — bounding the acknowledged-but-unjournaled window to one
+// batch — no later append is attempted (a success behind the hole would
+// break replay contiguity), and Hub.Close reports the failure; its
+// final checkpoint, if it succeeds, still captures the full in-memory
+// state.
+//
 // # Architecture
 //
 //	Hub     — named-task registry (sharded); CreateTask/Task/CloseTask,
-//	          a default task for the legacy single-task endpoints.
+//	          a default task for the legacy single-task endpoints;
+//	          hub-managed durability (WithStore, OpenHub/Restore, Close).
+//	Store   — pluggable persistence: checkpoints + write-ahead checkin
+//	          journal; FileStore and MemStore, grouped under a StoreRoot.
 //	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
 //	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria;
 //	          lock-free checkout/stats, batched checkin application.

@@ -177,10 +177,15 @@ func (s *Server) drainInto(batch []*pendingCheckin) []*pendingCheckin {
 // applyBatch also delivers each queued waiter's result on its done
 // channel (fast-path leaders have no channel and read the return value
 // directly); delivery is guaranteed even when a callback panics, so
-// waiters never hang on a dead leader.
+// waiters never hang on a dead leader. The hook invariant is likewise
+// unconditional: every applied (hence acknowledged-as-success) checkin
+// gets its OnCheckin call even when the Updater panicked later in the
+// batch — a write-ahead journal hook that missed an acknowledged
+// iteration would leave an unrecoverable gap in the log.
 func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 	results := make([]error, len(batch))
 	applied := 0 // items whose apply step completed; their result is authoritative
+	hooked := 0  // items whose OnCheckin hook has run
 	delivered := false
 	defer func() {
 		if delivered {
@@ -192,6 +197,25 @@ func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 		// section completed get their real result; the rest get
 		// ErrCheckinAborted. The panic itself keeps propagating out of
 		// the leader's Checkin call.
+		//
+		// Before delivering, run the hook for every APPLIED item it has
+		// not yet seen: those checkins are about to be acknowledged as
+		// successes, and the hook is what makes them durable (the hub's
+		// write-ahead journal) — skipping it would leave acknowledged
+		// iterations missing from the journal, an unrecoverable replay
+		// gap. Each call is recover-guarded; a hook panic here is dropped
+		// (the original panic is already propagating).
+		if s.cfg.OnCheckin != nil {
+			for i, p := range batch {
+				if i >= applied || results[i] != nil || i < hooked {
+					continue
+				}
+				func() {
+					defer func() { _ = recover() }()
+					s.cfg.OnCheckin(p.ctx, p.deviceID, p.iteration, p.req)
+				}()
+			}
+		}
 		for i, p := range batch {
 			if p.done == nil {
 				continue
@@ -223,6 +247,7 @@ func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 	var hookPanic any
 	if s.cfg.OnCheckin != nil {
 		for i, p := range batch {
+			hooked = i + 1
 			if results[i] != nil {
 				continue
 			}

@@ -67,16 +67,35 @@ func (r *deviceRegistry) register(deviceID, token string, classes int) {
 	}
 }
 
-// authenticate verifies a device's token under the shard read lock.
+// authenticate verifies a device's token under the shard read lock. An
+// entry with an empty stored token is unprovisioned — created by state
+// restore or journal replay, which never persist credentials — and must
+// never authenticate (an empty presented token would otherwise match it:
+// ConstantTimeCompare of two empty slices reports equal). Such a device
+// re-registers to obtain a fresh token.
 func (r *deviceRegistry) authenticate(deviceID, token string) error {
 	sh := r.shardFor(deviceID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	e, ok := sh.entries[deviceID]
-	if !ok || subtle.ConstantTimeCompare([]byte(e.token), []byte(token)) != 1 {
+	if !ok || e.token == "" ||
+		subtle.ConstantTimeCompare([]byte(e.token), []byte(token)) != 1 {
 		return ErrAuth
 	}
 	return nil
+}
+
+// foldCheckin accumulates one checkin into a device's counters — the
+// single accounting shared by the live apply path and journal replay, so
+// the two can never drift (recovery must be bit-exact).
+func foldCheckin(st *DeviceStats, req *CheckinRequest, staleness int) {
+	st.Samples += req.NumSamples
+	st.Errors += req.ErrCount
+	for k, c := range req.LabelCounts {
+		st.LabelCounts[k] += c
+	}
+	st.Checkins++
+	st.StalenessSum += staleness
 }
 
 // applyCheckinStats folds one applied checkin into a device's counters
@@ -89,15 +108,23 @@ func (r *deviceRegistry) applyCheckinStats(deviceID string, req *CheckinRequest,
 	if !ok {
 		return false
 	}
-	st := &e.stats
-	st.Samples += req.NumSamples
-	st.Errors += req.ErrCount
-	for k, c := range req.LabelCounts {
-		st.LabelCounts[k] += c
-	}
-	st.Checkins++
-	st.StalenessSum += staleness
+	foldCheckin(&e.stats, req, staleness)
 	return true
+}
+
+// recordReplay folds one replayed checkin into a device's counters,
+// creating the entry (without a credential, like importStats) when the
+// device contributed after the checkpoint that created it was taken.
+func (r *deviceRegistry) recordReplay(deviceID string, req *CheckinRequest, staleness, classes int) {
+	sh := r.shardFor(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[deviceID]
+	if !ok {
+		e = &deviceEntry{stats: DeviceStats{LabelCounts: make([]int, classes)}}
+		sh.entries[deviceID] = e
+	}
+	foldCheckin(&e.stats, req, staleness)
 }
 
 // statsCopy returns a deep copy of a device's counters.

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// ErrReplayGap is returned by Replay when the journal tail skips an
+// iteration: the record stream must be contiguous from the restored
+// state's iteration counter, or the reconstructed parameters would
+// silently diverge from the pre-crash server.
+var ErrReplayGap = errors.New("core: replay records skip an iteration")
+
+// ReplayRecord is one journaled, previously-acknowledged checkin on its
+// way back into a restored server — the store.JournalEntry fields that
+// determine the state transition.
+type ReplayRecord struct {
+	// DeviceID is the contributing device.
+	DeviceID string
+	// Iteration is the server iteration the checkin was applied at.
+	Iteration int
+	// Req is the sanitized checkin exactly as originally applied.
+	Req *CheckinRequest
+}
+
+// Replay re-applies journaled checkins on top of the server's current
+// state — the recovery path after ImportState has restored the latest
+// checkpoint. Records at or below the current iteration counter are
+// already covered by the checkpoint and are skipped; the rest must be
+// contiguous (ErrReplayGap otherwise) and are applied with the same
+// update step, counter accumulation and staleness accounting as the
+// original Checkin, so a recovered server lands on the exact pre-crash
+// iteration, parameters and totals.
+//
+// Replay is a startup-time operation, before the server takes traffic.
+// Unlike Checkin it performs no authentication (credentials are not part
+// of persisted state), does not consult the stopping rule (every record
+// was acknowledged, so it passed the rule when originally applied), and
+// does not invoke the OnCheckin hook (the records came FROM the journal;
+// journaling them again would duplicate the log). It returns the number
+// of records applied.
+//
+// Exactness holds for updaters whose step depends only on (w, ĝ, t) —
+// the paper's SGD schedules. An updater carrying internal state of its
+// own (AdaGrad's per-coordinate accumulators) is outside ServerState, so
+// a recovered run resumes with that state reset — true of checkpoint
+// restore (ImportState) just the same, since the accumulators were never
+// persisted. See the ROADMAP for updater-state persistence.
+func (s *Server) Replay(records []ReplayRecord) (applied int, err error) {
+	classes, dim := s.cfg.Model.Shape()
+	s.wMu.Lock()
+	defer s.wMu.Unlock()
+	for _, r := range records {
+		t := int(s.t.Load())
+		if r.Iteration <= t {
+			continue // covered by the checkpoint
+		}
+		if r.Iteration != t+1 {
+			return applied, fmt.Errorf("record for iteration %d after state at %d: %w",
+				r.Iteration, t, ErrReplayGap)
+		}
+		if r.Req == nil {
+			return applied, fmt.Errorf("core: replay record %d has no request", r.Iteration)
+		}
+		if len(r.Req.Grad) != classes*dim {
+			return applied, fmt.Errorf("core: replay record %d gradient length %d, want %d",
+				r.Iteration, len(r.Req.Grad), classes*dim)
+		}
+		if len(r.Req.LabelCounts) != classes {
+			return applied, fmt.Errorf("core: replay record %d label counts length %d, want %d",
+				r.Iteration, len(r.Req.LabelCounts), classes)
+		}
+		g, err := linalg.NewMatrixFrom(classes, dim, r.Req.Grad)
+		if err != nil {
+			return applied, fmt.Errorf("core: replay record %d: %w", r.Iteration, err)
+		}
+		// Same commit sequence as applyBatchLocked: update, iteration,
+		// counters (errors before samples), device stats.
+		staleness := t - r.Req.Version
+		s.cfg.Updater.Update(s.w, g, r.Iteration)
+		s.t.Store(int64(r.Iteration))
+		s.totalNe.Add(int64(r.Req.ErrCount))
+		for k, c := range r.Req.LabelCounts {
+			s.totalNky[k].Add(int64(c))
+		}
+		s.totalNs.Add(int64(r.Req.NumSamples))
+		s.devices.recordReplay(r.DeviceID, r.Req, staleness, classes)
+		applied++
+	}
+	// Re-latch the stopping rule from the replayed counters, then publish
+	// the recovered parameters for checkouts.
+	s.evalStopped()
+	s.publishSnapshotLocked()
+	return applied, nil
+}

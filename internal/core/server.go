@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -281,6 +282,14 @@ func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *Check
 	if len(req.Grad) != classes*dim {
 		return fmt.Errorf("gradient length %d, want %d: %w",
 			len(req.Grad), classes*dim, ErrBadCheckin)
+	}
+	for _, v := range req.Grad {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A non-finite value would poison w for every later device (and
+			// a NaN cannot even be journaled — encoding/json rejects it), so
+			// one malformed checkin must be rejected here, not applied.
+			return fmt.Errorf("non-finite gradient value: %w", ErrBadCheckin)
+		}
 	}
 	if len(req.LabelCounts) != classes {
 		return fmt.Errorf("label counts length %d, want %d: %w",

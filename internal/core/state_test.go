@@ -58,6 +58,12 @@ func TestImportStateRequiresReauth(t *testing.T) {
 	if _, err := dst.Checkout(ctx, "d1", "old-token"); err == nil {
 		t.Error("restored server must not accept unprovisioned credentials")
 	}
+	// In particular an EMPTY presented token must not match the restored
+	// entry's empty stored token (a constant-time compare of two empty
+	// strings reports equal — the classic restore auth bypass).
+	if _, err := dst.Checkout(ctx, "d1", ""); err == nil {
+		t.Error("unprovisioned device must reject an empty token")
+	}
 	tok := register(t, dst, "d1")
 	if _, err := dst.Checkout(ctx, "d1", tok); err != nil {
 		t.Errorf("re-registered device rejected: %v", err)

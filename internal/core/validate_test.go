@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+)
+
+// TestCheckinRejectsNonFiniteGradient: one NaN/Inf gradient would poison
+// the shared parameters for every later device and cannot even be
+// journaled (encoding/json rejects non-finite floats, which would
+// fail-stop a durable task) — it must be rejected as a bad checkin, not
+// applied.
+func TestCheckinRejectsNonFiniteGradient(t *testing.T) {
+	const classes, dim = 2, 3
+	srv, err := NewServer(ServerConfig{
+		Model:   model.NewLogisticRegression(classes, dim),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		req := &CheckinRequest{
+			Grad:        make([]float64, classes*dim),
+			NumSamples:  1,
+			LabelCounts: make([]int, classes),
+		}
+		req.Grad[2] = bad
+		if err := srv.Checkin(ctx, "dev", token, req); !errors.Is(err, ErrBadCheckin) {
+			t.Errorf("%s gradient: error = %v, want ErrBadCheckin", name, err)
+		}
+	}
+	if srv.Iteration() != 0 {
+		t.Errorf("rejected checkins advanced the iteration counter to %d", srv.Iteration())
+	}
+	// The parameters stay finite and usable.
+	req := &CheckinRequest{
+		Grad:        make([]float64, classes*dim),
+		NumSamples:  1,
+		LabelCounts: make([]int, classes),
+	}
+	req.Grad[0] = 0.5
+	if err := srv.Checkin(ctx, "dev", token, req); err != nil {
+		t.Fatalf("finite checkin after rejections: %v", err)
+	}
+	for _, v := range srv.Params().Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("parameters contaminated by a rejected checkin")
+		}
+	}
+}

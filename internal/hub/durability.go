@@ -1,0 +1,451 @@
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/store"
+)
+
+// ErrSkipTask is returned by a Restore configuration callback to leave a
+// persisted task unopened (its state stays in the store untouched).
+var ErrSkipTask = errors.New("crowdml: skip restoring this task")
+
+// CheckpointPolicy controls when a task's asynchronous checkpointer
+// snapshots the server state. The journal makes every acknowledged
+// checkin durable on its own, so checkpoints only bound replay time —
+// both triggers coalesce: however many checkins arrive between
+// snapshots, each trigger writes one.
+type CheckpointPolicy struct {
+	// Every checkpoints on a timer (when any checkin arrived since the
+	// last snapshot). 0 disables the timer.
+	Every time.Duration
+	// AfterN checkpoints once this many checkins accumulated since the
+	// last snapshot. 0 disables the count trigger.
+	AfterN int
+}
+
+// withDefaults returns the policy CreateTask actually runs: a task with
+// a store but no explicit policy checkpoints once a minute.
+func (p CheckpointPolicy) withDefaults() CheckpointPolicy {
+	if p.Every <= 0 && p.AfterN <= 0 {
+		p.Every = time.Minute
+	}
+	return p
+}
+
+// WithStore attaches a durability store to the task. CreateTask then
+// restores any persisted state (latest checkpoint + deterministic replay
+// of the journal tail) before the task is registered, journals every
+// applied checkin write-ahead of its acknowledgment, and runs an
+// asynchronous checkpointer per WithCheckpointPolicy. Hub.Close (or
+// CloseTask) flushes a final snapshot and closes the journal.
+func WithStore(st store.Store) TaskOption {
+	return func(o *createOptions) { o.store = st }
+}
+
+// WithCheckpointPolicy sets the task's checkpoint cadence; it only has
+// an effect together with WithStore. The zero policy means the default
+// (checkpoint once a minute).
+func WithCheckpointPolicy(p CheckpointPolicy) TaskOption {
+	return func(o *createOptions) { o.policy = p }
+}
+
+// durability is the per-task persistence engine: the write-ahead journal
+// hook plus the coalescing asynchronous checkpointer. The hook runs on
+// the batch leader OUTSIDE the server's parameter lock (the PR 2 hot
+// path is untouched); the checkpointer runs on its own goroutine and
+// never blocks checkins at all.
+type durability struct {
+	st      store.Store
+	journal store.Journal
+	user    func(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest)
+	srv     *core.Server // set once the server exists, before any traffic
+
+	policy CheckpointPolicy
+	dirty  atomic.Int64  // checkins journaled since the last snapshot
+	kick   chan struct{} // AfterN trigger (capacity 1, coalescing)
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// failed latches on the first journal-append failure: the WAL can no
+	// longer honor "every acknowledged checkin is durable", so the task
+	// fail-stops (see onCheckin) rather than silently widening the loss —
+	// and no later append may succeed, which would leave a hole that
+	// breaks replay contiguity on recovery. preFailStopped captures the
+	// learning-rule stop state at the moment of failure, so close() can
+	// persist THAT instead of the fail-stop latch — a transient disk
+	// error must not brick the task across restarts.
+	failed         atomic.Bool
+	preFailStopped atomic.Bool
+
+	// stopOnce guards stopCh against double close across retried closes.
+	stopOnce sync.Once
+
+	// closeMu fences the journal against close: the hook appends under
+	// the read lock, and close() takes the write lock to set closing —
+	// which both drains every in-flight append and makes later hooks skip
+	// journaling. An append racing journal.Close would otherwise latch a
+	// bogus fail-stop from the spurious error. Skipping loses nothing:
+	// close() stops the server BEFORE its state export, so any checkin
+	// whose hook got this far is covered by the final checkpoint.
+	closeMu sync.RWMutex
+	closing bool
+
+	mu        sync.Mutex
+	asyncErr  []error       // failures on the async paths, surfaced by close
+	closed    bool          // fully flushed; latched only on flush success
+	closeBusy bool          // a close attempt is in flight
+	closeWait chan struct{} // closed when the in-flight attempt finishes
+	// persistStopped is the stop flag the final checkpoint should carry,
+	// decided once on the first close attempt (before close's own
+	// administrative Stop latches the server) so a RETRIED close after a
+	// flush failure does not mistake that Stop for learning state.
+	persistStopped bool
+	stopDecided    bool
+}
+
+func newDurability(st store.Store, journal store.Journal, policy CheckpointPolicy,
+	user func(context.Context, string, int, *core.CheckinRequest)) *durability {
+	return &durability{
+		st: st, journal: journal, user: user,
+		policy: policy.withDefaults(),
+		kick:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// onCheckin is the ServerConfig.OnCheckin hook CreateTask installs. Per
+// the core contract it runs after the checkin is applied in memory but
+// before the originating Checkin call returns — so the journal record is
+// durable before the device ever sees an acknowledgment, and before the
+// user's own OnCheckin hook observes the iteration.
+func (d *durability) onCheckin(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest) {
+	d.journalCheckin(ctx, deviceID, iteration, req)
+	if d.user != nil {
+		d.user(ctx, deviceID, iteration, req)
+	}
+}
+
+// journalCheckin appends the WAL record under closeMu's read lock. The
+// lock is scoped to the journaling alone — never the user hook — so a
+// hook that itself closes the task cannot deadlock against close()'s
+// write lock.
+func (d *durability) journalCheckin(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.failed.Load() || d.closing {
+		return
+	}
+	entry := store.JournalEntry{
+		AtUnixMillis: time.Now().UnixMilli(),
+		DeviceID:     deviceID,
+		Iteration:    iteration,
+		NumSamples:   req.NumSamples,
+		ErrCount:     req.ErrCount,
+		GradNorm1:    linalg.Norm1(req.Grad),
+		Grad:         req.Grad,
+		LabelCounts:  req.LabelCounts,
+		Version:      req.Version,
+	}
+	// The checkin is already applied to the model; the record must be
+	// written even if the device's request context has been cancelled.
+	if err := d.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
+		// Fail-stop: the checkin is applied and its caller will see
+		// success, but it cannot be made durable. Stop the task so the
+		// un-journaled window stays as narrow as one batch (devices get
+		// ErrStopped from here on), latch failed so no LATER append can
+		// succeed and leave a replay-breaking hole behind this one, and
+		// surface the error at Close. Silently continuing would instead
+		// grow the acknowledged-but-lost window without bound. The
+		// learning-rule stop state is captured first: the fail-stop is
+		// operational, and must not be persisted as learning state.
+		d.preFailStopped.Store(d.srv.Stopped())
+		d.failed.Store(true)
+		d.srv.Stop()
+		d.recordErr(fmt.Errorf("journal append at iteration %d failed; task stopped: %w", iteration, err))
+	}
+	n := d.dirty.Add(1)
+	if d.policy.AfterN > 0 && n >= int64(d.policy.AfterN) {
+		select {
+		case d.kick <- struct{}{}:
+		default: // a kick is already pending; it will see this checkin too
+		}
+	}
+}
+
+func (d *durability) recordErr(err error) {
+	d.mu.Lock()
+	d.asyncErr = append(d.asyncErr, err)
+	d.mu.Unlock()
+}
+
+// run is the checkpointer goroutine: it waits for a trigger, then writes
+// one snapshot covering every checkin journaled so far. Started before
+// the task is registered; stopped by close.
+func (d *durability) run() {
+	defer close(d.doneCh)
+	var tick <-chan time.Time
+	if d.policy.Every > 0 {
+		ticker := time.NewTicker(d.policy.Every)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-d.kick:
+		case <-tick:
+		}
+		if d.dirty.Load() == 0 {
+			continue
+		}
+		d.save(context.Background())
+	}
+}
+
+// save snapshots the server state. ExportState takes the apply lock for
+// the duration of one state copy — the same cost a stats export pays —
+// so checkpointing throttles the write path only for that copy, never
+// for the Store.Save I/O itself.
+func (d *durability) save(ctx context.Context) {
+	n := d.dirty.Load()
+	state := d.srv.ExportState()
+	// Scrub the fail-stop latch exactly as close() does: it is
+	// operational, not learning state, and a snapshot that persisted it
+	// would brick the task across a crash that follows a transient
+	// journal error. (failed is checked AFTER the export: the fail-stop
+	// stores preFailStopped and failed before it stops the server, so an
+	// export that saw the stop also sees failed here.)
+	if d.failed.Load() {
+		state.Stopped = d.preFailStopped.Load()
+	}
+	if err := d.st.Save(ctx, state, time.Now()); err != nil {
+		d.recordErr(fmt.Errorf("checkpoint: %w", err))
+		return
+	}
+	// Checkins that raced in between the Load and the export are covered
+	// by the snapshot too; counting them as still-dirty only means one
+	// redundant save later, never a lost one.
+	d.dirty.Add(-n)
+}
+
+// close stops the checkpointer, stops the server, writes the final
+// snapshot, closes the journal, and reports every error the async paths
+// accumulated. Stopping the server before the final export closes the
+// shutdown loss window: a checkin not yet applied when the stop latches
+// is rejected (ErrStopped, never acknowledged), so nothing acknowledged
+// can postdate the final checkpoint. The stop is shutdown mechanics, not
+// learning state — the snapshot records the server's pre-shutdown
+// stopped flag, so a restored task resumes accepting checkins unless the
+// learning rule (or CloseTask) had already stopped it.
+//
+// The flushed latch is set only when the flush SUCCEEDS: a close that
+// failed on a wedged or full store returns its error and may be retried
+// (Hub.Close and a flush-failed CloseTask leave the task reachable for
+// exactly that); once a close succeeds, later calls return nil.
+func (d *durability) close(ctx context.Context) error {
+	// Claim the single close slot, or wait for the attempt already in
+	// flight and then re-check: a concurrent closer must not report
+	// success (and, in CloseTask's case, deregister the task) while the
+	// real flush is still running and may yet fail.
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return nil
+		}
+		if !d.closeBusy {
+			d.closeBusy = true
+			d.closeWait = make(chan struct{})
+			d.mu.Unlock()
+			break
+		}
+		wait := d.closeWait
+		d.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return fmt.Errorf("waiting on a concurrent durability close: %w", ctx.Err())
+		}
+	}
+	done := func(final bool, errs ...error) error {
+		d.mu.Lock()
+		d.closeBusy = false
+		d.closed = final
+		close(d.closeWait)
+		errs = append(errs, d.asyncErr...)
+		d.asyncErr = nil
+		d.mu.Unlock()
+		return errors.Join(errs...)
+	}
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	select {
+	case <-d.doneCh:
+	case <-ctx.Done():
+		// The checkpointer is wedged in a hung Store.Save; hand the caller
+		// its deadline back and leave the latch open for a retry once the
+		// store recovers. (The checkpointer goroutine itself exits when
+		// the wedged Save returns and does not restart — the journal still
+		// records every checkin, so nothing is lost, but snapshots resume
+		// only after a successful retried close... which is the only
+		// supported continuation: close again, don't keep serving.)
+		return done(false, fmt.Errorf("checkpointer did not stop before the deadline: %w", ctx.Err()))
+	}
+	d.mu.Lock()
+	if !d.stopDecided {
+		// Decide what stop flag to persist BEFORE close's own Stop below
+		// latches the server (a retried close must not mistake it for
+		// learning state), and likewise ignore a fail-stop latch — both
+		// are operational; only the learning rule's (or CloseTask's
+		// pre-existing) verdict belongs in the checkpoint.
+		d.persistStopped = d.srv.Stopped()
+		if d.failed.Load() {
+			d.persistStopped = d.preFailStopped.Load()
+		}
+		d.stopDecided = true
+	}
+	stopped := d.persistStopped
+	d.mu.Unlock()
+	d.srv.Stop()
+	state := d.srv.ExportState() // wMu barrier: everything applied so far
+	state.Stopped = stopped
+	if err := d.st.Save(ctx, state, time.Now()); err != nil {
+		// The journal stays open and hooks keep appending: every
+		// acknowledged checkin remains durable in the WAL even though the
+		// snapshot failed, and a retried close re-exports and re-saves.
+		return done(false, fmt.Errorf("final checkpoint: %w", err))
+	}
+	// Only now fence the journal — the fence drains in-flight hook
+	// appends and makes later hooks skip journaling. Any checkin those
+	// late hooks represent was applied before the Stop above, so the
+	// just-written checkpoint already covers it durably; fencing earlier
+	// would instead leave such checkins nowhere if the Save had failed.
+	d.closeMu.Lock()
+	d.closing = true
+	d.closeMu.Unlock()
+	var errs []error
+	if err := d.journal.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("close journal: %w", err))
+	}
+	return done(len(errs) == 0, errs...)
+}
+
+// restoreInto reconstructs a freshly built server from its store: load
+// the latest checkpoint (if any), then deterministically replay the
+// journal tail, landing on the exact pre-crash iteration, parameters and
+// totals. A torn final journal record (ErrJournalTruncated) is tolerated
+// — it was never durable, so its checkin was never acknowledged. Entries
+// written by the v1 audit-only journal carry no gradient and cannot be
+// replayed; they are skipped (the checkpoint is the best v1 could do).
+func restoreInto(ctx context.Context, srv *core.Server, st store.Store, taskID string) error {
+	cp, err := st.Load(ctx)
+	switch {
+	case errors.Is(err, store.ErrNoCheckpoint):
+	case err != nil:
+		return fmt.Errorf("task %q: load checkpoint: %w", taskID, err)
+	default:
+		if err := srv.ImportState(cp.State); err != nil {
+			return fmt.Errorf("task %q: restore checkpoint: %w", taskID, err)
+		}
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil && !errors.Is(err, store.ErrJournalTruncated) {
+		return fmt.Errorf("task %q: read journal: %w", taskID, err)
+	}
+	records := make([]core.ReplayRecord, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if !e.Replayable() {
+			continue
+		}
+		records = append(records, core.ReplayRecord{
+			DeviceID:  e.DeviceID,
+			Iteration: e.Iteration,
+			Req: &core.CheckinRequest{
+				Grad:        e.Grad,
+				NumSamples:  e.NumSamples,
+				ErrCount:    e.ErrCount,
+				LabelCounts: e.LabelCounts,
+				Version:     e.Version,
+			},
+		})
+	}
+	if _, err := srv.Replay(records); err != nil {
+		return fmt.Errorf("task %q: replay journal: %w", taskID, err)
+	}
+	return nil
+}
+
+// TaskConfig supplies the runtime configuration for a persisted task
+// being restored — the parts a Store cannot hold (the model, the
+// updater, portal metadata). Return ErrSkipTask to leave the task's
+// state in the store without hosting it.
+type TaskConfig func(taskID string) (core.ServerConfig, []TaskOption, error)
+
+// Restore reconstructs every task persisted under root: List the task
+// IDs, obtain each task's runtime configuration from configure, and
+// CreateTask with the task's store attached — which loads the latest
+// checkpoint, replays the journal tail, and resumes journaling and
+// checkpointing. It returns the restored tasks. On error, tasks already
+// restored stay hosted (the caller owns the hub and can Close it).
+func (h *Hub) Restore(ctx context.Context, root store.Root, configure TaskConfig) ([]*Task, error) {
+	ids, err := root.List(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("crowdml: list persisted tasks: %w", err)
+	}
+	var out []*Task
+	for _, id := range ids {
+		if !ValidTaskID(id) {
+			// Never a crowdml store: CreateTask enforces the ID charset, so
+			// the hub could not have written it. Skipping keeps a stray
+			// directory under a file root (lost+found, an operator's backup
+			// copy) from aborting the whole restore.
+			continue
+		}
+		cfg, opts, err := configure(id)
+		if errors.Is(err, ErrSkipTask) {
+			continue
+		}
+		if err != nil {
+			return out, fmt.Errorf("task %q: configure: %w", id, err)
+		}
+		st, err := root.Open(ctx, id)
+		if err != nil {
+			return out, fmt.Errorf("task %q: open store: %w", id, err)
+		}
+		task, err := h.CreateTask(ctx, id, cfg, append(opts, WithStore(st))...)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, task)
+	}
+	return out, nil
+}
+
+// Close flushes durability for every hosted task: each task's
+// checkpointer is stopped, its server is stopped (so no checkin can be
+// acknowledged past its final snapshot — devices get ErrStopped, and
+// checkouts still answer, with Done set), a final snapshot is written,
+// and the journal is closed; tasks without a store are untouched. The
+// stop is not persisted as learning state: a hub reopened from the same
+// stores resumes every task. Errors
+// are collected per task (prefixed with the task ID) and joined, so one
+// failing store never hides another task's flush failure. Idempotent.
+func (h *Hub) Close(ctx context.Context) error {
+	var errs []error
+	for _, t := range h.Tasks() {
+		if err := t.closeDurability(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("task %q: %w", t.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}

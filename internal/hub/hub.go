@@ -14,6 +14,13 @@
 // groups by a batch leader under a single parameter-lock acquisition —
 // see core.ServerConfig's CheckinBatchSize/CheckinQueueDepth/
 // CheckinFlushInterval knobs, which CreateTask passes through untouched.
+//
+// Durability is hub-managed (the MySQL role of the paper's prototype):
+// CreateTask(..., WithStore(st)) makes a task durable — restored from
+// its store before registration, write-ahead journaled on every applied
+// checkin, snapshotted asynchronously per WithCheckpointPolicy — and
+// Hub.Restore/Hub.Close handle whole-process restart and shutdown. See
+// durability.go.
 package hub
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"github.com/crowdml/crowdml/internal/core"
 	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/store"
 )
 
 // NumShards is the number of independently locked registry shards.
@@ -71,12 +79,14 @@ type TaskInfo struct {
 }
 
 // Task is one hosted learning task: a core.Server plus its portal
-// metadata. Tasks are created with Hub.CreateTask and remain valid (but
-// stopped) after Hub.CloseTask removes them from the registry.
+// metadata and (with WithStore) its durability engine. Tasks are created
+// with Hub.CreateTask and remain valid (but stopped) after Hub.CloseTask
+// removes them from the registry.
 type Task struct {
 	id     string
 	server *core.Server
 	info   TaskInfo
+	dur    *durability // nil without WithStore
 }
 
 // ID returns the task's registry key.
@@ -88,12 +98,32 @@ func (t *Task) Server() *core.Server { return t.server }
 // Info returns the task's portal metadata.
 func (t *Task) Info() TaskInfo { return t.info }
 
+// Store returns the durability store attached with WithStore, or nil.
+func (t *Task) Store() store.Store {
+	if t.dur == nil {
+		return nil
+	}
+	return t.dur.st
+}
+
+// closeDurability flushes and shuts down the task's durability engine
+// (final snapshot + journal close). No-op for tasks without a store or
+// whose durability was already closed.
+func (t *Task) closeDurability(ctx context.Context) error {
+	if t.dur == nil {
+		return nil
+	}
+	return t.dur.close(ctx)
+}
+
 // TaskOption customizes CreateTask.
 type TaskOption func(*createOptions)
 
 type createOptions struct {
 	info      TaskInfo
 	asDefault bool
+	store     store.Store
+	policy    CheckpointPolicy
 }
 
 // WithInfo attaches portal metadata to the task. When the info has no
@@ -112,9 +142,10 @@ func AsDefault() TaskOption {
 
 // shard is one independently locked slice of the registry.
 type shard struct {
-	mu     sync.RWMutex
-	tasks  map[string]*Task
-	closed map[string]struct{} // tombstones for CloseTask'd IDs
+	mu      sync.RWMutex
+	tasks   map[string]*Task
+	closed  map[string]struct{} // tombstones for CloseTask'd IDs
+	pending map[string]struct{} // IDs reserved by an in-flight CreateTask
 }
 
 // Hub is a sharded registry of named learning tasks. It is safe for
@@ -137,6 +168,7 @@ func New() *Hub {
 	for i := range h.shards {
 		h.shards[i].tasks = make(map[string]*Task)
 		h.shards[i].closed = make(map[string]struct{})
+		h.shards[i].pending = make(map[string]struct{})
 	}
 	return h
 }
@@ -172,6 +204,14 @@ func ValidTaskID(id string) bool {
 // (see AsDefault). Re-using the ID of a previously closed task clears
 // that task's tombstone. It fails with ErrTaskExists for duplicate IDs
 // and ErrBadTaskID for IDs unusable in URLs.
+//
+// With WithStore, the task is durable: any state already persisted is
+// restored (latest checkpoint + deterministic replay of the journal
+// tail) before the task is registered, every applied checkin is
+// journaled write-ahead of its acknowledgment, and an asynchronous
+// checkpointer snapshots the state per WithCheckpointPolicy. The
+// supplied cfg.OnCheckin still runs, after the journal append for the
+// same iteration.
 func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConfig, opts ...TaskOption) (*Task, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -186,20 +226,69 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 	if o.info.Name == "" {
 		o.info.Name = taskID
 	}
+	// Reserve the ID before any side effects: opening the store's journal
+	// repairs (truncates) its tail and the restore replays it, neither of
+	// which may ever touch a store whose task is already live — a racing
+	// duplicate could otherwise truncate the winner's half-flushed append
+	// as a "torn tail". The reservation makes duplicate rejection happen
+	// strictly before the store is opened.
+	sh := h.shardFor(taskID)
+	sh.mu.Lock()
+	_, live := sh.tasks[taskID]
+	_, reserving := sh.pending[taskID]
+	if live || reserving {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%q: %w", taskID, ErrTaskExists)
+	}
+	sh.pending[taskID] = struct{}{}
+	sh.mu.Unlock()
+	// Deferred cleanup rather than per-path calls: a panic out of
+	// user-supplied code (an Updater panicking during journal replay)
+	// must not strand the reservation or the open journal handle any
+	// more than an ordinary error would.
+	registered := false
+	var dur *durability
+	defer func() {
+		if registered {
+			return
+		}
+		if dur != nil {
+			dur.stopOnce.Do(func() { close(dur.stopCh) })
+			_ = dur.journal.Close()
+		}
+		sh.mu.Lock()
+		delete(sh.pending, taskID)
+		sh.mu.Unlock()
+	}()
+
+	if o.store != nil {
+		journal, err := o.store.OpenJournal(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("task %q: open journal: %w", taskID, err)
+		}
+		dur = newDurability(o.store, journal, o.policy, cfg.OnCheckin)
+		cfg.OnCheckin = dur.onCheckin
+	}
 	server, err := core.NewServer(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("task %q: %w", taskID, err)
 	}
-	task := &Task{id: taskID, server: server, info: o.info}
-
-	sh := h.shardFor(taskID)
-	sh.mu.Lock()
-	if _, ok := sh.tasks[taskID]; ok {
-		sh.mu.Unlock()
-		return nil, fmt.Errorf("%q: %w", taskID, ErrTaskExists)
+	if dur != nil {
+		dur.srv = server
+		if err := restoreInto(ctx, server, o.store, taskID); err != nil {
+			return nil, err
+		}
+		// The checkpointer starts before the task is visible, so a racing
+		// CloseTask/Close can always join it.
+		go dur.run()
 	}
+	task := &Task{id: taskID, server: server, info: o.info, dur: dur}
+
+	sh.mu.Lock()
+	delete(sh.pending, taskID)
 	sh.tasks[taskID] = task
 	delete(sh.closed, taskID)
+	registered = true
 	sh.mu.Unlock()
 
 	h.defaultMu.Lock()
@@ -263,36 +352,49 @@ func (h *Hub) DefaultClosed() bool {
 }
 
 // CloseTask stops the task's server (administrative shutdown, so devices
-// checking out learn to stand down if they still hold the pointer) and
-// removes it from the registry, leaving a tombstone so the HTTP layer
-// can tell remote devices the task has stopped (409) rather than that
-// it never existed (404). Closing the default task leaves the hub with
-// no default until SetDefaultTask or the next CreateTask.
+// checking out learn to stand down if they still hold the pointer),
+// flushes a durable task's state — final checkpoint, journal closed —
+// and removes the task from the registry, leaving a tombstone so the
+// HTTP layer can tell remote devices the task has stopped (409) rather
+// than that it never existed (404). Closing the default task leaves the
+// hub with no default until SetDefaultTask or the next CreateTask.
+//
+// The flush runs BEFORE the removal: if it fails (a wedged or erroring
+// store), the error is returned and the task stays registered — stopped,
+// but still reachable — so the operator can retry CloseTask (or
+// Hub.Close) once the store recovers, instead of the flush becoming
+// permanently unreachable.
 func (h *Hub) CloseTask(ctx context.Context, taskID string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sh := h.shardFor(taskID)
-	sh.mu.Lock()
-	t, ok := sh.tasks[taskID]
-	if ok {
-		delete(sh.tasks, taskID)
-		if len(sh.closed) >= maxTombstonesPerShard {
-			// Bound tombstone memory under task churn by evicting an
-			// arbitrary old entry; devices of a task evicted here fall
-			// back to 404 instead of 409, which still fails their run.
-			for old := range sh.closed {
-				delete(sh.closed, old)
-				break
-			}
-		}
-		sh.closed[taskID] = struct{}{}
-	}
-	sh.mu.Unlock()
+	t, ok := h.Task(taskID)
 	if !ok {
 		return fmt.Errorf("%q: %w", taskID, ErrTaskNotFound)
 	}
 	t.server.Stop()
+	if err := t.closeDurability(ctx); err != nil {
+		return fmt.Errorf("task %q: flush on close: %w", taskID, err)
+	}
+	sh := h.shardFor(taskID)
+	sh.mu.Lock()
+	if _, still := sh.tasks[taskID]; !still {
+		// A concurrent CloseTask won the removal race.
+		sh.mu.Unlock()
+		return fmt.Errorf("%q: %w", taskID, ErrTaskNotFound)
+	}
+	delete(sh.tasks, taskID)
+	if len(sh.closed) >= maxTombstonesPerShard {
+		// Bound tombstone memory under task churn by evicting an
+		// arbitrary old entry; devices of a task evicted here fall
+		// back to 404 instead of 409, which still fails their run.
+		for old := range sh.closed {
+			delete(sh.closed, old)
+			break
+		}
+	}
+	sh.closed[taskID] = struct{}{}
+	sh.mu.Unlock()
 	h.defaultMu.Lock()
 	if h.defaultID == taskID {
 		h.defaultID = ""

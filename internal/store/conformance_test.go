@@ -1,0 +1,261 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// TestStoreConformance runs every shipped Store implementation through
+// one shared suite, so FileStore and MemStore cannot drift in the
+// semantics recovery depends on: atomic checkpoint replacement,
+// checkpoint isolation from later state mutation, and an append-only
+// journal whose entries survive journal reopens and caller slice reuse.
+func TestStoreConformance(t *testing.T) {
+	impls := map[string]func(t *testing.T) Store{
+		"FileStore": func(t *testing.T) Store {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+		"MemStore": func(t *testing.T) Store { return NewMemStore() },
+	}
+	suite := map[string]func(t *testing.T, st Store){
+		"LoadWithoutCheckpoint":  testLoadWithoutCheckpoint,
+		"SaveLoadRoundTrip":      testSaveLoadRoundTrip,
+		"SaveReplacesCheckpoint": testSaveReplacesCheckpoint,
+		"SaveNilState":           testSaveNilState,
+		"CheckpointIsolation":    testCheckpointIsolation,
+		"JournalRoundTrip":       testJournalRoundTrip,
+		"JournalSliceReuse":      testJournalSliceReuse,
+		"JournalAcrossReopens":   testJournalAcrossReopens,
+		"ReadJournalMissing":     testReadJournalMissing,
+		"CancelledContext":       testCancelledContext,
+	}
+	for implName, mk := range impls {
+		t.Run(implName, func(t *testing.T) {
+			for name, fn := range suite {
+				t.Run(name, func(t *testing.T) { fn(t, mk(t)) })
+			}
+		})
+	}
+}
+
+func testLoadWithoutCheckpoint(t *testing.T, st Store) {
+	if _, err := st.Load(ctx); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("error = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func testSaveLoadRoundTrip(t *testing.T, st Store) {
+	srv := newServerT(t)
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	req := &core.CheckinRequest{
+		Grad: []float64{1, 2, 3, 4, 5, 6}, NumSamples: 3, ErrCount: 1,
+		LabelCounts: []int{1, 1, 1},
+	}
+	if err := srv.Checkin(ctx, "d1", token, req); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 7, 29, 10, 0, 0, 0, time.UTC)
+	if err := st.Save(ctx, srv.ExportState(), now); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cp, err := st.Load(ctx)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if cp.SavedAtUnixMillis != now.UnixMilli() {
+		t.Errorf("timestamp %d, want %d", cp.SavedAtUnixMillis, now.UnixMilli())
+	}
+	restored := newServerT(t)
+	if err := restored.ImportState(cp.State); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	if restored.Iteration() != 1 {
+		t.Errorf("restored iteration = %d, want 1", restored.Iteration())
+	}
+	if est, ok := restored.ErrEstimate(); !ok || est != 1.0/3 {
+		t.Errorf("restored estimate = %v ok=%v", est, ok)
+	}
+}
+
+func testSaveReplacesCheckpoint(t *testing.T, st Store) {
+	srv := newServerT(t)
+	if err := st.Save(ctx, srv.ExportState(), time.UnixMilli(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(ctx, srv.ExportState(), time.UnixMilli(2000)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.SavedAtUnixMillis != 2000 {
+		t.Errorf("Load returned checkpoint at %d, want the latest (2000)", cp.SavedAtUnixMillis)
+	}
+}
+
+func testSaveNilState(t *testing.T, st Store) {
+	if err := st.Save(ctx, nil, time.Now()); err == nil {
+		t.Error("nil state should be rejected")
+	}
+}
+
+// testCheckpointIsolation: mutating the live state after Save must not
+// reach back into the persisted checkpoint (and mutating a loaded
+// checkpoint must not corrupt the store).
+func testCheckpointIsolation(t *testing.T, st Store) {
+	srv := newServerT(t)
+	state := srv.ExportState()
+	if err := st.Save(ctx, state, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	state.Iteration = 999
+	state.Params[0] = 123.456
+	cp, err := st.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.State.Iteration == 999 || cp.State.Params[0] == 123.456 {
+		t.Error("checkpoint aliases the saved state's memory")
+	}
+	cp.State.Iteration = 777
+	cp2, err := st.Load(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.State.Iteration == 777 {
+		t.Error("loaded checkpoint aliases the store's memory")
+	}
+}
+
+func testJournalRoundTrip(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := j.Append(ctx, JournalEntry{
+			AtUnixMillis: int64(1000 + i),
+			DeviceID:     "d1",
+			Iteration:    i + 1,
+			NumSamples:   20,
+			ErrCount:     i,
+			GradNorm1:    float64(i) * 0.5,
+			Grad:         []float64{float64(i), 1, 2, 3, 4, 5},
+			LabelCounts:  []int{i, 20 - i, 0},
+			Version:      i,
+		})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d entries, want 5", len(entries))
+	}
+	want := JournalEntry{
+		AtUnixMillis: 1003, DeviceID: "d1", Iteration: 4, NumSamples: 20,
+		ErrCount: 3, GradNorm1: 1.5,
+		Grad: []float64{3, 1, 2, 3, 4, 5}, LabelCounts: []int{3, 17, 0}, Version: 3,
+	}
+	if !reflect.DeepEqual(entries[3], want) {
+		t.Errorf("entry 3 = %+v, want %+v", entries[3], want)
+	}
+	if !entries[3].Replayable() {
+		t.Error("entry with a gradient must report Replayable")
+	}
+}
+
+// testJournalSliceReuse: the Journal contract says Append must not
+// retain e's slices — callers (the hub's hook hands over the device's
+// request buffers) may reuse them immediately after.
+func testJournalSliceReuse(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := []float64{1, 2, 3}
+	counts := []int{4, 5}
+	if err := j.Append(ctx, JournalEntry{Iteration: 1, Grad: grad, LabelCounts: counts}); err != nil {
+		t.Fatal(err)
+	}
+	grad[0], counts[0] = -99, -99
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Grad[0] == -99 || entries[0].LabelCounts[0] == -99 {
+		t.Error("Append retained the caller's slices")
+	}
+}
+
+func testJournalAcrossReopens(t *testing.T, st Store) {
+	for session := 0; session < 2; session++ {
+		j, err := st.OpenJournal(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(ctx, JournalEntry{Iteration: session}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("%d entries after two sessions, want 2", len(entries))
+	}
+}
+
+func testReadJournalMissing(t *testing.T, st Store) {
+	entries, err := st.ReadJournal(ctx)
+	if err != nil || entries != nil {
+		t.Errorf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
+	}
+}
+
+func testCancelledContext(t *testing.T, st Store) {
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	srv := newServerT(t)
+	if err := st.Save(cancelled, srv.ExportState(), time.Now()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Save error = %v, want context.Canceled", err)
+	}
+	if _, err := st.Load(cancelled); !errors.Is(err, context.Canceled) {
+		t.Errorf("Load error = %v, want context.Canceled", err)
+	}
+	if _, err := st.OpenJournal(cancelled); !errors.Is(err, context.Canceled) {
+		t.Errorf("OpenJournal error = %v, want context.Canceled", err)
+	}
+	if _, err := st.ReadJournal(cancelled); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadJournal error = %v, want context.Canceled", err)
+	}
+}
+
+// newServerT mirrors newServer for the conformance suite (kept separate
+// so this file stands alone when read as the Store contract).
+func newServerT(t *testing.T) *core.Server {
+	return newServer(t)
+}

@@ -1,0 +1,410 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// FileStore persists checkpoints and journals under a directory:
+// checkpoint.json (atomic write-to-temp + rename) and checkins.jsonl
+// (append-only, flushed per entry).
+//
+// A store directory belongs to ONE process at a time: OpenJournal
+// repairs (truncates) a crash-torn journal tail, so a second process
+// opening the same directory while the first is appending could destroy
+// a half-flushed live record. Nothing enforces the exclusion (see the
+// ROADMAP for an flock); deployments must not point two servers at one
+// -state-dir.
+type FileStore struct {
+	dir string
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore creates (if necessary) and opens a store directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+// HasCheckpoint cheaply reports whether a checkpoint has been saved —
+// an existence probe, without decoding the state (callers that need the
+// contents use Load).
+func (f *FileStore) HasCheckpoint(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	_, err := os.Stat(f.checkpointPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (f *FileStore) checkpointPath() string {
+	return filepath.Join(f.dir, "checkpoint.json")
+}
+
+// Save atomically writes a checkpoint of the given state.
+func (f *FileStore) Save(ctx context.Context, state *core.ServerState, now time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if state == nil {
+		return errors.New("store: nil state")
+	}
+	cp := Checkpoint{SavedAtUnixMillis: now.UnixMilli(), State: state}
+	payload, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(f.dir, "checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, f.checkpointPath()); err != nil {
+		return fmt.Errorf("store: publish checkpoint: %w", err)
+	}
+	// Sync the directory so the rename itself survives a machine crash
+	// (the temp file's contents were already synced above). Best-effort:
+	// some filesystems refuse directory syncs.
+	if dir, err := os.Open(f.dir); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Load reads the most recent checkpoint. It returns ErrNoCheckpoint when
+// none has been saved.
+func (f *FileStore) Load(ctx context.Context) (*Checkpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload, err := os.ReadFile(f.checkpointPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("store: decode checkpoint: %w", err)
+	}
+	if cp.State == nil {
+		return nil, errors.New("store: checkpoint missing state")
+	}
+	return &cp, nil
+}
+
+// fileJournal is the append-only JSONL journal behind a FileStore. It is
+// safe for concurrent use; a shutdown-path Close can race in-flight
+// Appends.
+type fileJournal struct {
+	mu     sync.Mutex
+	file   *os.File
+	w      *bufio.Writer
+	closed bool
+}
+
+// OpenJournal opens (creating if needed) the journal file inside the
+// store directory for appending. A torn final record left by a crash
+// mid-append is repaired first — truncated back to the last decodable,
+// newline-terminated record. The repair removes EXACTLY the tail
+// ReadJournal classifies as ErrJournalTruncated (one trailing
+// undecodable or unterminated line): such a record was never durable,
+// so its checkin was never acknowledged, and appending after it without
+// the repair would strand undecodable bytes mid-file and poison every
+// later ReadJournal. Anything worse — several bad trailing lines, or a
+// valid entry after a bad line — is corruption no crash produces, and
+// OpenJournal refuses to touch it.
+func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	file, err := os.OpenFile(filepath.Join(f.dir, "checkins.jsonl"),
+		os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	if err := repairTornTail(file); err != nil {
+		file.Close()
+		return nil, fmt.Errorf("store: repair journal tail: %w", err)
+	}
+	return &fileJournal{file: file, w: bufio.NewWriter(file)}, nil
+}
+
+// repairTornTail truncates a single torn tail record — an undecodable
+// final line, or an unterminated one (even a parseable unterminated
+// record is dropped: its Append never returned, so its checkin was
+// never acknowledged; ReadJournal classifies it as torn by the same
+// rule). Two broken trailing lines is damage no single crash produces
+// and is refused. Mid-file corruption (a bad line with valid entries
+// after it) is not this function's business: it is left in place for
+// ReadJournal to report as fatal.
+//
+// The scan finds line boundaries in one cheap forward pass without
+// decoding; only the last one or two non-blank lines are JSON-decoded,
+// so reopening a journal does not double restore's full-decode cost.
+func repairTornTail(file *os.File) error {
+	if _, err := file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(file, 64*1024)
+	type lineSpan struct {
+		start, end int64 // byte offsets; end includes the newline if any
+		terminated bool
+	}
+	var offset int64
+	var last, prev *lineSpan // the two most recent non-blank lines
+	for {
+		raw, readErr := r.ReadBytes('\n')
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return fmt.Errorf("scan journal: %w", readErr)
+		}
+		if n := int64(len(raw)); n > 0 {
+			if len(bytes.TrimSuffix(raw, []byte{'\n'})) > 0 {
+				prev, last = last, &lineSpan{start: offset, end: offset + n, terminated: readErr == nil}
+			}
+			offset += n
+		}
+		if readErr != nil {
+			break
+		}
+	}
+	intact := func(l *lineSpan) (bool, error) {
+		if !l.terminated {
+			return false, nil
+		}
+		buf := make([]byte, l.end-l.start)
+		if _, err := file.ReadAt(buf, l.start); err != nil {
+			return false, err
+		}
+		var e JournalEntry
+		return json.Unmarshal(bytes.TrimSuffix(buf, []byte{'\n'}), &e) == nil, nil
+	}
+	if last != nil {
+		ok, err := intact(last)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if prev != nil {
+				prevOK, err := intact(prev)
+				if err != nil {
+					return err
+				}
+				if !prevOK {
+					return errors.New("multiple broken trailing lines (beyond a single torn append)")
+				}
+			}
+			if err := file.Truncate(last.start); err != nil {
+				return fmt.Errorf("truncate torn tail: %w", err)
+			}
+		}
+	}
+	_, err := file.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Append writes one entry and flushes it to the OS, so a crashed server
+// process loses at most the entry being written — and a torn tail is
+// exactly what ReadJournal's ErrJournalTruncated tolerance is for. The
+// flush runs before the originating Checkin is acknowledged (write-ahead
+// ordering). There is no per-entry fsync: durability is against process
+// crashes, not power loss (see the Journal interface contract).
+func (j *fileJournal) Append(ctx context.Context, e JournalEntry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encode journal entry: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(payload); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal entry: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. Idempotent: later calls return
+// nil (a retried durability flush re-runs Close after a failed
+// checkpoint save).
+func (j *fileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		j.file.Close()
+		return fmt.Errorf("store: flush journal: %w", err)
+	}
+	return j.file.Close()
+}
+
+// ReadJournal loads every entry from the journal file. A missing journal
+// yields an empty slice. A torn or corrupt FINAL line — the expected
+// artifact of a crash mid-append — yields the valid prefix plus
+// ErrJournalTruncated instead of failing the whole replay; a corrupt line
+// with valid entries after it is real corruption and stays a hard error.
+func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	file, err := os.Open(filepath.Join(f.dir, "checkins.jsonl"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	defer file.Close()
+	var out []JournalEntry
+	var badLine int  // 1-based line number of the first undecodable line
+	var badErr error // its decode error
+	// bufio.Reader instead of a Scanner: journal lines carry full
+	// gradients (classes·dim floats), so no fixed line-length cap may
+	// stand between an Append that succeeded and the recovery that needs
+	// to read it back.
+	r := bufio.NewReaderSize(file, 64*1024)
+	for line := 1; ; line++ {
+		raw, readErr := r.ReadBytes('\n')
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return nil, fmt.Errorf("store: scan journal: %w", readErr)
+		}
+		terminated := readErr == nil
+		raw = bytes.TrimSuffix(raw, []byte{'\n'})
+		if len(raw) > 0 {
+			// An unterminated final record is torn even when its JSON
+			// happens to decode: the newline is what marks an Append (and
+			// therefore an acknowledgment) complete, and the repair in
+			// OpenJournal drops such a record by the same rule.
+			var e JournalEntry
+			decodeErr := json.Unmarshal(raw, &e)
+			if decodeErr == nil && !terminated {
+				decodeErr = errors.New("record not newline-terminated")
+			}
+			switch {
+			case decodeErr != nil && badLine != 0:
+				// Two undecodable lines: not a torn tail.
+				return nil, fmt.Errorf("store: journal line %d: %w", badLine, badErr)
+			case decodeErr != nil:
+				badLine, badErr = line, decodeErr
+			case badLine != 0:
+				// A valid entry AFTER a bad line means mid-journal
+				// corruption, not a crash-torn tail; replaying past it
+				// would silently drop an acknowledged checkin.
+				return nil, fmt.Errorf("store: journal line %d: %w", badLine, badErr)
+			default:
+				out = append(out, e)
+			}
+		}
+		if readErr != nil { // io.EOF: past the (possibly unterminated) last line
+			break
+		}
+	}
+	if badLine != 0 {
+		return out, fmt.Errorf("store: journal line %d: %v: %w", badLine, badErr, ErrJournalTruncated)
+	}
+	return out, nil
+}
+
+// FileRoot exposes a directory of per-task FileStores: each immediate
+// subdirectory is one task's store, named by task ID — the layout
+// cmd/crowdml-server's -state-dir produces.
+type FileRoot struct {
+	dir string
+}
+
+var _ Root = (*FileRoot)(nil)
+
+// NewFileRoot creates (if necessary) and opens a root directory.
+func NewFileRoot(dir string) (*FileRoot, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root dir: %w", err)
+	}
+	return &FileRoot{dir: dir}, nil
+}
+
+// Dir returns the root directory.
+func (r *FileRoot) Dir() string { return r.dir }
+
+// List returns the task IDs with a store subdirectory, sorted.
+func (r *FileRoot) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list root: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Open returns the FileStore for one task, creating its directory if
+// needed. The task ID must be a single clean path element — no
+// separators or dot paths — so a config-supplied ID can never place a
+// store outside the root.
+func (r *FileRoot) Open(ctx context.Context, taskID string) (Store, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if taskID == "" || taskID == "." || taskID == ".." ||
+		strings.ContainsAny(taskID, `/\`) {
+		return nil, fmt.Errorf("store: task ID %q is not a valid store name", taskID)
+	}
+	return NewFileStore(filepath.Join(r.dir, taskID))
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+)
+
+// MemStore is an in-memory Store for tests, benchmarks and embedded use.
+// It provides the same semantics as FileStore — atomic checkpoint
+// replacement, an append-only journal that survives journal reopens —
+// without touching the filesystem, so a "crash" is simulated by dropping
+// the server while keeping the MemStore.
+type MemStore struct {
+	mu      sync.Mutex
+	cp      *Checkpoint
+	entries []JournalEntry
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Save replaces the checkpoint with a deep copy of the given state, so
+// later mutations of the live server never reach back into the snapshot.
+func (m *MemStore) Save(ctx context.Context, state *core.ServerState, now time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if state == nil {
+		return errors.New("store: nil state")
+	}
+	cp, err := deepCopyCheckpoint(&Checkpoint{SavedAtUnixMillis: now.UnixMilli(), State: state})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.cp = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Load returns a deep copy of the most recent checkpoint, or
+// ErrNoCheckpoint.
+func (m *MemStore) Load(ctx context.Context) (*Checkpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	cp := m.cp
+	m.mu.Unlock()
+	if cp == nil {
+		return nil, ErrNoCheckpoint
+	}
+	return deepCopyCheckpoint(cp)
+}
+
+// deepCopyCheckpoint clones a checkpoint through its JSON form — the
+// same round-trip a FileStore checkpoint takes, so the two backends
+// cannot drift in what survives persistence.
+func deepCopyCheckpoint(cp *Checkpoint) (*Checkpoint, error) {
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	var out Checkpoint
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("store: decode checkpoint: %w", err)
+	}
+	if out.State == nil {
+		return nil, errors.New("store: checkpoint missing state")
+	}
+	return &out, nil
+}
+
+// memJournal appends into its MemStore's shared entry log; entries
+// survive Close and journal reopens, like a file on disk.
+type memJournal struct {
+	m *MemStore
+}
+
+// OpenJournal opens the store's journal for appending.
+func (m *MemStore) OpenJournal(ctx context.Context) (Journal, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &memJournal{m: m}, nil
+}
+
+// Append records a deep copy of the entry (the Journal contract lets
+// callers reuse e's slices after Append returns).
+func (j *memJournal) Append(ctx context.Context, e JournalEntry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.Grad != nil {
+		e.Grad = append([]float64(nil), e.Grad...)
+	}
+	if e.LabelCounts != nil {
+		e.LabelCounts = append([]int(nil), e.LabelCounts...)
+	}
+	j.m.mu.Lock()
+	j.m.entries = append(j.m.entries, e)
+	j.m.mu.Unlock()
+	return nil
+}
+
+// Close is a no-op: every Append is already "durable" in memory.
+func (j *memJournal) Close() error { return nil }
+
+// ReadJournal returns a copy of every appended entry in order.
+func (m *MemStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.entries) == 0 {
+		return nil, nil
+	}
+	out := make([]JournalEntry, len(m.entries))
+	copy(out, m.entries)
+	for i := range out {
+		if out[i].Grad != nil {
+			out[i].Grad = append([]float64(nil), out[i].Grad...)
+		}
+		if out[i].LabelCounts != nil {
+			out[i].LabelCounts = append([]int(nil), out[i].LabelCounts...)
+		}
+	}
+	return out, nil
+}
+
+// MemRoot is an in-memory Root: a process-lifetime namespace of
+// MemStores. Opening the same task ID twice returns the same store, so a
+// hub "restarted" against the same MemRoot sees the previous instance's
+// state — the crash-recovery tests are built on exactly that.
+type MemRoot struct {
+	mu     sync.Mutex
+	stores map[string]*MemStore
+}
+
+var _ Root = (*MemRoot)(nil)
+
+// NewMemRoot returns an empty in-memory root.
+func NewMemRoot() *MemRoot {
+	return &MemRoot{stores: make(map[string]*MemStore)}
+}
+
+// List returns the task IDs opened so far, sorted.
+func (r *MemRoot) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.stores))
+	for id := range r.stores {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Open returns the task's MemStore, creating it on first open.
+func (r *MemRoot) Open(ctx context.Context, taskID string) (Store, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stores[taskID]
+	if !ok {
+		st = NewMemStore()
+		r.stores[taskID] = st
+	}
+	return st, nil
+}

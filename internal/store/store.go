@@ -1,35 +1,50 @@
-// Package store persists Crowd-ML server state and checkin audit logs to
-// disk. The paper's prototype kept this state in MySQL (Section V-A); a
-// file-backed store keeps the repository dependency-free while providing
-// the same operational property — a restarted server resumes the learning
-// task with the crowd's accumulated contributions intact.
+// Package store defines the pluggable durability layer for Crowd-ML
+// server state. The paper's prototype kept this state in MySQL
+// (Section V-A) so a restarted server resumes the crowd's task with the
+// accumulated contributions intact; Store is the abstraction of that
+// role, with two shipped implementations — FileStore (JSON checkpoints +
+// a JSONL journal under a directory) and MemStore (in-memory, for tests,
+// benchmarks and embedding).
 //
-// Two artifacts are managed:
+// Two artifacts are managed per task:
 //
-//   - Checkpoints: atomic JSON snapshots of core.ServerState
-//     (write-to-temp + rename, so a crash never leaves a torn file);
-//   - an append-only JSONL checkin journal for auditing which device
-//     contributed when (sanitized quantities only — the journal never
-//     sees raw data, preserving the local-privacy property).
+//   - Checkpoints: atomic snapshots of core.ServerState. A crash never
+//     leaves a torn checkpoint (FileStore writes to a temp file and
+//     renames).
+//   - A write-ahead checkin journal: an append-only log with one entry
+//     per applied checkin, carrying the full sanitized contribution
+//     (device, iteration, perturbed gradient, counters). Recovery loads
+//     the latest checkpoint and deterministically replays the journal
+//     tail (core.Server.Replay), so no acknowledged checkin is ever
+//     lost — a checkin's journal entry is durable before the Checkin
+//     call that produced it returns.
+//
+// The journal only ever sees sanitized quantities — raw device data
+// never reaches the server, so it cannot reach the store; persisting the
+// noise-perturbed gradient weakens nothing the paper's local-privacy
+// analysis grants (the server already holds it in memory).
 package store
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"sync"
 	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
 )
 
-// ErrNoCheckpoint is returned by Load when no checkpoint exists yet.
-var ErrNoCheckpoint = errors.New("store: no checkpoint")
+var (
+	// ErrNoCheckpoint is returned by Store.Load when no checkpoint has
+	// been saved yet.
+	ErrNoCheckpoint = errors.New("store: no checkpoint")
+
+	// ErrJournalTruncated is returned by ReadJournal alongside the valid
+	// entry prefix when the journal's final record is torn or corrupt —
+	// the expected artifact of a crash mid-append. Callers recovering
+	// state should treat it as success for the returned entries: the torn
+	// record was never durable, so its checkin was never acknowledged.
+	ErrJournalTruncated = errors.New("store: journal truncated mid-record")
+)
 
 // Checkpoint wraps a server state with bookkeeping metadata.
 type Checkpoint struct {
@@ -39,184 +54,80 @@ type Checkpoint struct {
 	State *core.ServerState `json:"state"`
 }
 
-// FileStore persists checkpoints and journals under a directory.
-type FileStore struct {
-	dir string
-}
-
-// NewFileStore creates (if necessary) and opens a store directory.
-func NewFileStore(dir string) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: create dir: %w", err)
-	}
-	return &FileStore{dir: dir}, nil
-}
-
-// Dir returns the store directory.
-func (f *FileStore) Dir() string { return f.dir }
-
-func (f *FileStore) checkpointPath() string {
-	return filepath.Join(f.dir, "checkpoint.json")
-}
-
-// Save atomically writes a checkpoint of the given state.
-func (f *FileStore) Save(ctx context.Context, state *core.ServerState, now time.Time) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if state == nil {
-		return errors.New("store: nil state")
-	}
-	cp := Checkpoint{SavedAtUnixMillis: now.UnixMilli(), State: state}
-	payload, err := json.MarshalIndent(&cp, "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encode checkpoint: %w", err)
-	}
-	tmp, err := os.CreateTemp(f.dir, "checkpoint-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after successful rename
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: write checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, f.checkpointPath()); err != nil {
-		return fmt.Errorf("store: publish checkpoint: %w", err)
-	}
-	return nil
-}
-
-// Load reads the most recent checkpoint. It returns ErrNoCheckpoint when
-// none has been saved.
-func (f *FileStore) Load(ctx context.Context) (*Checkpoint, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	payload, err := os.ReadFile(f.checkpointPath())
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, ErrNoCheckpoint
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: read checkpoint: %w", err)
-	}
-	var cp Checkpoint
-	if err := json.Unmarshal(payload, &cp); err != nil {
-		return nil, fmt.Errorf("store: decode checkpoint: %w", err)
-	}
-	if cp.State == nil {
-		return nil, errors.New("store: checkpoint missing state")
-	}
-	return &cp, nil
-}
-
-// JournalEntry is one audit record: which device checked in what sanitized
-// aggregate at which server iteration. Gradients are summarized by their
-// L1 norm rather than stored — the journal is for operational auditing,
-// not for replay, and storing full noisy gradients would bloat it ~D·C
-// floats per line.
+// JournalEntry is one write-ahead record: the complete sanitized checkin
+// a device contributed at one server iteration. Together with the
+// checkpoint it replays from, the entry fully determines the server's
+// next state — Grad, NumSamples, ErrCount, LabelCounts and Version are
+// exactly the applied core.CheckinRequest, and Iteration pins where in
+// the SGD sequence it lands.
+//
+// Grad and LabelCounts are empty on entries written by v1 of this
+// package, which journaled only audit summaries; such entries cannot be
+// replayed (see hub restore, which skips them).
 type JournalEntry struct {
-	AtUnixMillis int64   `json:"atUnixMillis"`
-	DeviceID     string  `json:"deviceId"`
-	Iteration    int     `json:"iteration"`
-	NumSamples   int     `json:"numSamples"`
-	ErrCount     int     `json:"errCount"`
-	GradNorm1    float64 `json:"gradNorm1"`
+	AtUnixMillis int64  `json:"atUnixMillis"`
+	DeviceID     string `json:"deviceId"`
+	Iteration    int    `json:"iteration"`
+	NumSamples   int    `json:"numSamples"`
+	ErrCount     int    `json:"errCount"`
+	// GradNorm1 is the L1 norm of Grad, kept for cheap auditing (spotting
+	// outlier contributions without decoding the full gradient).
+	GradNorm1 float64 `json:"gradNorm1"`
+	// Grad is the flattened sanitized gradient ĝ that was applied.
+	Grad []float64 `json:"grad,omitempty"`
+	// LabelCounts are the sanitized per-class counts n̂^k_y.
+	LabelCounts []int `json:"labelCounts,omitempty"`
+	// Version echoes the checkout version the device computed against,
+	// so replay reproduces the staleness accounting exactly.
+	Version int `json:"version"`
 }
 
-// Journal is an append-only JSONL log of checkins. It is safe for
-// concurrent use; a shutdown-path Close can race in-flight Appends.
-type Journal struct {
-	mu   sync.Mutex
-	file *os.File
-	w    *bufio.Writer
+// Replayable reports whether the entry carries enough of the checkin to
+// be re-applied during recovery (v1 audit-only entries do not).
+func (e *JournalEntry) Replayable() bool { return len(e.Grad) > 0 }
+
+// Journal is an append-only checkin log. Implementations must be safe
+// for concurrent use and must make each entry durable before Append
+// returns (that ordering is what turns the journal into a write-ahead
+// log: Append runs before the originating Checkin is acknowledged).
+// "Durable" means surviving a crash of THIS process: FileStore hands
+// each entry to the OS per append but does not fsync it — a kernel
+// panic or power loss may lose the newest entries (an implementation
+// wanting power-loss durability pays the fsync in its Append). The
+// journal is not truncated when checkpoints cover its prefix (it
+// doubles as the audit log), so it grows with total checkin volume and
+// is re-read in full on restart; see the ROADMAP for rotation.
+// Append must not retain e's slices after returning — callers may reuse
+// the backing arrays.
+type Journal interface {
+	Append(ctx context.Context, e JournalEntry) error
+	Close() error
 }
 
-// OpenJournal opens (creating if needed) the journal file inside the
-// store directory for appending.
-func (f *FileStore) OpenJournal(ctx context.Context) (*Journal, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	file, err := os.OpenFile(filepath.Join(f.dir, "checkins.jsonl"),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open journal: %w", err)
-	}
-	return &Journal{file: file, w: bufio.NewWriter(file)}, nil
+// Store persists one task's learning state: atomic checkpoints plus the
+// write-ahead checkin journal. Implementations must be safe for
+// concurrent use; Save and Load may race an open journal's Appends.
+type Store interface {
+	// Save atomically replaces the checkpoint with the given state.
+	Save(ctx context.Context, state *core.ServerState, now time.Time) error
+	// Load reads the most recent checkpoint, or ErrNoCheckpoint.
+	Load(ctx context.Context) (*Checkpoint, error)
+	// OpenJournal opens (creating if needed) the task's journal for
+	// appending. Entries appended across opens accumulate.
+	OpenJournal(ctx context.Context) (Journal, error)
+	// ReadJournal returns every journal entry in append order. A missing
+	// journal yields (nil, nil). A torn or corrupt final record yields
+	// the valid prefix plus ErrJournalTruncated; corruption earlier in
+	// the journal is a hard error.
+	ReadJournal(ctx context.Context) ([]JournalEntry, error)
 }
 
-// Append writes one entry and flushes it to the file, so a crashed server
-// loses at most the entry being written. Checkin volume is low (one line
-// per minibatch crowd-wide), so per-entry flushing costs nothing
-// noticeable.
-func (j *Journal) Append(ctx context.Context, e JournalEntry) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	payload, err := json.Marshal(&e)
-	if err != nil {
-		return fmt.Errorf("store: encode journal entry: %w", err)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.w.Write(payload); err != nil {
-		return fmt.Errorf("store: append journal: %w", err)
-	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("store: append journal: %w", err)
-	}
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("store: flush journal entry: %w", err)
-	}
-	return nil
-}
-
-// Close flushes and closes the journal.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.w.Flush(); err != nil {
-		j.file.Close()
-		return fmt.Errorf("store: flush journal: %w", err)
-	}
-	return j.file.Close()
-}
-
-// ReadJournal loads every entry from the journal file (for audits and
-// tests). A missing journal yields an empty slice.
-func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	file, err := os.Open(filepath.Join(f.dir, "checkins.jsonl"))
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: open journal: %w", err)
-	}
-	defer file.Close()
-	var out []JournalEntry
-	sc := bufio.NewScanner(file)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var e JournalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("store: journal line %d: %w", len(out)+1, err)
-		}
-		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: scan journal: %w", err)
-	}
-	return out, nil
+// Root is a namespace of per-task stores — the store-side counterpart of
+// a Hub. A restarted process lists the tasks that have persisted state
+// and opens each task's Store to restore it (see hub.Hub.Restore).
+type Root interface {
+	// List returns the task IDs with persisted state, sorted.
+	List(ctx context.Context) ([]string, error)
+	// Open returns the store for one task, creating it if needed.
+	Open(ctx context.Context, taskID string) (Store, error)
 }

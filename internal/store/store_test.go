@@ -16,6 +16,21 @@ import (
 // ctx is the background context shared by the package's tests.
 var ctx = context.Background()
 
+func newServer(t *testing.T) *core.Server {
+	t.Helper()
+	s, err := core.NewServer(core.ServerConfig{
+		Model:   model.NewLogisticRegression(3, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ---- FileStore-specific behaviour (the conformance suite in
+// conformance_test.go covers the shared Store semantics) ----
+
 // TestJournalConcurrentAppendClose exercises the shutdown race: Close
 // must serialize with in-flight Appends (run with -race).
 func TestJournalConcurrentAppendClose(t *testing.T) {
@@ -38,78 +53,6 @@ func TestJournalConcurrentAppendClose(t *testing.T) {
 	}()
 	j.Close()
 	<-done
-}
-
-func newServer(t *testing.T) *core.Server {
-	t.Helper()
-	s, err := core.NewServer(core.ServerConfig{
-		Model:   model.NewLogisticRegression(3, 2),
-		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.5}},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
-func TestSaveLoadRoundTrip(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := newServer(t)
-	token, _ := srv.RegisterDevice(ctx, "d1")
-	req := &core.CheckinRequest{
-		Grad: []float64{1, 2, 3, 4, 5, 6}, NumSamples: 3, ErrCount: 1,
-		LabelCounts: []int{1, 1, 1},
-	}
-	if err := srv.Checkin(ctx, "d1", token, req); err != nil {
-		t.Fatal(err)
-	}
-
-	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
-	if err := fs.Save(ctx, srv.ExportState(), now); err != nil {
-		t.Fatalf("Save: %v", err)
-	}
-	cp, err := fs.Load(ctx)
-	if err != nil {
-		t.Fatalf("Load: %v", err)
-	}
-	if cp.SavedAtUnixMillis != now.UnixMilli() {
-		t.Errorf("timestamp %d, want %d", cp.SavedAtUnixMillis, now.UnixMilli())
-	}
-
-	restored := newServer(t)
-	if err := restored.ImportState(cp.State); err != nil {
-		t.Fatalf("ImportState: %v", err)
-	}
-	if restored.Iteration() != 1 {
-		t.Errorf("restored iteration = %d, want 1", restored.Iteration())
-	}
-	est, ok := restored.ErrEstimate()
-	if !ok || est != 1.0/3 {
-		t.Errorf("restored estimate = %v ok=%v", est, ok)
-	}
-}
-
-func TestLoadWithoutCheckpoint(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fs.Load(ctx); !errors.Is(err, ErrNoCheckpoint) {
-		t.Errorf("error = %v, want ErrNoCheckpoint", err)
-	}
-}
-
-func TestSaveNilState(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Save(ctx, nil, time.Now()); err == nil {
-		t.Error("nil state should be rejected")
-	}
 }
 
 func TestSaveOverwritesAtomically(t *testing.T) {
@@ -152,91 +95,176 @@ func TestLoadCorruptCheckpoint(t *testing.T) {
 	}
 }
 
-func TestJournalAppendAndRead(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
+// writeJournalFile seeds a raw checkins.jsonl for the truncation tests.
+func writeJournalFile(t *testing.T, dir, content string) *FileStore {
+	t.Helper()
+	fs, err := NewFileStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := os.WriteFile(filepath.Join(dir, "checkins.jsonl"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+const (
+	validLine1 = `{"deviceId":"d1","iteration":1,"numSamples":5,"grad":[1,2,3,4,5,6],"labelCounts":[5,0,0]}`
+	validLine2 = `{"deviceId":"d2","iteration":2,"numSamples":5,"grad":[6,5,4,3,2,1],"labelCounts":[0,5,0]}`
+)
+
+// TestReadJournalTruncatedTail covers the expected crash artifact: the
+// final line torn mid-append. The valid prefix must come back alongside
+// ErrJournalTruncated so recovery can proceed.
+func TestReadJournalTruncatedTail(t *testing.T) {
+	for name, tail := range map[string]string{
+		"torn mid-record":    validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iter`,
+		"torn with newline":  validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iter` + "\n",
+		"non-JSON last line": validLine1 + "\n" + validLine2 + "\n" + "garbage\n",
+		// A record whose JSON decodes but whose newline never hit the disk
+		// is torn too: the terminator is what marks its Append — and hence
+		// its acknowledgment — complete (OpenJournal drops it by the same
+		// rule, so audit reads and recovery agree).
+		"parseable unterminated": validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iteration":3}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			fs := writeJournalFile(t, t.TempDir(), tail)
+			entries, err := fs.ReadJournal(ctx)
+			if !errors.Is(err, ErrJournalTruncated) {
+				t.Fatalf("error = %v, want ErrJournalTruncated", err)
+			}
+			if len(entries) != 2 || entries[0].DeviceID != "d1" || entries[1].DeviceID != "d2" {
+				t.Errorf("valid prefix = %+v, want the 2 intact entries", entries)
+			}
+		})
+	}
+}
+
+// TestReadJournalOnlyLineTorn is the crash-on-first-append case: no valid
+// prefix, but still the tolerant sentinel rather than a hard failure.
+func TestReadJournalOnlyLineTorn(t *testing.T) {
+	fs := writeJournalFile(t, t.TempDir(), "{bad\n")
+	entries, err := fs.ReadJournal(ctx)
+	if !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("error = %v, want ErrJournalTruncated", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("entries = %+v, want none", entries)
+	}
+}
+
+// TestReadJournalMidCorruptionIsFatal: a bad line FOLLOWED by valid
+// entries is not a torn tail — replaying past it would silently drop an
+// acknowledged checkin, so it must stay a hard error.
+func TestReadJournalMidCorruptionIsFatal(t *testing.T) {
+	for name, content := range map[string]string{
+		"valid after bad": validLine1 + "\ngarbage\n" + validLine2 + "\n",
+		"two bad lines":   validLine1 + "\ngarbage\nmore-garbage\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			fs := writeJournalFile(t, t.TempDir(), content)
+			if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+				t.Errorf("error = %v, want a hard (non-truncation) error", err)
+			}
+		})
+	}
+}
+
+// TestOpenJournalRepairsTornTail: reopening a journal whose final record
+// was torn by a crash must truncate EVERY tail shape ReadJournal
+// tolerates as ErrJournalTruncated — otherwise resuming and appending
+// would strand undecodable bytes mid-file and make the NEXT restart's
+// ReadJournal fail fatally (valid-after-bad), bricking the task.
+func TestOpenJournalRepairsTornTail(t *testing.T) {
+	for name, tail := range map[string]string{
+		"torn mid-record":          validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iter`,
+		"torn with newline":        validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iter` + "\n",
+		"non-JSON last line":       validLine1 + "\n" + validLine2 + "\n" + "garbage\n",
+		"parseable unterminated":   validLine1 + "\n" + validLine2 + "\n" + `{"deviceId":"d3","iteration":3}`,
+		"clean file (no-op)":       validLine1 + "\n" + validLine2 + "\n",
+		"blank line then torn end": validLine1 + "\n\n" + validLine2 + "\n" + "{oops",
+	} {
+		t.Run(name, func(t *testing.T) {
+			fs := writeJournalFile(t, t.TempDir(), tail)
+			j, err := fs.OpenJournal(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(ctx, JournalEntry{DeviceID: "d4", Iteration: 3}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The appended-to journal must read back clean — across a
+			// SECOND open/read cycle too (the restart-after-recovery path).
+			entries, err := fs.ReadJournal(ctx)
+			if err != nil {
+				t.Fatalf("ReadJournal after repair+append: %v", err)
+			}
+			if len(entries) != 3 || entries[2].DeviceID != "d4" {
+				t.Errorf("entries = %+v, want the 2 intact + 1 new", entries)
+			}
+			if j2, err := fs.OpenJournal(ctx); err != nil {
+				t.Fatalf("second open: %v", err)
+			} else if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOpenJournalRefusesRealCorruption: damage no single crash produces
+// must never be silently eaten. Two broken trailing lines fail the open;
+// mid-file corruption (valid entries after a bad line) is left intact
+// for ReadJournal — and therefore restore — to report as fatal.
+func TestOpenJournalRefusesRealCorruption(t *testing.T) {
+	t.Run("two bad tails", func(t *testing.T) {
+		fs := writeJournalFile(t, t.TempDir(), validLine1+"\ngarbage\n{torn")
+		if _, err := fs.OpenJournal(ctx); err == nil {
+			t.Error("OpenJournal should refuse a journal with two broken trailing lines")
+		}
+	})
+	t.Run("valid after bad stays fatal on read", func(t *testing.T) {
+		fs := writeJournalFile(t, t.TempDir(), validLine1+"\ngarbage\n"+validLine2+"\n")
+		j, err := fs.OpenJournal(ctx)
+		if err != nil {
+			t.Fatalf("tail is intact; open should succeed: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+			t.Errorf("ReadJournal error = %v, want a hard mid-corruption error", err)
+		}
+	})
+}
+
+// TestOpenJournalRepairsFullyTornFile: a journal that is ONLY a torn
+// record truncates to empty.
+func TestOpenJournalRepairsFullyTornFile(t *testing.T) {
+	fs := writeJournalFile(t, t.TempDir(), `{"deviceId":"d1","iter`)
 	j, err := fs.OpenJournal(ctx)
 	if err != nil {
 		t.Fatal(err)
-	}
-	for i := 0; i < 5; i++ {
-		err := j.Append(ctx, JournalEntry{
-			AtUnixMillis: int64(1000 + i),
-			DeviceID:     "d1",
-			Iteration:    i + 1,
-			NumSamples:   20,
-			ErrCount:     i,
-			GradNorm1:    float64(i) * 0.5,
-		})
-		if err != nil {
-			t.Fatalf("append %d: %v", i, err)
-		}
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := fs.ReadJournal(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 5 {
-		t.Fatalf("%d entries, want 5", len(entries))
-	}
-	if entries[3].Iteration != 4 || entries[3].ErrCount != 3 {
-		t.Errorf("entry 3 = %+v", entries[3])
+	if err != nil || len(entries) != 0 {
+		t.Errorf("after repair: entries=%v err=%v, want none/nil", entries, err)
 	}
 }
 
-func TestJournalAppendAcrossReopens(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for session := 0; session < 2; session++ {
-		j, err := fs.OpenJournal(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := j.Append(ctx, JournalEntry{Iteration: session}); err != nil {
-			t.Fatal(err)
-		}
-		if err := j.Close(); err != nil {
-			t.Fatal(err)
-		}
-	}
+func TestReadJournalToleratesBlankLines(t *testing.T) {
+	fs := writeJournalFile(t, t.TempDir(), validLine1+"\n\n"+validLine2+"\n")
 	entries, err := fs.ReadJournal(ctx)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("ReadJournal: %v", err)
 	}
 	if len(entries) != 2 {
-		t.Errorf("%d entries after two sessions, want 2", len(entries))
-	}
-}
-
-func TestReadJournalMissingFile(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	entries, err := fs.ReadJournal(ctx)
-	if err != nil || entries != nil {
-		t.Errorf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
-	}
-}
-
-func TestReadJournalCorruptLine(t *testing.T) {
-	dir := t.TempDir()
-	fs, err := NewFileStore(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "checkins.jsonl"), []byte("{bad\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fs.ReadJournal(ctx); err == nil {
-		t.Error("corrupt journal line should error")
+		t.Errorf("%d entries, want 2", len(entries))
 	}
 }
 
@@ -304,7 +332,8 @@ func TestJournalEntriesDurableWithoutClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Do NOT close: entries must already be on disk (crash durability).
+	// Do NOT close: entries must already be on disk (crash durability —
+	// the write-ahead property depends on it).
 	if err := j.Append(ctx, JournalEntry{Iteration: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -317,5 +346,104 @@ func TestJournalEntriesDurableWithoutClose(t *testing.T) {
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---- Root implementations ----
+
+func TestFileRootListOpen(t *testing.T) {
+	dir := t.TempDir()
+	root, err := NewFileRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids, err := root.List(ctx); err != nil || len(ids) != 0 {
+		t.Fatalf("empty root: ids=%v err=%v", ids, err)
+	}
+	for _, id := range []string{"zebra", "alpha"} {
+		if _, err := root.Open(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray file at the root is not a task store.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := root.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "alpha" || ids[1] != "zebra" {
+		t.Errorf("ids = %v, want [alpha zebra]", ids)
+	}
+}
+
+// TestReadJournalHugeLines: journal lines carry full gradients, so
+// ReadJournal must not impose a line-length cap an Append never had —
+// an entry over the old 1 MB scanner limit has to read back fine.
+func TestReadJournalHugeLines(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := make([]float64, 200_000) // ~3.6 MB as JSON
+	for i := range grad {
+		grad[i] = 0.123456789 + float64(i)
+	}
+	for iter := 1; iter <= 2; iter++ {
+		if err := j.Append(ctx, JournalEntry{Iteration: iter, Grad: grad, LabelCounts: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadJournal(ctx)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(entries) != 2 || len(entries[1].Grad) != len(grad) || entries[1].Grad[7] != grad[7] {
+		t.Errorf("huge entries did not round-trip: %d entries", len(entries))
+	}
+}
+
+func TestFileRootOpenRejectsEscapingIDs(t *testing.T) {
+	root, err := NewFileRoot(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", ".", "..", "../escape", "a/b", `a\b`} {
+		if _, err := root.Open(ctx, bad); err == nil {
+			t.Errorf("Open(%q) should reject a non-clean store name", bad)
+		}
+	}
+}
+
+func TestMemRootSharesStores(t *testing.T) {
+	root := NewMemRoot()
+	a, err := root.Open(ctx, "task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t)
+	if err := a.Save(ctx, srv.ExportState(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Re-opening the same ID must see the same store — that is what makes
+	// a MemRoot survive a simulated restart.
+	b, err := root.Open(ctx, "task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Load(ctx); err != nil {
+		t.Errorf("second open lost the checkpoint: %v", err)
+	}
+	ids, err := root.List(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != "task" {
+		t.Errorf("List = %v, %v", ids, err)
 	}
 }

@@ -1,0 +1,272 @@
+// End-to-end crash-recovery test for the durability redesign: a crowd of
+// devices runs against a journaled task, the server "crashes" without a
+// final checkpoint, and OpenHub must reconstruct the exact pre-crash
+// state — the same iteration counter, crowd totals and parameter vector
+// a never-crashed control run produces. Zero acknowledged-checkin loss,
+// on both shipped Store implementations.
+package crowdml_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	crowdml "github.com/crowdml/crowdml"
+	"github.com/crowdml/crowdml/internal/rng"
+)
+
+const (
+	recClasses   = 3
+	recDim       = 6
+	recDevices   = 4
+	recPerDevice = 30
+	recMinibatch = 5
+)
+
+func recServerConfig() crowdml.ServerConfig {
+	return crowdml.ServerConfig{
+		Model:   crowdml.NewLogisticRegression(recClasses, recDim),
+		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 5}, 0),
+	}
+}
+
+// driveCrowd runs the deterministic workload: recDevices devices feed
+// their samples round-robin, one sample per turn, so every run applies
+// the identical checkin sequence (seeded devices, seeded sample streams,
+// sequential submission — bit-identical SGD trajectories).
+func driveCrowd(t *testing.T, task *crowdml.Task) {
+	t.Helper()
+	ctx := context.Background()
+	m := crowdml.NewLogisticRegression(recClasses, recDim)
+	devices := make([]*crowdml.Device, recDevices)
+	sources := make([]*rng.RNG, recDevices)
+	for i := range devices {
+		id := deviceID(i)
+		token, err := task.Server().RegisterDevice(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[i], err = crowdml.NewDevice(crowdml.DeviceConfig{
+			ID: id, Token: token, Model: m,
+			Transport: crowdml.NewLoopback(task.Server()),
+			Minibatch: recMinibatch,
+			Budget:    crowdml.Budget{Gradient: crowdml.FromInv(0.05)},
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = rng.New(uint64(100 + i))
+	}
+	for n := 0; n < recPerDevice; n++ {
+		for i, d := range devices {
+			x := make([]float64, recDim)
+			for k := range x {
+				x[k] = sources[i].Uniform(-1, 1)
+			}
+			crowdml.NormalizeL1(x)
+			if err := d.AddSample(ctx, crowdml.Sample{X: x, Y: sources[i].Intn(recClasses)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func deviceID(i int) string {
+	return string(rune('a'+i)) + "-device"
+}
+
+func TestCrashRecoveryMatchesUncrashedRun(t *testing.T) {
+	ctx := context.Background()
+
+	// Control: the same workload on a store-less task, never crashed.
+	control := crowdml.NewHub()
+	controlTask, err := control.CreateTask(ctx, "task", recServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCrowd(t, controlTask)
+	want := controlTask.Server().ExportState()
+	wantCheckins := recDevices * (recPerDevice / recMinibatch)
+	if want.Iteration != wantCheckins {
+		t.Fatalf("control run applied %d checkins, expected %d", want.Iteration, wantCheckins)
+	}
+
+	roots := map[string]func(t *testing.T) (crowdml.StoreRoot, string){
+		"MemStore": func(t *testing.T) (crowdml.StoreRoot, string) {
+			return crowdml.NewMemRoot(), ""
+		},
+		"FileStore": func(t *testing.T) (crowdml.StoreRoot, string) {
+			dir := t.TempDir()
+			root, err := crowdml.NewFileRoot(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return root, dir
+		},
+	}
+	for name, mkRoot := range roots {
+		t.Run(name, func(t *testing.T) {
+			root, dir := mkRoot(t)
+			st, err := root.Open(ctx, "task")
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashed := crowdml.NewHub()
+			task, err := crashed.CreateTask(ctx, "task", recServerConfig(),
+				crowdml.WithStore(st),
+				// A count policy exercises mid-run async snapshots, so the
+				// recovery path is genuinely snapshot + journal tail (and
+				// journal-only when the checkpointer didn't get to run).
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 7}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveCrowd(t, task)
+			preCrash := task.Server().ExportState()
+
+			// Crash: the hub is dropped with no Hub.Close, so no final
+			// checkpoint covers the journal tail. On the file backend, also
+			// tear the journal mid-append the way a dying process would.
+			if dir != "" {
+				journalPath := filepath.Join(dir, "task", "checkins.jsonl")
+				f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(`{"deviceId":"torn","iterat`); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			reopened, err := crowdml.OpenHub(ctx, root, func(taskID string) (crowdml.ServerConfig, []crowdml.TaskOption, error) {
+				return recServerConfig(), nil, nil
+			})
+			if err != nil {
+				t.Fatalf("OpenHub: %v", err)
+			}
+			restoredTask, ok := reopened.Task("task")
+			if !ok {
+				t.Fatal("OpenHub did not restore the task")
+			}
+			got := restoredTask.Server().ExportState()
+
+			// Zero acknowledged-checkin loss: the recovered state must be
+			// EXACTLY the pre-crash state, which must be EXACTLY the
+			// never-crashed control state — iteration counter, parameter
+			// vector, crowd totals and per-device counters alike.
+			if !reflect.DeepEqual(got, preCrash) {
+				t.Errorf("recovered state != pre-crash state:\n got: %+v\nwant: %+v", got, preCrash)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("recovered state != uncrashed control state:\n got: %+v\nwant: %+v", got, want)
+			}
+			if got.Iteration != wantCheckins {
+				t.Errorf("recovered iteration = %d, want %d", got.Iteration, wantCheckins)
+			}
+
+			// The restored task keeps learning AND journaling: new checkins
+			// apply and survive a clean shutdown + second reopen.
+			token, err := restoredTask.Server().RegisterDevice(ctx, "late-device")
+			if err != nil {
+				t.Fatal(err)
+			}
+			co, err := restoredTask.Server().Checkout(ctx, "late-device", token)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := &crowdml.CheckinRequest{
+				Grad:        make([]float64, recClasses*recDim),
+				NumSamples:  1,
+				LabelCounts: make([]int, recClasses),
+				Version:     co.Version,
+			}
+			req.Grad[0] = 0.25
+			req.LabelCounts[0] = 1
+			if err := restoredTask.Server().Checkin(ctx, "late-device", token, req); err != nil {
+				t.Fatal(err)
+			}
+			if err := reopened.Close(ctx); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			again, err := crowdml.OpenHub(ctx, root, func(string) (crowdml.ServerConfig, []crowdml.TaskOption, error) {
+				return recServerConfig(), nil, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalTask, _ := again.Task("task")
+			if got := finalTask.Server().Iteration(); got != wantCheckins+1 {
+				t.Errorf("after reopen iteration = %d, want %d", got, wantCheckins+1)
+			}
+			if _, ok := finalTask.Server().DeviceStats("late-device"); !ok {
+				t.Error("post-recovery checkin lost its device counters")
+			}
+			if err := again.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOpenHubEmptyRoot: restoring from nothing yields an empty hub, not
+// an error — first boot and restart share one code path.
+func TestOpenHubEmptyRoot(t *testing.T) {
+	ctx := context.Background()
+	h, err := crowdml.OpenHub(ctx, crowdml.NewMemRoot(), func(string) (crowdml.ServerConfig, []crowdml.TaskOption, error) {
+		t.Fatal("configure must not be called for an empty root")
+		return crowdml.ServerConfig{}, nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len = %d, want 0", h.Len())
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableTaskSurvivesCleanRestartLoop hammers the full lifecycle:
+// run → Close → OpenHub, three generations, state strictly accumulating.
+func TestDurableTaskSurvivesCleanRestartLoop(t *testing.T) {
+	ctx := context.Background()
+	root := crowdml.NewMemRoot()
+	total := 0
+	for gen := 0; gen < 3; gen++ {
+		h, err := crowdml.OpenHub(ctx, root, func(string) (crowdml.ServerConfig, []crowdml.TaskOption, error) {
+			return recServerConfig(), nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, ok := h.Task("task")
+		if !ok {
+			st, err := root.Open(ctx, "task")
+			if err != nil {
+				t.Fatal(err)
+			}
+			task, err = h.CreateTask(ctx, "task", recServerConfig(), crowdml.WithStore(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := task.Server().Iteration(); got != total {
+			t.Fatalf("generation %d starts at iteration %d, want %d", gen, got, total)
+		}
+		driveCrowd(t, task)
+		total += recDevices * (recPerDevice / recMinibatch)
+		if got := task.Server().Iteration(); got != total {
+			t.Fatalf("generation %d ends at iteration %d, want %d", gen, got, total)
+		}
+		if err := h.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
