@@ -294,6 +294,54 @@ func BenchmarkCheckinJournaled(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckinJournaledSyncBatch is BenchmarkCheckinJournaled with
+// group-commit fsync (SyncBatch): the batch leader fsyncs once per
+// applied batch before its acknowledgments. The delta against
+// BenchmarkCheckinJournaled is the price of power-loss durability —
+// which shrinks per checkin as concurrency (batch size) rises; that
+// amortization is the point of group commit. Not in the CI gate: fsync
+// latency is a property of the runner's storage, not of this code.
+func BenchmarkCheckinJournaledSyncBatch(b *testing.B) {
+	ctx := context.Background()
+	fs, err := crowdml.NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := crowdml.NewHub()
+	task, err := h.CreateTask(ctx, "bench", crowdml.ServerConfig{
+		Model:   crowdml.NewLogisticRegression(mnistClasses, mnistDim),
+		Updater: crowdml.NewSGD(crowdml.InvSqrt{C: 1}, 0),
+	}, crowdml.WithStore(fs),
+		crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 4096}),
+		crowdml.WithSyncPolicy(crowdml.SyncBatch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := task.Server()
+	token, err := srv.RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := &core.CheckinRequest{
+			Grad:        make([]float64, mnistClasses*mnistDim),
+			NumSamples:  20,
+			LabelCounts: make([]int, mnistClasses),
+		}
+		for pb.Next() {
+			if err := srv.Checkin(ctx, "bench", token, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err := h.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCommPayloadBytes reports the JSON checkin payload size per
 // sample for b ∈ {1, 20}: the b-fold communication reduction of
 // Section IV-B2 (each checkin carries one gradient regardless of b).

@@ -241,17 +241,19 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 
 // durabilityBench measures what the durability layer costs the write
 // path: the same in-process crowd (loopback transport, activity-shaped
-// task) runs once store-less and once with a file-backed write-ahead
-// journal plus asynchronous checkpoints, and the phase reports both
-// throughputs and the relative overhead. The journal append runs on the
-// batch leader outside the parameter lock, so this measures the honest
-// per-checkin fsync-free file-append cost — the number benchgate guards
-// via BenchmarkCheckinJournaled.
+// task) runs store-less, then with a file-backed write-ahead journal
+// plus asynchronous checkpoints (fsync off — process-crash durability),
+// then again with group-commit fsync (SyncBatch — power-loss
+// durability), and the phase reports each throughput and its overhead
+// over the store-less baseline. The journal append and the per-batch
+// fsync both run on the batch leader outside the parameter lock, so
+// this measures the honest per-checkin durability cost — the fsync-off
+// number is what benchgate guards via BenchmarkCheckinJournaled.
 func durabilityBench(devices, samples, minibatch int) error {
 	ctx := context.Background()
 	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
 
-	run := func(st crowdml.Store) (checkins int, elapsed time.Duration, err error) {
+	run := func(st crowdml.Store, policy crowdml.SyncPolicy) (checkins int, elapsed time.Duration, err error) {
 		h := crowdml.NewHub()
 		opts := []crowdml.TaskOption{}
 		if st != nil {
@@ -259,7 +261,8 @@ func durabilityBench(devices, samples, minibatch int) error {
 				crowdml.WithStore(st),
 				// A count policy keeps the checkpointer busy during the run
 				// instead of idling behind a one-minute timer.
-				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 256}))
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 256}),
+				crowdml.WithSyncPolicy(policy))
 		}
 		task, err := h.CreateTask(ctx, "bench", crowdml.ServerConfig{
 			Model:   m,
@@ -318,43 +321,59 @@ func durabilityBench(devices, samples, minibatch int) error {
 
 	fmt.Printf("durability bench: %d devices × %d samples (b=%d), in-process loopback\n",
 		devices, samples, minibatch)
-	baseN, baseT, err := run(nil)
+	baseN, baseT, err := run(nil, crowdml.SyncNone)
 	if err != nil {
 		return err
 	}
 	baseRate := float64(baseN) / baseT.Seconds()
-	fmt.Printf("  store-less:  %d checkins in %v — %.0f checkins/s\n",
+	fmt.Printf("  store-less:      %d checkins in %v — %.0f checkins/s\n",
 		baseN, baseT.Round(time.Millisecond), baseRate)
 
-	dir, err := os.MkdirTemp("", "crowdml-durability-bench-")
-	if err != nil {
+	walPhase := func(label string, policy crowdml.SyncPolicy, note string) error {
+		dir, err := os.MkdirTemp("", "crowdml-durability-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fs, err := crowdml.NewFileStore(dir)
+		if err != nil {
+			return err
+		}
+		walN, walT, err := run(fs, policy)
+		if err != nil {
+			return err
+		}
+		walRate := float64(walN) / walT.Seconds()
+		fmt.Printf("  %s %d checkins in %v — %.0f checkins/s\n",
+			label, walN, walT.Round(time.Millisecond), walRate)
+		if walRate > 0 {
+			fmt.Printf("    overhead vs store-less: %.1f%% (%s)\n",
+				(baseRate/walRate-1)*100, note)
+		}
+		// Verify the WAL invariant and the rotation bookkeeping: every
+		// acknowledged checkin has exactly one entry across the segment
+		// chain, and the AfterN checkpoints sealed segments along the way.
+		entries, err := fs.ReadJournal(ctx)
+		if err != nil {
+			return fmt.Errorf("verify journal: %w", err)
+		}
+		if len(entries) != walN {
+			return fmt.Errorf("journal has %d entries for %d acknowledged checkins", len(entries), walN)
+		}
+		segs, err := fs.Segments(ctx)
+		if err != nil {
+			return fmt.Errorf("list segments: %w", err)
+		}
+		fmt.Printf("    journal verified: %d entries across %d segment(s), one entry per acknowledged checkin\n",
+			len(entries), len(segs))
+		return nil
+	}
+	if err := walPhase("journaled:      ", crowdml.SyncNone,
+		"fsync off: every acknowledged checkin survives a process crash"); err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
-	fs, err := crowdml.NewFileStore(dir)
-	if err != nil {
-		return err
-	}
-	walN, walT, err := run(fs)
-	if err != nil {
-		return err
-	}
-	walRate := float64(walN) / walT.Seconds()
-	fmt.Printf("  journaled:   %d checkins in %v — %.0f checkins/s\n",
-		walN, walT.Round(time.Millisecond), walRate)
-	if walRate > 0 {
-		fmt.Printf("  WAL overhead: %.1f%% (every acknowledged checkin durable + replayable)\n",
-			(baseRate/walRate-1)*100)
-	}
-	entries, err := fs.ReadJournal(ctx)
-	if err != nil {
-		return fmt.Errorf("verify journal: %w", err)
-	}
-	if len(entries) != walN {
-		return fmt.Errorf("journal has %d entries for %d acknowledged checkins", len(entries), walN)
-	}
-	fmt.Printf("  journal verified: %d entries, one per acknowledged checkin\n", len(entries))
-	return nil
+	return walPhase("journaled+fsync:", crowdml.SyncBatch,
+		"group-commit fsync: acknowledged checkins survive power loss")
 }
 
 // randomSource generates L1-normalized random samples of an arbitrary

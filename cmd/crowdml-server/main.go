@@ -24,11 +24,15 @@
 // With -state-dir, every task is durable (the MySQL role in the original
 // prototype): each applied checkin is write-ahead journaled into the
 // task's subdirectory before it is acknowledged, the hub checkpoints
-// asynchronously every -checkpoint-every, and a restarted server resumes
-// each task on the exact pre-crash iteration and parameters (latest
-// checkpoint + journal-tail replay). All of that is hub-managed —
-// CreateTask(WithStore, WithCheckpointPolicy) on the way in, Hub.Close
-// on the way out.
+// asynchronously every -checkpoint-every — rotating the journal onto a
+// fresh segment after each snapshot, so restarts replay only the live
+// tail — and a restarted server resumes each task on the exact
+// pre-crash iteration and parameters (latest checkpoint + journal-tail
+// replay). -sync picks the journal fsync policy (none/batch/every;
+// "batch" group-commits one fsync per applied batch for power-loss
+// durability). All of that is hub-managed — CreateTask(WithStore,
+// WithCheckpointPolicy, WithSyncPolicy) on the way in, Hub.Close on the
+// way out.
 //
 // Example: a 3-class activity-recognition task over 64-bin FFT features:
 //
@@ -87,10 +91,29 @@ type taskSpec struct {
 	// policy: snapshot once this many checkins accumulated since the
 	// last one (0 = timer only).
 	CheckpointAfterN int `json:"checkpointAfterN"`
+	// SyncPolicy selects the journal fsync policy with -state-dir:
+	// "none" (default; OS-flushed, process-crash durability), "batch"
+	// (group-commit fsync once per applied batch — power-loss
+	// durability at amortized cost), or "every" (fsync per append).
+	SyncPolicy string `json:"syncPolicy"`
 	// checkinFlush carries the -checkin-flush flag at full resolution for
 	// the single-task path (unexported: the JSON path uses the
 	// millisecond field above).
 	checkinFlush time.Duration
+}
+
+// parseSyncPolicy maps the -sync flag / syncPolicy JSON field onto a
+// crowdml.SyncPolicy ("every" accepts "always" as an alias).
+func parseSyncPolicy(s string) (crowdml.SyncPolicy, error) {
+	switch s {
+	case "", "none":
+		return crowdml.SyncNone, nil
+	case "batch":
+		return crowdml.SyncBatch, nil
+	case "every", "always":
+		return crowdml.SyncEvery, nil
+	}
+	return crowdml.SyncNone, fmt.Errorf("unknown sync policy %q (want none, batch or every)", s)
 }
 
 // flushInterval resolves the spec's flush setting, preferring the
@@ -119,6 +142,7 @@ func run() error {
 		devices    = flag.Int("preregister", 0, "pre-register this many devices on the default task and print their tokens")
 		stateDir   = flag.String("state-dir", "", "durability directory, one store per task (empty disables persistence)")
 		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "asynchronous checkpoint interval with -state-dir")
+		syncMode   = flag.String("sync", "none", "journal fsync policy with -state-dir: none, batch (group-commit per applied batch), or every")
 		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal (single-task flags)")
 		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal (single-task flags)")
 
@@ -136,7 +160,7 @@ func run() error {
 		Classes: *classes, Dim: *dim, Rate: *rate, Radius: *radius,
 		Tmax: *tmax, TargetError: *rho, Default: true,
 		CheckinBatch: *checkinBatch, CheckinQueue: *checkinQueue,
-		checkinFlush: *checkinFlush,
+		checkinFlush: *checkinFlush, SyncPolicy: *syncMode,
 	}}
 	if *taskLabels != "" {
 		specs[0].Labels = strings.Split(*taskLabels, ",")
@@ -304,7 +328,10 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	}
 	var fs *crowdml.FileStore
 	if stateDir != "" {
-		var err error
+		sync, err := parseSyncPolicy(spec.SyncPolicy)
+		if err != nil {
+			return fmt.Errorf("task %s: %w", spec.ID, err)
+		}
 		fs, err = crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
 		if err != nil {
 			return err
@@ -314,7 +341,8 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 			crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
 				Every:  saveEvery,
 				AfterN: spec.CheckpointAfterN,
-			}))
+			}),
+			crowdml.WithSyncPolicy(sync))
 	}
 	task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
 	if err != nil {

@@ -78,10 +78,20 @@ func NewSGD(schedule Schedule, radius float64) Updater {
 }
 
 // NewAdaGrad returns the adaptive per-coordinate updater of Remark 3
-// (robust to outlier gradients from malignant devices).
+// (robust to outlier gradients from malignant devices). AdaGrad
+// implements StateExporter, so a durable task using it recovers
+// bit-exactly: its accumulators ride in every checkpoint.
 func NewAdaGrad(eta, radius float64) Updater {
 	return &optimizer.AdaGrad{Eta: eta, Radius: radius}
 }
+
+// StateExporter is optionally implemented by Updaters carrying internal
+// state beyond the parameter vector (AdaGrad's per-coordinate
+// accumulators, Momentum's velocity). The exported vector rides inside
+// checkpoints (ServerState.UpdaterState) and is handed back on restore,
+// making recovery bit-exact for stateful updaters too — a custom
+// Updater that wants exact recovery should implement it.
+type StateExporter = optimizer.StateExporter
 
 // Server is the Crowd-ML server (Algorithm 2). Safe for concurrent use
 // and built for read-mostly traffic: checkouts and statistics are served
@@ -167,8 +177,30 @@ func AsDefaultTask() TaskOption { return hub.AsDefault() }
 func WithStore(st Store) TaskOption { return hub.WithStore(st) }
 
 // WithCheckpointPolicy sets a durable task's checkpoint cadence (only
-// meaningful together with WithStore).
+// meaningful together with WithStore). Each successful checkpoint also
+// rotates the journal onto a fresh segment, so the cadence bounds both
+// replay time and how much journal a restart must read.
 func WithCheckpointPolicy(p CheckpointPolicy) TaskOption { return hub.WithCheckpointPolicy(p) }
+
+// SyncPolicy selects how hard a durable task's journal pushes entries
+// toward stable storage: SyncNone (flushed to the OS, process-crash
+// durability — the default), SyncBatch (group-commit fsync: the batch
+// leader fsyncs once per applied batch before any of its
+// acknowledgments, buying power-loss durability at amortized cost), or
+// SyncEvery (fsync per append).
+type SyncPolicy = hub.SyncPolicy
+
+// SyncPolicy values; see the SyncPolicy docs and docs/OPERATIONS.md for
+// the durability/throughput trade.
+const (
+	SyncNone  = hub.SyncNone
+	SyncBatch = hub.SyncBatch
+	SyncEvery = hub.SyncEvery
+)
+
+// WithSyncPolicy sets a durable task's journal fsync policy (only
+// meaningful together with WithStore). The zero policy is SyncNone.
+func WithSyncPolicy(p SyncPolicy) TaskOption { return hub.WithSyncPolicy(p) }
 
 // Task-registry and restore sentinel errors.
 var (
@@ -308,7 +340,10 @@ func NewPortalIndex(h *Hub) http.Handler {
 type Store = store.Store
 
 // FileStore is the file-backed Store: JSON checkpoints (atomic
-// write-to-temp + rename) and a JSONL journal under one directory.
+// write-to-temp + rename) and a segmented JSONL journal
+// (journal-*.jsonl; sealed segments are the audit trail) under one
+// directory, guarded by an advisory flock so a second process cannot
+// open a live journal (ErrStoreLocked).
 type FileStore = store.FileStore
 
 // NewFileStore opens (creating if needed) a store directory.
@@ -339,14 +374,20 @@ func NewMemRoot() *store.MemRoot { return store.NewMemRoot() }
 // when nothing has been saved yet; ErrJournalTruncated accompanies the
 // valid prefix ReadJournal returns when the journal's final record is
 // torn (the expected artifact of a crash mid-append — recovery treats it
-// as success for the returned entries).
+// as success for the returned entries); ErrStoreLocked is returned by
+// FileStore.OpenJournal when another live journal holds the store
+// directory's advisory lock.
 var (
 	ErrNoCheckpoint     = store.ErrNoCheckpoint
 	ErrJournalTruncated = store.ErrJournalTruncated
+	ErrStoreLocked      = store.ErrStoreLocked
 )
 
-// Journal is a task's append-only write-ahead checkin log, opened with
-// Store.OpenJournal. Entries are durable before Append returns.
+// Journal is a task's append-only, segmented write-ahead checkin log,
+// opened with Store.OpenJournal. Entries are durable before Append
+// returns; Rotate seals the live segment (the hub's checkpointer calls
+// it after every successful snapshot); Sync fsyncs for power-loss
+// durability (see SyncPolicy).
 type Journal = store.Journal
 
 // JournalEntry is one write-ahead record: the complete sanitized checkin

@@ -51,18 +51,19 @@
 // # Durability and recovery
 //
 // Persistence is a pluggable Store (the MySQL role in the paper's
-// prototype): atomic checkpoints of the learning state plus an
-// append-only write-ahead checkin journal. Two implementations ship —
-// FileStore (a directory) and MemStore (in-memory, for tests and
-// benchmarks) — and both pass one shared conformance suite. Durability
-// is hub-managed:
+// prototype): atomic checkpoints of the learning state plus a
+// segmented, append-only write-ahead checkin journal. Two
+// implementations ship — FileStore (a directory, flock-guarded) and
+// MemStore (in-memory, for tests and benchmarks) — and both pass one
+// shared conformance suite. Durability is hub-managed:
 //
 //	st, _ := crowdml.NewFileStore("/var/lib/crowdml/activity")
 //	task, _ := hub.CreateTask(ctx, "activity", cfg,
 //	    crowdml.WithStore(st),
 //	    crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
 //	        Every: time.Minute, AfterN: 1024,
-//	    }))
+//	    }),
+//	    crowdml.WithSyncPolicy(crowdml.SyncBatch))
 //	...
 //	hub.Close(ctx) // final snapshot + journal close, every task
 //
@@ -70,47 +71,71 @@
 // (gradient, counters, echoed checkout version) before the Checkin call
 // returns, so recovery — load the latest checkpoint, then Server.Replay
 // the journal tail — reconstructs the exact pre-crash iteration counter,
-// parameters and totals: no acknowledged checkin is ever lost. (Exact
-// parameters assume an updater that is a pure function of (w, ĝ, t),
-// like the paper's SGD schedules; AdaGrad's internal accumulators are
-// not part of ServerState and reset on any restore.) After a
-// restart, OpenHub (or Hub.Restore) rebuilds every persisted task from a
-// StoreRoot. Checkpoints are written by an asynchronous, coalescing
-// per-task checkpointer and bound how much of the journal must be
-// re-APPLIED at restart (the journal is kept whole as an audit log and
-// re-read in full); the hot path above is untouched (the journal append
-// runs on the batch leader, outside the parameter lock). Durability is
-// against process crashes — FileStore does not fsync per entry, so
-// machine-level power loss can lose the newest journal entries.
+// parameters and totals: no acknowledged checkin is ever lost. Exact
+// parameters hold for updaters that are pure functions of (w, ĝ, t),
+// like the paper's SGD schedules, AND for stateful updaters
+// implementing StateExporter (AdaGrad, Momentum): their internal state
+// rides in every checkpoint and is handed back on restore. After a
+// restart, OpenHub (or Hub.Restore) rebuilds every persisted task from
+// a StoreRoot.
 //
-// The ordering contract between OnCheckin and the journal: for a durable
-// task, the hub journals iteration t and THEN runs the user's OnCheckin
-// hook for t, both before the originating Checkin returns. A user hook
-// that observes iteration t can therefore rely on t's journal record
-// being durable. The converse edge is at-least-once: a crash after the
-// journal append but before the device saw the acknowledgment replays
-// the checkin on recovery, and a device that retries it contributes that
-// minibatch twice — the same semantics as a network-level retry, which
-// asynchronous SGD absorbs.
+// The journal is segmented. After each successful snapshot, the
+// asynchronous per-task checkpointer rotates the journal: the live
+// segment is flushed, fsynced and sealed, and appends continue in a
+// fresh one. Sealed segments are never rewritten — they accumulate as
+// the task's audit trail (Store.ReadJournal reads the whole chain) —
+// while recovery reads only the trailing segments the latest checkpoint
+// does not cover (Store.ReadJournalTail), so restart time is bounded by
+// checkpoint cadence instead of lifetime checkin volume. The hot path
+// is untouched: journal appends, group-commit syncs and rotations all
+// run on the batch leader or the checkpointer, outside the parameter
+// lock.
 //
-// A journal whose final record is torn by a crash mid-append is
+// SyncPolicy picks the crash model. SyncNone (default) hands each entry
+// to the OS per append: acknowledged checkins survive a crash of the
+// server process, but machine-level power loss can lose the newest
+// entries. SyncBatch is group-commit fsync: the batch leader fsyncs
+// once per applied batch, after the batch's appends and before any of
+// its acknowledgments — power-loss durability at a cost amortized over
+// the batch. SyncEvery fsyncs per append. See docs/OPERATIONS.md for
+// tuning guidance.
+//
+// The ordering contract, per applied checkin at iteration t of a
+// durable task: (1) the delta is applied in memory; (2) the hub appends
+// t's journal record; (3) the user's OnCheckin hook for t runs — it can
+// rely on t's record being written; (4) once the whole batch's hooks
+// have run, the batch's single group-commit point (OnBatchCommit —
+// under SyncBatch, the fsync); (5) the originating Checkin returns.
+// Rotation never reorders any of this: it only decides which segment
+// file step (2) appends to. The converse edge is at-least-once: a crash
+// after the journal append but before the device saw the acknowledgment
+// replays the checkin on recovery, and a device that retries it
+// contributes that minibatch twice — the same semantics as a
+// network-level retry, which asynchronous SGD absorbs.
+//
+// A LIVE segment whose final record is torn by a crash mid-append is
 // repaired on reopen (the record was never durable, so it was never
 // acknowledged); Store.ReadJournal surfaces the same case as
-// ErrJournalTruncated with the valid prefix. If a journal append FAILS
+// ErrJournalTruncated with the valid prefix. Sealed segments are
+// fsynced at rotation and cannot be crash-torn, so damage there is
+// refused rather than repaired. A second process cannot reach either
+// state: FileStore.OpenJournal holds an advisory flock on the store
+// directory until Close (ErrStoreLocked), and the kernel releases a
+// dead holder's lock automatically. If a journal append or sync FAILS
 // (disk full, I/O error), the task fail-stops: it stops accepting
-// checkins — bounding the acknowledged-but-unjournaled window to one
-// batch — no later append is attempted (a success behind the hole would
-// break replay contiguity), and Hub.Close reports the failure; its
-// final checkpoint, if it succeeds, still captures the full in-memory
-// state.
+// checkins — bounding the at-risk window to one batch — no later append
+// is attempted (a success behind the hole would break replay
+// contiguity), and Hub.Close reports the failure; its final checkpoint,
+// if it succeeds, still captures the full in-memory state.
 //
 // # Architecture
 //
 //	Hub     — named-task registry (sharded); CreateTask/Task/CloseTask,
 //	          a default task for the legacy single-task endpoints;
 //	          hub-managed durability (WithStore, OpenHub/Restore, Close).
-//	Store   — pluggable persistence: checkpoints + write-ahead checkin
-//	          journal; FileStore and MemStore, grouped under a StoreRoot.
+//	Store   — pluggable persistence: checkpoints + segmented write-ahead
+//	          checkin journal (rotation, group-commit fsync, audit
+//	          trail); FileStore and MemStore, grouped under a StoreRoot.
 //	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
 //	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria;
 //	          lock-free checkout/stats, batched checkin application.
@@ -150,6 +175,9 @@
 //
 // See examples/ for runnable programs (quickstart, activity recognition,
 // a digit-recognition simulation study, and a multi-task HTTP cluster),
-// and cmd/crowdml-bench for the harness that regenerates every figure of
-// the paper's evaluation plus an HTTP load bench.
+// the Example functions in this package's test files for the durability
+// lifecycle, and cmd/crowdml-bench for the harness that regenerates
+// every figure of the paper's evaluation plus an HTTP load bench.
+// docs/ARCHITECTURE.md maps the layers and the durability state
+// machine; docs/OPERATIONS.md is the operator's tuning guide.
 package crowdml

@@ -1,0 +1,164 @@
+package crowdml_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	crowdml "github.com/crowdml/crowdml"
+)
+
+// exampleConfig is the minimal deterministic task the examples share: a
+// 2-class logistic regression with a constant-rate SGD updater.
+func exampleConfig() crowdml.ServerConfig {
+	return crowdml.ServerConfig{
+		Model:   crowdml.NewLogisticRegression(2, 3),
+		Updater: crowdml.NewSGD(crowdml.Constant{C: 0.1}, 0),
+	}
+}
+
+// exampleCheckin pushes one deterministic sanitized checkin.
+func exampleCheckin(ctx context.Context, task *crowdml.Task, deviceID string) error {
+	srv := task.Server()
+	token, err := srv.RegisterDevice(ctx, deviceID)
+	if err != nil {
+		return err
+	}
+	co, err := srv.Checkout(ctx, deviceID, token)
+	if err != nil {
+		return err
+	}
+	return srv.Checkin(ctx, deviceID, token, &crowdml.CheckinRequest{
+		Grad:        []float64{0.5, -0.25, 1, 0, 0.125, -1},
+		NumSamples:  2,
+		LabelCounts: []int{1, 1},
+		Version:     co.Version,
+	})
+}
+
+// ExampleOpenHub shows the whole durability lifecycle: create a durable
+// task, absorb checkins, shut down cleanly, and reopen the process from
+// its StoreRoot — the task resumes on its exact pre-shutdown iteration.
+func ExampleOpenHub() {
+	ctx := context.Background()
+	root := crowdml.NewMemRoot() // production: crowdml.NewFileRoot("/var/lib/crowdml")
+
+	configure := func(taskID string) (crowdml.ServerConfig, []crowdml.TaskOption, error) {
+		return exampleConfig(), nil, nil // or crowdml.ErrSkipTask
+	}
+
+	// First boot: the root is empty, so OpenHub restores nothing and the
+	// task is created explicitly.
+	hub, err := crowdml.OpenHub(ctx, root, configure)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	st, _ := root.Open(ctx, "activity")
+	task, err := hub.CreateTask(ctx, "activity", exampleConfig(), crowdml.WithStore(st))
+	if err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+	for _, device := range []string{"phone-1", "phone-2"} {
+		if err := exampleCheckin(ctx, task, device); err != nil {
+			fmt.Println("checkin:", err)
+			return
+		}
+	}
+	if err := hub.Close(ctx); err != nil { // final checkpoint + journal close
+		fmt.Println("close:", err)
+		return
+	}
+
+	// Restart: OpenHub rebuilds every persisted task from the root.
+	hub, err = crowdml.OpenHub(ctx, root, configure)
+	if err != nil {
+		fmt.Println("reopen:", err)
+		return
+	}
+	restored, _ := hub.Task("activity")
+	fmt.Println("resumed at iteration", restored.Server().Iteration())
+	if err := hub.Close(ctx); err != nil {
+		fmt.Println("close:", err)
+	}
+	// Output: resumed at iteration 2
+}
+
+// ExampleWithCheckpointPolicy demonstrates the checkpoint → rotation
+// coupling: once the AfterN trigger snapshots the state, the journal
+// rotates onto a fresh segment, so a restart replays only the live tail.
+func ExampleWithCheckpointPolicy() {
+	ctx := context.Background()
+	st := crowdml.NewMemStore()
+	hub := crowdml.NewHub()
+	task, err := hub.CreateTask(ctx, "activity", exampleConfig(),
+		crowdml.WithStore(st),
+		crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
+			Every:  time.Minute, // timer trigger
+			AfterN: 2,           // count trigger; both coalesce
+		}))
+	if err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+	for _, device := range []string{"phone-1", "phone-2"} {
+		if err := exampleCheckin(ctx, task, device); err != nil {
+			fmt.Println("checkin:", err)
+			return
+		}
+	}
+	// The checkpointer is asynchronous; wait for the AfterN snapshot's
+	// rotation to land.
+	for st.SegmentCount() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("segments after the first checkpoint:", st.SegmentCount())
+	if err := hub.Close(ctx); err != nil {
+		fmt.Println("close:", err)
+	}
+	// Output: segments after the first checkpoint: 2
+}
+
+// ExampleWithSyncPolicy upgrades a file-backed task from process-crash
+// durability (the default) to power-loss durability with group-commit
+// fsync: the batch leader fsyncs the journal once per applied batch,
+// before any of the batch's checkins are acknowledged.
+func ExampleWithSyncPolicy() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "crowdml-example-")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := crowdml.NewFileStore(dir)
+	if err != nil {
+		fmt.Println("store:", err)
+		return
+	}
+	hub := crowdml.NewHub()
+	task, err := hub.CreateTask(ctx, "activity", exampleConfig(),
+		crowdml.WithStore(st),
+		crowdml.WithSyncPolicy(crowdml.SyncBatch)) // group-commit fsync
+	if err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+	if err := exampleCheckin(ctx, task, "phone-1"); err != nil {
+		fmt.Println("checkin:", err)
+		return
+	}
+	if err := hub.Close(ctx); err != nil {
+		fmt.Println("close:", err)
+		return
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil {
+		fmt.Println("read:", err)
+		return
+	}
+	fmt.Printf("%d checkin on stable storage before its acknowledgment\n", len(entries))
+	// Output: 1 checkin on stable storage before its acknowledgment
+}

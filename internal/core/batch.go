@@ -216,6 +216,18 @@ func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 				}()
 			}
 		}
+		// The group-commit hook gets its call too: the applied items are
+		// about to be acknowledged, and a durability sink relying on
+		// OnBatchCommit (fsync) must cover them first. Recover-guarded —
+		// the original panic is already propagating.
+		if s.cfg.OnBatchCommit != nil {
+			if n := countApplied(results, applied); n > 0 {
+				func() {
+					defer func() { _ = recover() }()
+					s.cfg.OnBatchCommit(n)
+				}()
+			}
+		}
 		for i, p := range batch {
 			if p.done == nil {
 				continue
@@ -261,6 +273,22 @@ func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 			}()
 		}
 	}
+	// Group commit: one OnBatchCommit per applied batch, after every
+	// per-item hook and before any waiter is released — the point where
+	// a durability sink fsyncs once for the whole batch so each of the
+	// acknowledgments below stands on stable storage.
+	if s.cfg.OnBatchCommit != nil {
+		if n := countApplied(results, applied); n > 0 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && hookPanic == nil {
+						hookPanic = r
+					}
+				}()
+				s.cfg.OnBatchCommit(n)
+			}()
+		}
+	}
 	delivered = true
 	for i, p := range batch {
 		if p.done != nil {
@@ -271,6 +299,19 @@ func (s *Server) applyBatch(batch []*pendingCheckin) []error {
 		panic(hookPanic)
 	}
 	return results
+}
+
+// countApplied counts the items whose delta was actually applied (their
+// apply step completed with a nil result) — the n an OnBatchCommit call
+// reports. Items rejected by the stopping rule or aborted keep n honest.
+func countApplied(results []error, applied int) int {
+	n := 0
+	for i := 0; i < applied && i < len(results); i++ {
+		if results[i] == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // applyBatchLocked is the parameter-lock critical section of applyBatch.

@@ -43,11 +43,13 @@ type ReplayRecord struct {
 // of records applied.
 //
 // Exactness holds for updaters whose step depends only on (w, ĝ, t) —
-// the paper's SGD schedules. An updater carrying internal state of its
-// own (AdaGrad's per-coordinate accumulators) is outside ServerState, so
-// a recovered run resumes with that state reset — true of checkpoint
-// restore (ImportState) just the same, since the accumulators were never
-// persisted. See the ROADMAP for updater-state persistence.
+// the paper's SGD schedules — and equally for stateful updaters that
+// implement optimizer.StateExporter (AdaGrad, Momentum): their internal
+// state rides in ServerState.UpdaterState, ImportState hands it back
+// before Replay runs, and each replayed Update advances it exactly as
+// the original Checkin did. A stateful updater that does NOT implement
+// StateExporter resumes with its internal state reset (the checkpoint
+// had nothing to carry).
 func (s *Server) Replay(records []ReplayRecord) (applied int, err error) {
 	classes, dim := s.cfg.Model.Shape()
 	s.wMu.Lock()

@@ -58,6 +58,18 @@ type ServerConfig struct {
 	// checkouts or statistics reads, and never extends the parameter-lock
 	// hold itself.
 	OnCheckin func(ctx context.Context, deviceID string, iteration int, req *CheckinRequest)
+	// OnBatchCommit, if non-nil, is invoked by the batch leader once per
+	// applied batch — after every applied checkin's OnCheckin hook has
+	// run and BEFORE any of the batch's Checkin calls return — with n,
+	// the number of checkins the batch applied (n ≥ 1; batches that
+	// applied nothing skip the hook). This is the group-commit point: a
+	// sink that must make a batch's OnCheckin effects durable before the
+	// devices see their acknowledgments (the hub's fsync SyncPolicy) pays
+	// its cost once per batch here instead of once per checkin. Like
+	// OnCheckin it runs outside the parameter lock, on the single active
+	// leader, so it back-pressures later checkins but never blocks
+	// checkouts or statistics reads.
+	OnBatchCommit func(n int)
 	// CheckinBatchSize is the maximum number of queued checkins one batch
 	// leader applies per acquisition of the parameter lock. Larger batches
 	// amortize lock traffic and snapshot publication under load; a batch

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/optimizer"
 )
 
 // ServerState is a serializable snapshot of everything Algorithm 2
@@ -33,6 +34,20 @@ type ServerState struct {
 	TotalSamples     int   `json:"totalSamples"`
 	TotalErrors      int   `json:"totalErrors"`
 	TotalLabelCounts []int `json:"totalLabelCounts"`
+	// UpdaterName identifies the updater that produced UpdaterState
+	// (optimizer.Updater.Name()). ImportState only hands the state
+	// vector back when the configured updater's name matches; otherwise
+	// the state is reset — restoring an AdaGrad checkpoint into a task
+	// reconfigured for Momentum must not silently reinterpret
+	// accumulators as velocity.
+	UpdaterName string `json:"updaterName,omitempty"`
+	// UpdaterState is the updater's internal state, for updaters that
+	// implement optimizer.StateExporter (AdaGrad's per-coordinate
+	// accumulators, Momentum's velocity). Empty for stateless updaters
+	// like the paper's SGD schedules. With it in the checkpoint, recovery
+	// is bit-exact for stateful updaters too: ImportState hands the
+	// vector back and journal-tail replay advances it deterministically.
+	UpdaterState []float64 `json:"updaterState,omitempty"`
 	// Devices holds the per-device counters, keyed by device ID.
 	Devices map[string]DeviceStateEntry `json:"devices"`
 }
@@ -69,6 +84,12 @@ func (s *Server) ExportState() *ServerState {
 		TotalErrors:      int(s.totalNe.Load()),
 		TotalLabelCounts: totalNky,
 		Devices:          make(map[string]DeviceStateEntry),
+	}
+	st.UpdaterName = s.cfg.Updater.Name()
+	if se, ok := s.cfg.Updater.(optimizer.StateExporter); ok {
+		// The updater only ever runs under wMu (applyBatchLocked, Replay),
+		// so this export is from the same quiescent point as the rest.
+		st.UpdaterState = se.ExportState()
 	}
 	s.devices.forEach(func(id string, d *DeviceStats) {
 		st.Devices[id] = DeviceStateEntry{
@@ -115,6 +136,26 @@ func (s *Server) ImportState(st *ServerState) error {
 	}
 	s.wMu.Lock()
 	defer s.wMu.Unlock()
+	if se, ok := s.cfg.Updater.(optimizer.StateExporter); ok {
+		// The state vector is only meaningful to the updater that wrote
+		// it: on a name mismatch (the task was reconfigured — AdaGrad →
+		// Momentum, or a changed hyperparameter) the updater is reset
+		// instead, because silently reinterpreting one updater's vector
+		// as another's would corrupt the trajectory without any error.
+		// An empty vector likewise resets — restoring from a checkpoint
+		// written under stateless SGD starts the accumulators fresh,
+		// exactly as a reconfigured task should. The converse (a
+		// snapshot carrying state the configured updater cannot absorb)
+		// is ignored for the same reason: the operator's current
+		// configuration wins.
+		state := st.UpdaterState
+		if st.UpdaterName != s.cfg.Updater.Name() {
+			state = nil
+		}
+		if err := se.ImportState(state); err != nil {
+			return fmt.Errorf("core: restore updater state: %w", err)
+		}
+	}
 	copy(s.w.Data(), st.Params)
 	s.t.Store(int64(st.Iteration))
 	s.totalNs.Store(int64(st.TotalSamples))

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/crowdml/crowdml/internal/linalg"
 	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
 )
 
 func populatedServer(t *testing.T) (*Server, string) {
@@ -124,5 +126,50 @@ func TestImportStatePreservesStopped(t *testing.T) {
 	}
 	if !dst.Stopped() {
 		t.Error("stopped flag lost on restore")
+	}
+}
+
+// TestUpdaterStateRoundTripAndReset: checkpoints carry the updater's
+// identity next to its state vector; a same-updater restore hands the
+// state back, a reconfigured task resets it rather than reinterpreting
+// one updater's accumulators as another's velocity.
+func TestUpdaterStateRoundTripAndReset(t *testing.T) {
+	ctx := context.Background()
+	src := newTestServer(t, ServerConfig{Updater: &optimizer.AdaGrad{Eta: 0.5}})
+	token, err := src.RegisterDevice(ctx, "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &CheckinRequest{Grad: []float64{1, 0.5, -0.25, 0, 1, -1}, NumSamples: 2, LabelCounts: []int{1, 1, 0}}
+	if err := src.Checkin(ctx, "d1", token, req); err != nil {
+		t.Fatal(err)
+	}
+	st := src.ExportState()
+	if st.UpdaterName != (&optimizer.AdaGrad{Eta: 0.5}).Name() {
+		t.Errorf("UpdaterName = %q, want the AdaGrad name", st.UpdaterName)
+	}
+	if len(st.UpdaterState) != 6 {
+		t.Fatalf("UpdaterState has %d coordinates, want 6", len(st.UpdaterState))
+	}
+
+	// Same updater: the state comes back.
+	same := &optimizer.AdaGrad{Eta: 0.5}
+	dst := newTestServer(t, ServerConfig{Updater: same})
+	if err := dst.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := same.ExportState(); len(got) != 6 || got[0] != st.UpdaterState[0] {
+		t.Errorf("same-updater restore got state %v, want %v", got, st.UpdaterState)
+	}
+
+	// Reconfigured task (different stateful updater): reset, not
+	// reinterpretation.
+	other := &optimizer.Momentum{Schedule: optimizer.Constant{C: 0.1}, Beta: 0.9}
+	dst2 := newTestServer(t, ServerConfig{Updater: other})
+	if err := dst2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.ExportState(); got != nil {
+		t.Errorf("cross-updater restore imported state %v, want a reset (nil)", got)
 	}
 }

@@ -40,12 +40,49 @@ func (p CheckpointPolicy) withDefaults() CheckpointPolicy {
 	return p
 }
 
+// SyncPolicy selects how hard the write-ahead journal pushes each entry
+// toward stable storage — the durability/throughput trade for a durable
+// task.
+type SyncPolicy int
+
+const (
+	// SyncNone (the default) flushes each entry to the OS without
+	// fsyncing: every acknowledged checkin survives a crash of the
+	// server process, but a kernel panic or power loss may lose the
+	// newest entries. This is the cheapest policy and the pre-SyncPolicy
+	// behavior.
+	SyncNone SyncPolicy = iota
+	// SyncBatch is group-commit fsync: the batch leader fsyncs the
+	// journal ONCE per applied batch, after the batch's entries are
+	// appended and before any of its Checkin calls return. Acknowledged
+	// checkins then survive power loss, at a cost amortized over the
+	// whole batch — under load, a fraction of a per-entry fsync each.
+	SyncBatch
+	// SyncEvery fsyncs after every single append — power-loss durability
+	// with no batching window at all, at full per-entry fsync cost.
+	// SyncBatch gives the same guarantee for acknowledged checkins
+	// (nothing is acknowledged before the batch's sync); SyncEvery only
+	// narrows the window for entries whose acknowledgment never
+	// happened, so it is rarely worth its price.
+	SyncEvery
+)
+
+// WithSyncPolicy sets a durable task's journal fsync policy; it only
+// has an effect together with WithStore. The zero policy is SyncNone.
+func WithSyncPolicy(p SyncPolicy) TaskOption {
+	return func(o *createOptions) { o.sync = p }
+}
+
 // WithStore attaches a durability store to the task. CreateTask then
 // restores any persisted state (latest checkpoint + deterministic replay
-// of the journal tail) before the task is registered, journals every
-// applied checkin write-ahead of its acknowledgment, and runs an
-// asynchronous checkpointer per WithCheckpointPolicy. Hub.Close (or
-// CloseTask) flushes a final snapshot and closes the journal.
+// of the live journal segments) before the task is registered, journals
+// every applied checkin write-ahead of its acknowledgment, and runs an
+// asynchronous checkpointer per WithCheckpointPolicy — which also
+// rotates the journal onto a fresh segment after each successful
+// snapshot, keeping restart time bounded by checkpoint cadence while
+// sealed segments accumulate as the audit trail. Journal fsync behavior
+// is WithSyncPolicy's. Hub.Close (or CloseTask) flushes a final
+// snapshot and closes the journal.
 func WithStore(st store.Store) TaskOption {
 	return func(o *createOptions) { o.store = st }
 }
@@ -63,12 +100,14 @@ func WithCheckpointPolicy(p CheckpointPolicy) TaskOption {
 // path is untouched); the checkpointer runs on its own goroutine and
 // never blocks checkins at all.
 type durability struct {
-	st      store.Store
-	journal store.Journal
-	user    func(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest)
-	srv     *core.Server // set once the server exists, before any traffic
+	st        store.Store
+	journal   store.Journal
+	user      func(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest)
+	userBatch func(n int)  // the user's own OnBatchCommit, chained after the sync
+	srv       *core.Server // set once the server exists, before any traffic
 
 	policy CheckpointPolicy
+	sync   SyncPolicy
 	dirty  atomic.Int64  // checkins journaled since the last snapshot
 	kick   chan struct{} // AfterN trigger (capacity 1, coalescing)
 	stopCh chan struct{}
@@ -111,11 +150,12 @@ type durability struct {
 	stopDecided    bool
 }
 
-func newDurability(st store.Store, journal store.Journal, policy CheckpointPolicy,
-	user func(context.Context, string, int, *core.CheckinRequest)) *durability {
+func newDurability(st store.Store, journal store.Journal, policy CheckpointPolicy, sync SyncPolicy,
+	user func(context.Context, string, int, *core.CheckinRequest), userBatch func(int)) *durability {
 	return &durability{
-		st: st, journal: journal, user: user,
+		st: st, journal: journal, user: user, userBatch: userBatch,
 		policy: policy.withDefaults(),
+		sync:   sync,
 		kick:   make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
@@ -158,19 +198,11 @@ func (d *durability) journalCheckin(ctx context.Context, deviceID string, iterat
 	// The checkin is already applied to the model; the record must be
 	// written even if the device's request context has been cancelled.
 	if err := d.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
-		// Fail-stop: the checkin is applied and its caller will see
-		// success, but it cannot be made durable. Stop the task so the
-		// un-journaled window stays as narrow as one batch (devices get
-		// ErrStopped from here on), latch failed so no LATER append can
-		// succeed and leave a replay-breaking hole behind this one, and
-		// surface the error at Close. Silently continuing would instead
-		// grow the acknowledged-but-lost window without bound. The
-		// learning-rule stop state is captured first: the fail-stop is
-		// operational, and must not be persisted as learning state.
-		d.preFailStopped.Store(d.srv.Stopped())
-		d.failed.Store(true)
-		d.srv.Stop()
-		d.recordErr(fmt.Errorf("journal append at iteration %d failed; task stopped: %w", iteration, err))
+		d.failStop(fmt.Errorf("journal append at iteration %d failed; task stopped: %w", iteration, err))
+	} else if d.sync == SyncEvery {
+		if err := d.journal.Sync(context.WithoutCancel(ctx)); err != nil {
+			d.failStop(fmt.Errorf("journal sync at iteration %d failed; task stopped: %w", iteration, err))
+		}
 	}
 	n := d.dirty.Add(1)
 	if d.policy.AfterN > 0 && n >= int64(d.policy.AfterN) {
@@ -185,6 +217,47 @@ func (d *durability) recordErr(err error) {
 	d.mu.Lock()
 	d.asyncErr = append(d.asyncErr, err)
 	d.mu.Unlock()
+}
+
+// failStop latches the WAL-broken state: the journal can no longer
+// honor "every acknowledged checkin is durable", so the task stops
+// accepting checkins (keeping the at-risk window as narrow as one
+// batch), no later append may succeed behind the failure (a hole would
+// break replay contiguity), and the error surfaces at Close. The
+// learning-rule stop state is captured first: the fail-stop is
+// operational, and must not be persisted as learning state.
+func (d *durability) failStop(err error) {
+	d.preFailStopped.Store(d.srv.Stopped())
+	d.failed.Store(true)
+	d.srv.Stop()
+	d.recordErr(err)
+}
+
+// onBatchCommit is the core.ServerConfig.OnBatchCommit hook CreateTask
+// installs under SyncBatch: one fsync per applied batch, after the
+// batch's journal appends and before any of its Checkin calls return —
+// group commit. A sync failure fail-stops exactly like an append
+// failure: the batch's entries may not be on stable storage, so the
+// task must not keep widening the at-risk window.
+func (d *durability) onBatchCommit(n int) {
+	d.syncBatch()
+	if d.userBatch != nil {
+		d.userBatch(n)
+	}
+}
+
+// syncBatch performs the group-commit fsync under closeMu's read lock
+// (scoped like journalCheckin's: never around the user hook, so a hook
+// that closes the task cannot deadlock against close()).
+func (d *durability) syncBatch() {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.failed.Load() || d.closing {
+		return
+	}
+	if err := d.journal.Sync(context.Background()); err != nil {
+		d.failStop(fmt.Errorf("journal group-commit sync failed; task stopped: %w", err))
+	}
 }
 
 // run is the checkpointer goroutine: it waits for a trigger, then writes
@@ -212,10 +285,11 @@ func (d *durability) run() {
 	}
 }
 
-// save snapshots the server state. ExportState takes the apply lock for
-// the duration of one state copy — the same cost a stats export pays —
-// so checkpointing throttles the write path only for that copy, never
-// for the Store.Save I/O itself.
+// save snapshots the server state, then rotates the journal onto a
+// fresh segment. ExportState takes the apply lock for the duration of
+// one state copy — the same cost a stats export pays — so checkpointing
+// throttles the write path only for that copy, never for the Store.Save
+// I/O itself.
 func (d *durability) save(ctx context.Context) {
 	n := d.dirty.Load()
 	state := d.srv.ExportState()
@@ -236,6 +310,28 @@ func (d *durability) save(ctx context.Context) {
 	// by the snapshot too; counting them as still-dirty only means one
 	// redundant save later, never a lost one.
 	d.dirty.Add(-n)
+	d.rotate(ctx)
+}
+
+// rotate seals the live journal segment behind a successful checkpoint.
+// Ordering makes the crash windows safe in both directions: entries
+// appended between the state export and the rotation land in the old
+// segment with iterations ABOVE the checkpoint's, and restore's
+// ReadJournalTail walks back past the newest segment whenever its first
+// entry is not covered — so a crash between checkpoint success and the
+// seal (or a failed rotation, which is recorded and retried at the next
+// checkpoint) costs only bounded extra reading, never correctness.
+// Skipped once the task is closing (the journal is being fenced; the
+// final checkpoint covers everything) or fail-stopped.
+func (d *durability) rotate(ctx context.Context) {
+	d.closeMu.RLock()
+	defer d.closeMu.RUnlock()
+	if d.failed.Load() || d.closing {
+		return
+	}
+	if err := d.journal.Rotate(ctx); err != nil {
+		d.recordErr(fmt.Errorf("rotate journal: %w", err))
+	}
 }
 
 // close stops the checkpointer, stops the server, writes the final
@@ -342,11 +438,16 @@ func (d *durability) close(ctx context.Context) error {
 // restoreInto reconstructs a freshly built server from its store: load
 // the latest checkpoint (if any), then deterministically replay the
 // journal tail, landing on the exact pre-crash iteration, parameters and
-// totals. A torn final journal record (ErrJournalTruncated) is tolerated
-// — it was never durable, so its checkin was never acknowledged. Entries
+// totals. Only the trailing journal segments the checkpoint does not
+// cover are read (ReadJournalTail) — the checkpointer rotates after
+// every successful snapshot, so restart time is bounded by checkpoint
+// cadence, not by how many checkins the task has absorbed in its life.
+// A torn final journal record (ErrJournalTruncated) is tolerated — it
+// was never durable, so its checkin was never acknowledged. Entries
 // written by the v1 audit-only journal carry no gradient and cannot be
 // replayed; they are skipped (the checkpoint is the best v1 could do).
 func restoreInto(ctx context.Context, srv *core.Server, st store.Store, taskID string) error {
+	covered := 0 // the checkpoint's iteration: entries at or below it are covered
 	cp, err := st.Load(ctx)
 	switch {
 	case errors.Is(err, store.ErrNoCheckpoint):
@@ -356,8 +457,9 @@ func restoreInto(ctx context.Context, srv *core.Server, st store.Store, taskID s
 		if err := srv.ImportState(cp.State); err != nil {
 			return fmt.Errorf("task %q: restore checkpoint: %w", taskID, err)
 		}
+		covered = cp.State.Iteration
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := st.ReadJournalTail(ctx, covered)
 	if err != nil && !errors.Is(err, store.ErrJournalTruncated) {
 		return fmt.Errorf("task %q: read journal: %w", taskID, err)
 	}

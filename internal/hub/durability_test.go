@@ -523,6 +523,248 @@ func TestJournalAppendFailureFailStops(t *testing.T) {
 	}
 }
 
+// TestCheckpointRotatesJournal: every successful checkpoint must seal
+// the live segment, and a post-rotation crash must still restore the
+// exact state (checkpoint + live-tail replay across the rotation).
+func TestCheckpointRotatesJournal(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMemStore()
+	h := New()
+	task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+		WithCheckpointPolicy(CheckpointPolicy{AfterN: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkinN(t, task.Server(), "d1", 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for st.SegmentCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never rotated the journal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	checkinN(t, task.Server(), "d2", 2) // the tail in the fresh segment
+	want := task.Server().ExportState()
+
+	// Crash without Close; the restore crosses the rotation boundary.
+	h2 := New()
+	restored, err := h2.CreateTask(ctx, "t", serverConfig(), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatesEqual(t, restored.Server().ExportState(), want)
+	if err := h2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rotateBlockedStore wraps a MemStore with a journal whose Rotate fails
+// while armed — the observable state of a crash (or transient error)
+// landing between checkpoint success and the segment seal: the
+// checkpoint exists, but the covered entries still sit in the live
+// segment.
+type rotateBlockedStore struct {
+	*store.MemStore
+	blocked atomic.Bool
+}
+
+type rotateBlockedJournal struct {
+	store.Journal
+	st *rotateBlockedStore
+}
+
+func (s *rotateBlockedStore) OpenJournal(ctx context.Context) (store.Journal, error) {
+	j, err := s.MemStore.OpenJournal(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &rotateBlockedJournal{Journal: j, st: s}, nil
+}
+
+func (j *rotateBlockedJournal) Rotate(ctx context.Context) error {
+	if j.st.blocked.Load() {
+		return errors.New("crash before seal")
+	}
+	return j.Journal.Rotate(ctx)
+}
+
+// TestCrashBetweenCheckpointSuccessAndSeal: the checkpoint lands, the
+// rotation never does, the process dies. The live segment then holds
+// entries the checkpoint already covers PLUS the tail beyond it —
+// restore must replay exactly the tail (Replay skips covered records)
+// and land on the exact pre-crash state.
+func TestCrashBetweenCheckpointSuccessAndSeal(t *testing.T) {
+	ctx := context.Background()
+	st := &rotateBlockedStore{MemStore: store.NewMemStore()}
+	st.blocked.Store(true)
+	h := New()
+	task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+		WithCheckpointPolicy(CheckpointPolicy{AfterN: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkinN(t, task.Server(), "d1", 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cp, err := st.Load(ctx); err == nil && cp.State.Iteration == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.SegmentCount() != 1 {
+		t.Fatalf("rotation happened despite the simulated crash window (%d segments)", st.SegmentCount())
+	}
+	checkinN(t, task.Server(), "d2", 2) // tail beyond the checkpoint, same segment
+	want := task.Server().ExportState()
+
+	// Crash without Close; restore from checkpoint@3 + a live segment
+	// whose first three entries the checkpoint covers.
+	h2 := New()
+	restored, err := h2.CreateTask(ctx, "t", serverConfig(), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Server().ExportState()
+	assertStatesEqual(t, got, want)
+	if got.Iteration != 5 {
+		t.Errorf("iteration = %d, want 5", got.Iteration)
+	}
+	if err := h2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncCountingStore wraps a MemStore and counts journal Sync calls, so
+// the SyncPolicy wiring is observable.
+type syncCountingStore struct {
+	*store.MemStore
+	syncs    atomic.Int64
+	syncFail atomic.Bool
+}
+
+type syncCountingJournal struct {
+	store.Journal
+	st *syncCountingStore
+}
+
+func (s *syncCountingStore) OpenJournal(ctx context.Context) (store.Journal, error) {
+	j, err := s.MemStore.OpenJournal(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &syncCountingJournal{Journal: j, st: s}, nil
+}
+
+func (j *syncCountingJournal) Sync(ctx context.Context) error {
+	if j.st.syncFail.Load() {
+		return errors.New("fsync failed")
+	}
+	j.st.syncs.Add(1)
+	return j.Journal.Sync(ctx)
+}
+
+// TestSyncPolicyGroupCommit: SyncBatch must sync once per applied batch
+// (sequential checkins are one-item batches), SyncEvery once per append,
+// SyncNone never.
+func TestSyncPolicyGroupCommit(t *testing.T) {
+	ctx := context.Background()
+	for name, tc := range map[string]struct {
+		policy    SyncPolicy
+		wantSyncs int64
+	}{
+		"SyncNone":  {SyncNone, 0},
+		"SyncBatch": {SyncBatch, 5},
+		"SyncEvery": {SyncEvery, 5},
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := &syncCountingStore{MemStore: store.NewMemStore()}
+			h := New()
+			task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+				WithCheckpointPolicy(CheckpointPolicy{Every: time.Hour}),
+				WithSyncPolicy(tc.policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkinN(t, task.Server(), "d1", 5)
+			if got := st.syncs.Load(); got != tc.wantSyncs {
+				t.Errorf("%d journal syncs for 5 sequential checkins, want %d", got, tc.wantSyncs)
+			}
+			if err := h.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSyncBatchChainsUserHook: the user's own OnBatchCommit still runs,
+// after the group-commit sync — mirroring the OnCheckin chaining
+// contract.
+func TestSyncBatchChainsUserHook(t *testing.T) {
+	ctx := context.Background()
+	st := &syncCountingStore{MemStore: store.NewMemStore()}
+	h := New()
+	cfg := serverConfig()
+	var sawBatches atomic.Int64
+	var syncedFirst atomic.Bool
+	cfg.OnBatchCommit = func(n int) {
+		sawBatches.Add(int64(n))
+		if st.syncs.Load() > 0 {
+			syncedFirst.Store(true)
+		}
+	}
+	task, err := h.CreateTask(ctx, "t", cfg, WithStore(st),
+		WithCheckpointPolicy(CheckpointPolicy{Every: time.Hour}),
+		WithSyncPolicy(SyncBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkinN(t, task.Server(), "d1", 3)
+	if sawBatches.Load() != 3 {
+		t.Errorf("user OnBatchCommit saw %d applied checkins, want 3", sawBatches.Load())
+	}
+	if !syncedFirst.Load() {
+		t.Error("user OnBatchCommit must run after the group-commit sync")
+	}
+	if err := h.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncFailureFailStops: a failed group-commit fsync breaks the
+// power-loss guarantee for entries already acknowledged-in-flight — the
+// task must fail-stop exactly like a failed append, and Close must
+// surface it.
+func TestSyncFailureFailStops(t *testing.T) {
+	ctx := context.Background()
+	st := &syncCountingStore{MemStore: store.NewMemStore()}
+	st.syncFail.Store(true)
+	h := New()
+	task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+		WithCheckpointPolicy(CheckpointPolicy{Every: time.Hour}),
+		WithSyncPolicy(SyncBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := task.Server()
+	token, err := srv.RegisterDevice(ctx, "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &core.CheckinRequest{Grad: []float64{1, 0, 0, 1}, NumSamples: 1, LabelCounts: []int{1, 0}}
+	if err := srv.Checkin(ctx, "d1", token, req); err != nil {
+		t.Fatalf("the applied checkin's own call reports success, got %v", err)
+	}
+	if !srv.Stopped() {
+		t.Error("task must fail-stop once the journal cannot be synced")
+	}
+	if err := h.Close(ctx); err == nil {
+		t.Error("Close must surface the sync failure")
+	}
+}
+
 // panicNthUpdater panics on exactly the nth Update call.
 type panicNthUpdater struct {
 	n     int

@@ -124,6 +124,7 @@ type createOptions struct {
 	asDefault bool
 	store     store.Store
 	policy    CheckpointPolicy
+	sync      SyncPolicy
 }
 
 // WithInfo attaches portal metadata to the task. When the info has no
@@ -266,8 +267,15 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 		if err != nil {
 			return nil, fmt.Errorf("task %q: open journal: %w", taskID, err)
 		}
-		dur = newDurability(o.store, journal, o.policy, cfg.OnCheckin)
+		dur = newDurability(o.store, journal, o.policy, o.sync, cfg.OnCheckin, cfg.OnBatchCommit)
 		cfg.OnCheckin = dur.onCheckin
+		if o.sync == SyncBatch {
+			// Group commit rides the batch leader's per-batch hook: one
+			// fsync covering the whole batch, before any of its
+			// acknowledgments (the user's own OnBatchCommit, if any, runs
+			// after the sync).
+			cfg.OnBatchCommit = dur.onBatchCommit
+		}
 	}
 	server, err := core.NewServer(cfg)
 	if err != nil {

@@ -83,6 +83,31 @@ type Updater interface {
 	Name() string
 }
 
+// StateExporter is optionally implemented by Updaters that carry internal
+// state beyond the parameter vector — AdaGrad's per-coordinate squared
+// accumulators, Momentum's velocity. The server persists the exported
+// vector inside its checkpoints (core.ServerState.UpdaterState) and hands
+// it back on restore, so recovery replays land on bit-exact parameters
+// for stateful updaters too, not only for pure-(w, ĝ, t) rules like the
+// paper's SGD schedules.
+//
+// The payload is a flat float64 vector: every shipped updater's state is
+// one coordinate-shaped slice, the values round-trip bit-exactly through
+// the checkpoint's JSON encoding (Go prints the shortest representation
+// that parses back to the same float64), and a richer updater can pack
+// multiple slices into one vector.
+type StateExporter interface {
+	// ExportState returns a copy of the updater's internal state, or nil
+	// when it currently has none (never run, or just reset). The caller
+	// owns the returned slice.
+	ExportState() []float64
+	// ImportState replaces the updater's internal state with a copy of
+	// state; nil or empty resets it. Implementations cannot validate the
+	// length against the task shape here (they learn it from the first
+	// gradient); a mismatched import surfaces on the next Update.
+	ImportState(state []float64) error
+}
+
 // SGD is the plain projected-SGD updater of Eq. (3).
 type SGD struct {
 	// Schedule provides η(t). Required.
@@ -127,6 +152,12 @@ func (u *AdaGrad) Update(w, g *linalg.Matrix, t int) {
 	if u.accum == nil {
 		u.accum = make([]float64, len(data))
 	}
+	if len(u.accum) != len(data) {
+		// Only an ImportState payload of the wrong shape can get here (the
+		// server validates every gradient's length before Update runs).
+		panic(fmt.Sprintf("optimizer: adagrad state has %d coordinates, gradient has %d",
+			len(u.accum), len(data)))
+	}
 	eps := u.Epsilon
 	if eps == 0 {
 		eps = 1e-8
@@ -145,6 +176,26 @@ func (u *AdaGrad) Name() string { return fmt.Sprintf("adagrad(eta=%g)", u.Eta) }
 // Reset clears the accumulated squared gradients so the updater can be
 // reused across trials.
 func (u *AdaGrad) Reset() { u.accum = nil }
+
+var _ StateExporter = (*AdaGrad)(nil)
+
+// ExportState implements StateExporter: a copy of the Σ g_i² accumulators.
+func (u *AdaGrad) ExportState() []float64 {
+	if u.accum == nil {
+		return nil
+	}
+	return append([]float64(nil), u.accum...)
+}
+
+// ImportState implements StateExporter.
+func (u *AdaGrad) ImportState(state []float64) error {
+	if len(state) == 0 {
+		u.accum = nil
+		return nil
+	}
+	u.accum = append([]float64(nil), state...)
+	return nil
+}
 
 // AverageGradient computes the Eq. (6) minibatch gradient
 // g̃ = (1/n)·Σ ∇l(h(xᵢ;w), yᵢ) + λ·w into a fresh matrix, exactly as Device
@@ -190,6 +241,10 @@ func (u *Momentum) Update(w, g *linalg.Matrix, t int) {
 	if u.velocity == nil {
 		u.velocity = make([]float64, len(data))
 	}
+	if len(u.velocity) != len(data) {
+		panic(fmt.Sprintf("optimizer: momentum state has %d coordinates, gradient has %d",
+			len(u.velocity), len(data)))
+	}
 	eta := u.Schedule.Rate(t)
 	wd := w.Data()
 	for i, gi := range data {
@@ -206,6 +261,26 @@ func (u *Momentum) Name() string {
 
 // Reset clears the velocity so the updater can be reused across trials.
 func (u *Momentum) Reset() { u.velocity = nil }
+
+var _ StateExporter = (*Momentum)(nil)
+
+// ExportState implements StateExporter: a copy of the velocity vector.
+func (u *Momentum) ExportState() []float64 {
+	if u.velocity == nil {
+		return nil
+	}
+	return append([]float64(nil), u.velocity...)
+}
+
+// ImportState implements StateExporter.
+func (u *Momentum) ImportState(state []float64) error {
+	if len(state) == 0 {
+		u.velocity = nil
+		return nil
+	}
+	u.velocity = append([]float64(nil), state...)
+	return nil
+}
 
 // Clip wraps an Updater and rescales any incoming gradient whose L1 norm
 // exceeds MaxNorm1 down to that bound before applying it. The server knows
@@ -237,4 +312,26 @@ func (u *Clip) Update(w, g *linalg.Matrix, t int) {
 // Name implements Updater.
 func (u *Clip) Name() string {
 	return fmt.Sprintf("clip(L1<=%g, %s)", u.MaxNorm1, u.Inner.Name())
+}
+
+var _ StateExporter = (*Clip)(nil)
+
+// ExportState implements StateExporter by delegating to the wrapped
+// updater (Clip itself is stateless); nil when Inner carries no state.
+func (u *Clip) ExportState() []float64 {
+	if se, ok := u.Inner.(StateExporter); ok {
+		return se.ExportState()
+	}
+	return nil
+}
+
+// ImportState implements StateExporter by delegating to the wrapped
+// updater. State for a stateless Inner is silently dropped — the
+// checkpoint was written under a different updater configuration, and
+// the operator's new configuration wins.
+func (u *Clip) ImportState(state []float64) error {
+	if se, ok := u.Inner.(StateExporter); ok {
+		return se.ImportState(state)
+	}
+	return nil
 }

@@ -246,3 +246,90 @@ func TestClipDisabled(t *testing.T) {
 		t.Errorf("disabled clip altered gradient: %v", w.At(0, 0))
 	}
 }
+
+// TestStateExporterRoundTrip: AdaGrad and Momentum must export a COPY of
+// their internal state and restore it bit-exactly, so a restored updater
+// continues the trajectory the crashed one was on.
+func TestStateExporterRoundTrip(t *testing.T) {
+	newW := func() *linalg.Matrix {
+		w, _ := linalg.NewMatrixFrom(1, 3, []float64{0.1, 0.2, 0.3})
+		return w
+	}
+	newG := func(vals ...float64) *linalg.Matrix {
+		g, _ := linalg.NewMatrixFrom(1, 3, vals)
+		return g
+	}
+	for name, mk := range map[string]func() Updater{
+		"AdaGrad":  func() Updater { return &AdaGrad{Eta: 0.5} },
+		"Momentum": func() Updater { return &Momentum{Schedule: Constant{C: 0.5}, Beta: 0.9} },
+		"Clip":     func() Updater { return &Clip{Inner: &AdaGrad{Eta: 0.5}, MaxNorm1: 100} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			orig, restored := mk(), mk()
+			se := orig.(StateExporter)
+			if got := se.ExportState(); got != nil {
+				t.Fatalf("fresh updater exported %v, want nil", got)
+			}
+			wOrig := newW()
+			orig.Update(wOrig, newG(0.5, -0.25, 1), 1)
+			state := se.ExportState()
+			if len(state) != 3 {
+				t.Fatalf("exported %d coordinates, want 3", len(state))
+			}
+			// The "crash" point: remember w after step 1, hand the exported
+			// state to a fresh updater, and run the same step 2 on both.
+			wRestored := newW()
+			copy(wRestored.Data(), wOrig.Data())
+			if err := restored.(StateExporter).ImportState(state); err != nil {
+				t.Fatal(err)
+			}
+			snapshot := append([]float64(nil), state...)
+			orig.Update(wOrig, newG(-1, 0.125, 0.75), 2)
+			restored.Update(wRestored, newG(-1, 0.125, 0.75), 2)
+			// The export was a copy: step 2 on the live updater must not
+			// have reached back into it.
+			if !slicesEqual(state, snapshot) {
+				t.Fatal("ExportState returned a live alias, not a copy")
+			}
+			// Bit-exact continuation: identical parameters AND identical
+			// internal state after the post-restore step.
+			if !slicesEqual(wRestored.Data(), wOrig.Data()) {
+				t.Errorf("restored trajectory w = %v, want %v", wRestored.Data(), wOrig.Data())
+			}
+			got := restored.(StateExporter).ExportState()
+			want := se.ExportState()
+			if !slicesEqual(got, want) {
+				t.Errorf("restored state after step 2 = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestStateExporterImportReset: nil/empty imports reset the state.
+func TestStateExporterImportReset(t *testing.T) {
+	u := &AdaGrad{Eta: 0.5}
+	w, _ := linalg.NewMatrixFrom(1, 2, []float64{0, 0})
+	g, _ := linalg.NewMatrixFrom(1, 2, []float64{1, 1})
+	u.Update(w, g, 1)
+	if u.ExportState() == nil {
+		t.Fatal("state expected after an update")
+	}
+	if err := u.ImportState(nil); err != nil {
+		t.Fatal(err)
+	}
+	if u.ExportState() != nil {
+		t.Error("nil import must reset the accumulators")
+	}
+}
+
+func slicesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,9 @@ func TestStoreConformance(t *testing.T) {
 		"JournalRoundTrip":       testJournalRoundTrip,
 		"JournalSliceReuse":      testJournalSliceReuse,
 		"JournalAcrossReopens":   testJournalAcrossReopens,
+		"JournalRotation":        testJournalRotation,
+		"JournalTailBounded":     testJournalTailBounded,
+		"JournalSync":            testJournalSync,
 		"ReadJournalMissing":     testReadJournalMissing,
 		"CancelledContext":       testCancelledContext,
 	}
@@ -226,6 +229,139 @@ func testJournalAcrossReopens(t *testing.T, st Store) {
 	}
 	if len(entries) != 2 {
 		t.Errorf("%d entries after two sessions, want 2", len(entries))
+	}
+}
+
+// appendIters appends one minimal replayable entry per iteration in
+// [from, from+n).
+func appendIters(t *testing.T, j Journal, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		err := j.Append(ctx, JournalEntry{
+			DeviceID: "d1", Iteration: i, NumSamples: 1,
+			Grad: []float64{float64(i)}, LabelCounts: []int{1},
+		})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// testJournalRotation: entries written across rotations stay one
+// ordered log (the audit trail), both within a journal session and
+// across reopens.
+func testJournalRotation(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 3)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	appendIters(t, j, 4, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatalf("second Rotate: %v", err)
+	}
+	appendIters(t, j, 6, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the live segment continues; sealed segments are untouched.
+	j2, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j2, 7, 1)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("%d entries across segments, want 7", len(entries))
+	}
+	for i := range entries {
+		if entries[i].Iteration != i+1 {
+			t.Errorf("entry %d has iteration %d, want %d", i, entries[i].Iteration, i+1)
+		}
+	}
+}
+
+// testJournalTailBounded: ReadJournalTail must return every entry past
+// afterIteration without reading segments the checkpoint fully covers,
+// and ReadJournalTail(0) must equal ReadJournal.
+func testJournalTailBounded(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 4) // sealed below
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 5, 2) // sealed below
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 7, 3) // the live tail
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint at iteration 6 covers both sealed segments: the tail
+	// read must hand back exactly the live segment.
+	tail, err := st.ReadJournalTail(ctx, 6)
+	if err != nil {
+		t.Fatalf("ReadJournalTail: %v", err)
+	}
+	if len(tail) != 3 || tail[0].Iteration != 7 {
+		t.Fatalf("tail after 6 = %d entries starting at %d, want 3 starting at 7",
+			len(tail), tail[0].Iteration)
+	}
+	// A checkpoint mid-segment (iteration 5) needs the second sealed
+	// segment too; whole segments come back and Replay skips entry 5.
+	tail, err = st.ReadJournalTail(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 5 || tail[0].Iteration != 5 {
+		t.Fatalf("tail after 5 = %d entries starting at %d, want 5 starting at 5",
+			len(tail), tail[0].Iteration)
+	}
+	// No checkpoint: the tail read IS the full read.
+	all, err := st.ReadJournalTail(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 9 {
+		t.Fatalf("tail after 0 = %d entries, want all 9", len(all))
+	}
+}
+
+// testJournalSync: Sync succeeds and loses nothing (the power-loss
+// upgrade itself is not observable in-process; the conformance point is
+// that a group-commit caller can rely on the call).
+func testJournalSync(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 2)
+	if err := j.Sync(ctx); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	appendIters(t, j, 3, 1)
+	if err := j.Sync(ctx); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.ReadJournal(ctx)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("after syncs: %d entries err=%v, want 3/nil", len(entries), err)
 	}
 }
 

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireDirLock on platforms without flock(2) only creates the lock
+// file: the single-live-journal exclusion documented on FileStore is
+// NOT enforced here, exactly the pre-lock behavior. Deployments on such
+// platforms must not point two servers at one store directory.
+func acquireDirLock(path string) (*os.File, error) {
+	lock, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock file: %w", err)
+	}
+	return lock, nil
+}
+
+func releaseDirLock(lock *os.File) {
+	if lock == nil {
+		return
+	}
+	_ = lock.Close()
+}

@@ -14,21 +14,38 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
 )
 
+// Journal segment naming. The journal is a sequence of JSONL segment
+// files: journal-0000000001.jsonl, journal-0000000002.jsonl, … with the
+// highest sequence number being the live (appended-to) segment and every
+// lower one sealed. A pre-segmentation journal named checkins.jsonl is
+// read as the oldest segment, so stores written by earlier versions
+// restore unchanged; the first rotation seals it like any other segment.
+const (
+	segmentPrefix  = "journal-"
+	segmentSuffix  = ".jsonl"
+	segmentPattern = segmentPrefix + "%010d" + segmentSuffix
+	legacyJournal  = "checkins.jsonl"
+	lockFileName   = "LOCK"
+)
+
 // FileStore persists checkpoints and journals under a directory:
-// checkpoint.json (atomic write-to-temp + rename) and checkins.jsonl
-// (append-only, flushed per entry).
+// checkpoint.json (atomic write-to-temp + rename) and a segmented
+// journal-*.jsonl write-ahead log (append-only, flushed per entry).
 //
-// A store directory belongs to ONE process at a time: OpenJournal
+// A store directory belongs to ONE live journal at a time: OpenJournal
 // repairs (truncates) a crash-torn journal tail, so a second process
 // opening the same directory while the first is appending could destroy
-// a half-flushed live record. Nothing enforces the exclusion (see the
-// ROADMAP for an flock); deployments must not point two servers at one
-// -state-dir.
+// a half-flushed live record. OpenJournal therefore takes an advisory
+// flock on the directory's LOCK file, held until the journal is closed;
+// a conflicting open fails with ErrStoreLocked instead of racing. (The
+// kernel releases the lock when a crashed holder dies, so recovery is
+// never blocked by a stale lock file.)
 type FileStore struct {
 	dir string
 }
@@ -101,11 +118,28 @@ func (f *FileStore) Save(ctx context.Context, state *core.ServerState, now time.
 		return fmt.Errorf("store: publish checkpoint: %w", err)
 	}
 	// Sync the directory so the rename itself survives a machine crash
-	// (the temp file's contents were already synced above). Best-effort:
-	// some filesystems refuse directory syncs.
-	if dir, err := os.Open(f.dir); err == nil {
-		_ = dir.Sync()
-		dir.Close()
+	// (the temp file's contents were already synced above). Best-effort
+	// HERE only: a checkpoint whose rename is lost to power failure
+	// costs a longer journal replay, never data — the journal covers
+	// every acknowledged checkin regardless.
+	_ = syncDir(f.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory, making file creates and renames inside it
+// durable against machine crashes. Filesystems that refuse directory
+// fsync (EINVAL) are tolerated — on those there is nothing stronger to
+// offer; any other failure is reported so callers for whom the dirent's
+// durability is load-bearing (Rotate under a fsyncing SyncPolicy) can
+// treat it as fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
 	}
 	return nil
 }
@@ -133,32 +167,117 @@ func (f *FileStore) Load(ctx context.Context) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// fileJournal is the append-only JSONL journal behind a FileStore. It is
-// safe for concurrent use; a shutdown-path Close can race in-flight
-// Appends.
+// segmentSeq parses a segment file name, returning its sequence number.
+// The legacy checkins.jsonl maps to sequence 0 (older than any numbered
+// segment, which start at 1).
+func segmentSeq(name string) (int, bool) {
+	if name == legacyJournal {
+		return 0, true
+	}
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	if digits == "" {
+		return 0, false
+	}
+	seq := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	if seq < 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Segments returns the journal's segment file names, oldest first (the
+// last one is the live segment). Empty when no journal exists yet.
+// Exposed for auditing and operations tooling; reading one is plain
+// JSONL.
+func (f *FileStore) Segments(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list segments: %w", err)
+	}
+	type seg struct {
+		name string
+		seq  int
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segmentSeq(e.Name()); ok {
+			segs = append(segs, seg{name: e.Name(), seq: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	names := make([]string, len(segs))
+	for i, s := range segs {
+		names[i] = s.name
+	}
+	return names, nil
+}
+
+// fileJournal is the append-only segmented JSONL journal behind a
+// FileStore. It is safe for concurrent use; a shutdown-path Close can
+// race in-flight Appends and Rotates.
 type fileJournal struct {
+	dir string
+
 	mu     sync.Mutex
-	file   *os.File
+	file   *os.File // live segment
 	w      *bufio.Writer
+	seq    int      // live segment's sequence number
+	lock   *os.File // flock'd LOCK file, held until Close
 	closed bool
 }
 
-// OpenJournal opens (creating if needed) the journal file inside the
-// store directory for appending. A torn final record left by a crash
-// mid-append is repaired first — truncated back to the last decodable,
-// newline-terminated record. The repair removes EXACTLY the tail
-// ReadJournal classifies as ErrJournalTruncated (one trailing
-// undecodable or unterminated line): such a record was never durable,
-// so its checkin was never acknowledged, and appending after it without
-// the repair would strand undecodable bytes mid-file and poison every
-// later ReadJournal. Anything worse — several bad trailing lines, or a
-// valid entry after a bad line — is corruption no crash produces, and
+// OpenJournal opens the journal for appending: it takes the store
+// directory's advisory lock (ErrStoreLocked if a live journal already
+// holds it), opens the newest segment — creating journal-0000000001.jsonl
+// for a fresh store, or continuing a pre-segmentation checkins.jsonl —
+// and repairs a crash-torn tail first, truncating back to the last
+// decodable, newline-terminated record. The repair removes EXACTLY the
+// tail ReadJournal classifies as ErrJournalTruncated (one trailing
+// undecodable or unterminated line): such a record was never durable, so
+// its checkin was never acknowledged, and appending after it without the
+// repair would strand undecodable bytes mid-file and poison every later
+// ReadJournal. Anything worse — several bad trailing lines, or a valid
+// entry after a bad line — is corruption no crash produces, and
 // OpenJournal refuses to touch it.
 func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	file, err := os.OpenFile(filepath.Join(f.dir, "checkins.jsonl"),
+	lock, err := acquireDirLock(filepath.Join(f.dir, lockFileName))
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			releaseDirLock(lock)
+		}
+	}()
+	segs, err := f.Segments(ctx)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf(segmentPattern, 1)
+	if len(segs) > 0 {
+		name = segs[len(segs)-1]
+	}
+	seq, _ := segmentSeq(name)
+	file, err := os.OpenFile(filepath.Join(f.dir, name),
 		os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
@@ -167,7 +286,8 @@ func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
 		file.Close()
 		return nil, fmt.Errorf("store: repair journal tail: %w", err)
 	}
-	return &fileJournal{file: file, w: bufio.NewWriter(file)}, nil
+	ok = true
+	return &fileJournal{dir: f.dir, file: file, w: bufio.NewWriter(file), seq: seq, lock: lock}, nil
 }
 
 // repairTornTail truncates a single torn tail record — an undecodable
@@ -248,7 +368,8 @@ func repairTornTail(file *os.File) error {
 // exactly what ReadJournal's ErrJournalTruncated tolerance is for. The
 // flush runs before the originating Checkin is acknowledged (write-ahead
 // ordering). There is no per-entry fsync: durability is against process
-// crashes, not power loss (see the Journal interface contract).
+// crashes, not power loss, unless the caller follows up with Sync (the
+// hub's SyncBatch policy fsyncs once per applied batch).
 func (j *fileJournal) Append(ctx context.Context, e JournalEntry) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -259,6 +380,9 @@ func (j *fileJournal) Append(ctx context.Context, e JournalEntry) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("store: append to closed journal")
+	}
 	if _, err := j.w.Write(payload); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
@@ -271,9 +395,79 @@ func (j *fileJournal) Append(ctx context.Context, e JournalEntry) error {
 	return nil
 }
 
-// Close flushes and closes the journal. Idempotent: later calls return
-// nil (a retried durability flush re-runs Close after a failed
-// checkpoint save).
+// Sync fsyncs the live segment, upgrading everything appended so far to
+// power-loss durability.
+func (j *fileJournal) Sync(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("store: sync on closed journal")
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal: %w", err)
+	}
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the live segment — flushed, fsynced, closed, never
+// written again — and starts appending to a fresh numbered segment. The
+// new segment is created (and the directory synced) BEFORE the old file
+// is closed, so a failure at any step leaves the journal appending
+// where it was: rotation can be retried on the next checkpoint, and no
+// failure path loses the append handle.
+func (j *fileJournal) Rotate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("store: rotate on closed journal")
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("store: flush before rotate: %w", err)
+	}
+	// Seal durably: everything in the old segment reaches stable storage
+	// before the rotation is visible. The checkpoint that triggered this
+	// rotation was itself fsynced, so after a rotation the sealed chain +
+	// checkpoint survive power loss regardless of SyncPolicy.
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("store: sync before rotate: %w", err)
+	}
+	next, err := os.OpenFile(filepath.Join(j.dir, fmt.Sprintf(segmentPattern, j.seq+1)),
+		os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create next segment: %w", err)
+	}
+	// The new segment's directory entry must be durable BEFORE appends
+	// move into it: under a fsyncing SyncPolicy, Journal.Sync fsyncs
+	// file contents only, so a dirent lost to power failure would take
+	// every post-rotation "synced" entry with it. A failed directory
+	// sync therefore fails the rotation (appends stay in the old, known-
+	// durable segment, and the checkpointer retries next time) instead
+	// of being quietly dropped.
+	if err := syncDir(j.dir); err != nil {
+		next.Close()
+		return fmt.Errorf("store: sync dir for next segment: %w", err)
+	}
+	old := j.file
+	j.file, j.w, j.seq = next, bufio.NewWriter(next), j.seq+1
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("store: close sealed segment: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal, then releases the store
+// directory's advisory lock. Idempotent: later calls return nil (a
+// retried durability flush re-runs Close after a failed checkpoint
+// save).
 func (j *fileJournal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -281,6 +475,7 @@ func (j *fileJournal) Close() error {
 		return nil
 	}
 	j.closed = true
+	defer releaseDirLock(j.lock)
 	if err := j.w.Flush(); err != nil {
 		j.file.Close()
 		return fmt.Errorf("store: flush journal: %w", err)
@@ -288,21 +483,77 @@ func (j *fileJournal) Close() error {
 	return j.file.Close()
 }
 
-// ReadJournal loads every entry from the journal file. A missing journal
-// yields an empty slice. A torn or corrupt FINAL line — the expected
-// artifact of a crash mid-append — yields the valid prefix plus
-// ErrJournalTruncated instead of failing the whole replay; a corrupt line
-// with valid entries after it is real corruption and stays a hard error.
+// ReadJournal loads every entry from every journal segment, oldest
+// first — the full audit trail. A missing journal yields an empty
+// slice. A torn or corrupt FINAL line of the LIVE (newest) segment —
+// the expected artifact of a crash mid-append — yields the valid prefix
+// plus ErrJournalTruncated instead of failing the whole replay; a
+// corrupt line anywhere else (mid-segment, or in a sealed segment,
+// which no crash can tear) is real corruption and stays a hard error.
 func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	file, err := os.Open(filepath.Join(f.dir, "checkins.jsonl"))
+	segs, err := f.Segments(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalEntry
+	for i, name := range segs {
+		entries, err := f.readSegment(name, i == len(segs)-1)
+		out = append(out, entries...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ReadJournalTail implements the bounded recovery read: segments are
+// read newest-first and prepended until one contains an entry at or
+// below afterIteration+1 — every earlier segment then holds only
+// iterations the checkpoint already covers (journal iterations are
+// monotone), so recovery cost tracks rotation cadence, not journal
+// size. Whole segments are returned; core.Server.Replay skips leading
+// entries the checkpoint covers.
+func (f *FileStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	segs, err := f.Segments(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalEntry
+	var tornTail error
+	for i := len(segs) - 1; i >= 0; i-- {
+		entries, err := f.readSegment(segs[i], i == len(segs)-1)
+		if errors.Is(err, ErrJournalTruncated) {
+			tornTail = err // only the live segment can report this
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(entries, out...)
+		if len(entries) > 0 && entries[0].Iteration <= afterIteration+1 {
+			break
+		}
+	}
+	if tornTail != nil {
+		return out, tornTail
+	}
+	return out, nil
+}
+
+// readSegment decodes one segment file. With tolerateTail (the live
+// segment), a torn or corrupt final record yields the valid prefix plus
+// ErrJournalTruncated; without it, any bad line is a hard error.
+func (f *FileStore) readSegment(name string, tolerateTail bool) ([]JournalEntry, error) {
+	file, err := os.Open(filepath.Join(f.dir, name))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+		return nil, nil // raced a concurrent cleanup; nothing to read
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: open journal: %w", err)
+		return nil, fmt.Errorf("store: open journal segment %s: %w", name, err)
 	}
 	defer file.Close()
 	var out []JournalEntry
@@ -316,7 +567,7 @@ func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 	for line := 1; ; line++ {
 		raw, readErr := r.ReadBytes('\n')
 		if readErr != nil && !errors.Is(readErr, io.EOF) {
-			return nil, fmt.Errorf("store: scan journal: %w", readErr)
+			return nil, fmt.Errorf("store: scan journal segment %s: %w", name, readErr)
 		}
 		terminated := readErr == nil
 		raw = bytes.TrimSuffix(raw, []byte{'\n'})
@@ -333,14 +584,14 @@ func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 			switch {
 			case decodeErr != nil && badLine != 0:
 				// Two undecodable lines: not a torn tail.
-				return nil, fmt.Errorf("store: journal line %d: %w", badLine, badErr)
+				return nil, fmt.Errorf("store: journal segment %s line %d: %w", name, badLine, badErr)
 			case decodeErr != nil:
 				badLine, badErr = line, decodeErr
 			case badLine != 0:
 				// A valid entry AFTER a bad line means mid-journal
 				// corruption, not a crash-torn tail; replaying past it
 				// would silently drop an acknowledged checkin.
-				return nil, fmt.Errorf("store: journal line %d: %w", badLine, badErr)
+				return nil, fmt.Errorf("store: journal segment %s line %d: %w", name, badLine, badErr)
 			default:
 				out = append(out, e)
 			}
@@ -350,7 +601,12 @@ func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 		}
 	}
 	if badLine != 0 {
-		return out, fmt.Errorf("store: journal line %d: %v: %w", badLine, badErr, ErrJournalTruncated)
+		if !tolerateTail {
+			// Sealed segments were flushed, fsynced and closed; no crash
+			// tears them. A bad final line here is damage, not a torn tail.
+			return out, fmt.Errorf("store: journal segment %s line %d: %v", name, badLine, badErr)
+		}
+		return out, fmt.Errorf("store: journal segment %s line %d: %v: %w", name, badLine, badErr, ErrJournalTruncated)
 	}
 	return out, nil
 }

@@ -14,19 +14,23 @@ import (
 
 // MemStore is an in-memory Store for tests, benchmarks and embedded use.
 // It provides the same semantics as FileStore — atomic checkpoint
-// replacement, an append-only journal that survives journal reopens —
-// without touching the filesystem, so a "crash" is simulated by dropping
-// the server while keeping the MemStore.
+// replacement, a segmented append-only journal that survives journal
+// reopens and rotations — without touching the filesystem, so a "crash"
+// is simulated by dropping the server while keeping the MemStore. For
+// the same reason it does NOT enforce FileStore's one-live-journal lock:
+// reopening after a simulated crash is the point.
 type MemStore struct {
-	mu      sync.Mutex
-	cp      *Checkpoint
-	entries []JournalEntry
+	mu       sync.Mutex
+	cp       *Checkpoint
+	segments [][]JournalEntry // oldest first; the last is the live segment
 }
 
 var _ Store = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{} }
+func NewMemStore() *MemStore {
+	return &MemStore{segments: make([][]JournalEntry, 1)}
+}
 
 // Save replaces the checkpoint with a deep copy of the given state, so
 // later mutations of the live server never reach back into the snapshot.
@@ -80,8 +84,8 @@ func deepCopyCheckpoint(cp *Checkpoint) (*Checkpoint, error) {
 	return &out, nil
 }
 
-// memJournal appends into its MemStore's shared entry log; entries
-// survive Close and journal reopens, like a file on disk.
+// memJournal appends into its MemStore's shared segment log; entries
+// survive Close and journal reopens, like files on disk.
 type memJournal struct {
 	m *MemStore
 }
@@ -94,8 +98,8 @@ func (m *MemStore) OpenJournal(ctx context.Context) (Journal, error) {
 	return &memJournal{m: m}, nil
 }
 
-// Append records a deep copy of the entry (the Journal contract lets
-// callers reuse e's slices after Append returns).
+// Append records a deep copy of the entry in the live segment (the
+// Journal contract lets callers reuse e's slices after Append returns).
 func (j *memJournal) Append(ctx context.Context, e JournalEntry) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -107,26 +111,81 @@ func (j *memJournal) Append(ctx context.Context, e JournalEntry) error {
 		e.LabelCounts = append([]int(nil), e.LabelCounts...)
 	}
 	j.m.mu.Lock()
-	j.m.entries = append(j.m.entries, e)
+	live := len(j.m.segments) - 1
+	j.m.segments[live] = append(j.m.segments[live], e)
 	j.m.mu.Unlock()
 	return nil
 }
 
+// Rotate seals the live segment and begins a fresh one, mirroring
+// FileStore's segment semantics so the conformance suite (and the hub's
+// bounded-recovery behavior) holds on both backends.
+func (j *memJournal) Rotate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j.m.mu.Lock()
+	j.m.segments = append(j.m.segments, nil)
+	j.m.mu.Unlock()
+	return nil
+}
+
+// Sync is a no-op: every Append is already "durable" in memory.
+func (j *memJournal) Sync(ctx context.Context) error { return ctx.Err() }
+
 // Close is a no-op: every Append is already "durable" in memory.
 func (j *memJournal) Close() error { return nil }
 
-// ReadJournal returns a copy of every appended entry in order.
+// SegmentCount reports the number of journal segments (sealed + live) —
+// the in-memory analogue of FileStore.Segments, for tests asserting
+// rotation behavior.
+func (m *MemStore) SegmentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.segments)
+}
+
+// ReadJournal returns a copy of every appended entry across every
+// segment, in order.
 func (m *MemStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.entries) == 0 {
-		return nil, nil
+	var out []JournalEntry
+	for _, seg := range m.segments {
+		out = append(out, copyEntries(seg)...)
 	}
-	out := make([]JournalEntry, len(m.entries))
-	copy(out, m.entries)
+	return out, nil
+}
+
+// ReadJournalTail mirrors FileStore's bounded recovery read: segments
+// are scanned newest-first and prepended until one starts at or below
+// afterIteration+1.
+func (m *MemStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []JournalEntry
+	for i := len(m.segments) - 1; i >= 0; i-- {
+		seg := m.segments[i]
+		out = append(copyEntries(seg), out...)
+		if len(seg) > 0 && seg[0].Iteration <= afterIteration+1 {
+			break
+		}
+	}
+	return out, nil
+}
+
+func copyEntries(seg []JournalEntry) []JournalEntry {
+	if len(seg) == 0 {
+		return nil
+	}
+	out := make([]JournalEntry, len(seg))
+	copy(out, seg)
 	for i := range out {
 		if out[i].Grad != nil {
 			out[i].Grad = append([]float64(nil), out[i].Grad...)
@@ -135,7 +194,7 @@ func (m *MemStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
 			out[i].LabelCounts = append([]int(nil), out[i].LabelCounts...)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // MemRoot is an in-memory Root: a process-lifetime namespace of

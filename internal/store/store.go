@@ -19,6 +19,14 @@
 //     lost — a checkin's journal entry is durable before the Checkin
 //     call that produced it returns.
 //
+// The journal is segmented: Journal.Rotate seals the live segment and
+// begins a fresh one (the hub's checkpointer rotates after each
+// successful checkpoint), sealed segments are retained as the audit
+// trail, and ReadJournalTail reads back only the trailing segments a
+// recovery needs — so restart time is bounded by checkpoint cadence,
+// not total checkin volume, while ReadJournal still returns the full
+// history for auditing.
+//
 // The journal only ever sees sanitized quantities — raw device data
 // never reaches the server, so it cannot reach the store; persisting the
 // noise-perturbed gradient weakens nothing the paper's local-privacy
@@ -44,6 +52,15 @@ var (
 	// state should treat it as success for the returned entries: the torn
 	// record was never durable, so its checkin was never acknowledged.
 	ErrJournalTruncated = errors.New("store: journal truncated mid-record")
+
+	// ErrStoreLocked is returned by FileStore.OpenJournal when another
+	// process (or another open journal in this one) holds the store
+	// directory's advisory lock. Opening a journal repairs (truncates) a
+	// crash-torn tail, so a second opener racing a live journal could
+	// destroy a half-flushed record; the lock turns that misdeployment
+	// into a clean error. MemStore does not lock — simulating a crash by
+	// dropping a hub while keeping the store is exactly what it is for.
+	ErrStoreLocked = errors.New("store: store directory locked by a live journal")
 )
 
 // Checkpoint wraps a server state with bookkeeping metadata.
@@ -86,21 +103,32 @@ type JournalEntry struct {
 // be re-applied during recovery (v1 audit-only entries do not).
 func (e *JournalEntry) Replayable() bool { return len(e.Grad) > 0 }
 
-// Journal is an append-only checkin log. Implementations must be safe
-// for concurrent use and must make each entry durable before Append
-// returns (that ordering is what turns the journal into a write-ahead
-// log: Append runs before the originating Checkin is acknowledged).
-// "Durable" means surviving a crash of THIS process: FileStore hands
-// each entry to the OS per append but does not fsync it — a kernel
-// panic or power loss may lose the newest entries (an implementation
-// wanting power-loss durability pays the fsync in its Append). The
-// journal is not truncated when checkpoints cover its prefix (it
-// doubles as the audit log), so it grows with total checkin volume and
-// is re-read in full on restart; see the ROADMAP for rotation.
-// Append must not retain e's slices after returning — callers may reuse
-// the backing arrays.
+// Journal is an append-only, segmented checkin log. Implementations
+// must be safe for concurrent use and must make each entry durable
+// before Append returns (that ordering is what turns the journal into a
+// write-ahead log: Append runs before the originating Checkin is
+// acknowledged). "Durable" means surviving a crash of THIS process:
+// FileStore hands each entry to the OS per append but does not fsync it
+// — a kernel panic or power loss may lose the newest entries unless the
+// caller pays for Sync (the hub's SyncPolicy group-commits one Sync per
+// applied batch). Append must not retain e's slices after returning —
+// callers may reuse the backing arrays.
 type Journal interface {
 	Append(ctx context.Context, e JournalEntry) error
+	// Rotate seals the live segment and begins a fresh empty one; later
+	// Appends land in the new segment. Sealed segments are never written
+	// again and remain readable (ReadJournal) as the audit trail. The
+	// hub's checkpointer calls Rotate after each successful checkpoint,
+	// so the live segment holds only entries the latest checkpoint may
+	// not cover — which is what bounds ReadJournalTail, and therefore
+	// restart time, by checkpoint cadence. Rotation is bookkeeping, not
+	// durability: a failed Rotate leaves the journal appending to the old
+	// segment, fully recoverable, just less tightly bounded.
+	Rotate(ctx context.Context) error
+	// Sync forces everything appended so far onto stable storage
+	// (fsync), upgrading those entries from process-crash durability to
+	// power-loss durability. No-op for MemStore.
+	Sync(ctx context.Context) error
 	Close() error
 }
 
@@ -115,11 +143,21 @@ type Store interface {
 	// OpenJournal opens (creating if needed) the task's journal for
 	// appending. Entries appended across opens accumulate.
 	OpenJournal(ctx context.Context) (Journal, error)
-	// ReadJournal returns every journal entry in append order. A missing
-	// journal yields (nil, nil). A torn or corrupt final record yields
-	// the valid prefix plus ErrJournalTruncated; corruption earlier in
-	// the journal is a hard error.
+	// ReadJournal returns every journal entry, across every segment, in
+	// append order — the full audit trail. A missing journal yields
+	// (nil, nil). A torn or corrupt final record yields the valid prefix
+	// plus ErrJournalTruncated; corruption earlier in the journal is a
+	// hard error.
 	ReadJournal(ctx context.Context) ([]JournalEntry, error)
+	// ReadJournalTail returns the journal suffix a recovery already
+	// holding a checkpoint at afterIteration needs: every entry with
+	// Iteration > afterIteration, reading only the trailing segments
+	// required (whole segments are returned, so entries at or below
+	// afterIteration may lead the result — core.Server.Replay skips
+	// them). ReadJournalTail(ctx, 0) is equivalent to ReadJournal. The
+	// same torn-tail tolerance applies: ErrJournalTruncated alongside
+	// the valid entries when the live segment's final record is torn.
+	ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error)
 }
 
 // Root is a namespace of per-task stores — the store-side counterpart of

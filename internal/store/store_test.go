@@ -349,6 +349,161 @@ func TestJournalEntriesDurableWithoutClose(t *testing.T) {
 	}
 }
 
+// ---- Segmentation and locking (FileStore-specific) ----
+
+// TestRotateCreatesNumberedSegments: rotation seals journal-0000000001
+// and moves appends into journal-0000000002; the chain reads back as
+// one ordered log.
+func TestRotateCreatesNumberedSegments(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 3, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := fs.Segments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"journal-0000000001.jsonl", "journal-0000000002.jsonl"}
+	if len(segs) != 2 || segs[0] != want[0] || segs[1] != want[1] {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	entries, err := fs.ReadJournal(ctx)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("ReadJournal: %d entries, err=%v", len(entries), err)
+	}
+}
+
+// TestLegacyJournalReadAsOldestSegment: a pre-segmentation
+// checkins.jsonl keeps working — appends continue into it until the
+// first rotation seals it, and it reads back as the oldest segment.
+func TestLegacyJournalReadAsOldestSegment(t *testing.T) {
+	fs := writeJournalFile(t, t.TempDir(), validLine1+"\n"+validLine2+"\n")
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 3, 1) // lands in checkins.jsonl (the live segment)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 4, 1) // lands in journal-0000000001.jsonl
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := fs.Segments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0] != "checkins.jsonl" || segs[1] != "journal-0000000001.jsonl" {
+		t.Fatalf("Segments = %v, want [checkins.jsonl journal-0000000001.jsonl]", segs)
+	}
+	entries, err := fs.ReadJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 || entries[0].DeviceID != "d1" || entries[3].Iteration != 4 {
+		t.Fatalf("entries = %+v, want legacy pair + 2 appended", entries)
+	}
+	tail, err := fs.ReadJournalTail(ctx, 3)
+	if err != nil || len(tail) != 1 || tail[0].Iteration != 4 {
+		t.Fatalf("tail after 3 = %+v err=%v, want just iteration 4", tail, err)
+	}
+}
+
+// TestTornLiveSegmentWithSealedHistory: only the LIVE segment can be
+// crash-torn; the tolerance (and the reopen repair) applies there while
+// sealed segments stay strict.
+func TestTornLiveSegmentWithSealedHistory(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 3, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the live segment the way a dying process would.
+	live := filepath.Join(fs.Dir(), "journal-0000000002.jsonl")
+	f, err := os.OpenFile(live, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"deviceId":"torn","iter`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	entries, err := fs.ReadJournal(ctx)
+	if !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("ReadJournal error = %v, want ErrJournalTruncated", err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("valid prefix = %d entries, want 4", len(entries))
+	}
+	tail, err := fs.ReadJournalTail(ctx, 2)
+	if !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("ReadJournalTail error = %v, want ErrJournalTruncated", err)
+	}
+	if len(tail) != 2 || tail[0].Iteration != 3 {
+		t.Fatalf("tail = %+v, want iterations 3..4", tail)
+	}
+	// Reopen repairs the live segment; the sealed one is untouched.
+	j2, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := fs.ReadJournal(ctx); err != nil || len(entries) != 4 {
+		t.Fatalf("after repair: %d entries err=%v, want 4/nil", len(entries), err)
+	}
+}
+
+// TestTornSealedSegmentIsFatal: a bad final line in a SEALED segment is
+// damage no crash produces (sealing fsyncs and closes the file), so
+// reads refuse it instead of silently dropping acknowledged checkins.
+func TestTornSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal-0000000001.jsonl"),
+		[]byte(validLine1+"\n"+`{"deviceId":"torn","iter`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal-0000000002.jsonl"),
+		[]byte(validLine2+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+		t.Errorf("ReadJournal error = %v, want a hard sealed-segment error", err)
+	}
+	if _, err := fs.ReadJournalTail(ctx, 0); err == nil || errors.Is(err, ErrJournalTruncated) {
+		t.Errorf("ReadJournalTail error = %v, want a hard sealed-segment error", err)
+	}
+}
+
 // ---- Root implementations ----
 
 func TestFileRootListOpen(t *testing.T) {

@@ -1,0 +1,194 @@
+// Command linkcheck verifies the relative links in markdown files: every
+// [text](target) whose target is a filesystem path must point at a file
+// or directory that exists, resolved against the markdown file's own
+// directory (absolute targets resolve against the repository root, i.e.
+// the working directory). External schemes (http, https, mailto) and
+// pure in-page anchors (#fragment) are skipped — this is a repo
+// self-consistency check, not a crawler, so CI stays hermetic.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck README.md docs
+//
+// Arguments are markdown files or directories (scanned recursively for
+// *.md). Exit status 1 lists every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir> ...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		found, err := collectMarkdown(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		files = append(files, found...)
+	}
+	broken := 0
+	for _, file := range files {
+		payload, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, l := range checkLinks(file, string(payload)) {
+			fmt.Fprintf(os.Stderr, "%s:%d: broken link [%s](%s): %s\n",
+				file, l.line, l.text, l.target, l.problem)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) in %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+func collectMarkdown(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{arg}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+type brokenLink struct {
+	line    int
+	text    string
+	target  string
+	problem string
+}
+
+// checkLinks scans markdown source for inline links and images and
+// returns the relative ones whose targets do not exist. The scan is a
+// hand-rolled bracket matcher rather than a regexp so nested brackets
+// in link text ([see [1]](x)) and parenthesized URLs behave; fenced
+// code blocks and inline code spans are skipped so examples of link
+// syntax are not checked.
+func checkLinks(file, src string) []brokenLink {
+	var out []brokenLink
+	dir := filepath.Dir(file)
+	line := 1
+	inFence := strings.HasPrefix(src, "```") || strings.HasPrefix(src, "~~~")
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\n':
+			line++
+			rest := src[i+1:]
+			if strings.HasPrefix(rest, "```") || strings.HasPrefix(rest, "~~~") {
+				inFence = !inFence
+			}
+			continue
+		case '`':
+			if inFence {
+				continue
+			}
+			// Skip an inline code span on this line.
+			if end := strings.IndexByte(src[i+1:], '`'); end >= 0 && !strings.Contains(src[i+1:i+1+end], "\n") {
+				i += end + 1
+			}
+			continue
+		case '[':
+			if inFence {
+				continue
+			}
+		default:
+			continue
+		}
+		// src[i] == '[': find the matching close bracket.
+		depth, j := 1, i+1
+		for ; j < len(src) && depth > 0; j++ {
+			switch src[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '\n':
+				depth = -1 // links don't span lines in this repo's docs
+			}
+		}
+		if depth != 0 || j >= len(src) || src[j] != '(' {
+			continue
+		}
+		text := src[i+1 : j-1]
+		// Balanced-paren scan for the target, so [x](design(v2).md) keeps
+		// its whole path.
+		pdepth, k := 1, j+1
+		for ; k < len(src) && pdepth > 0; k++ {
+			switch src[k] {
+			case '(':
+				pdepth++
+			case ')':
+				pdepth--
+			case '\n':
+				pdepth = -1
+			}
+		}
+		if pdepth != 0 {
+			continue
+		}
+		target := src[j+1 : k-1]
+		i = k - 1
+		// Strip an optional title: [x](path "title")
+		if t := strings.IndexAny(target, " \t"); t >= 0 {
+			target = target[:t]
+		}
+		if problem := checkTarget(dir, target); problem != "" {
+			out = append(out, brokenLink{line: line, text: text, target: target, problem: problem})
+		}
+	}
+	return out
+}
+
+// checkTarget classifies one link target; "" means fine.
+func checkTarget(dir, target string) string {
+	switch {
+	case target == "":
+		return "empty target"
+	case strings.HasPrefix(target, "#"):
+		return "" // in-page anchor; not checked
+	case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+		return "" // external; CI stays offline
+	}
+	path := target
+	if k := strings.IndexByte(path, '#'); k >= 0 {
+		path = path[:k] // drop the fragment; check the file
+	}
+	if path == "" {
+		return ""
+	}
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(dir, path)
+	} else {
+		path = filepath.Join(".", path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		return "target does not exist"
+	}
+	return ""
+}

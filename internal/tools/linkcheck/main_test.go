@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"exists.md", filepath.Join("docs", "guide.md")} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("# x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := "# Title\n" +
+		"[good](exists.md) and [good dir](docs) and [anchor](#section)\n" +
+		"[good with fragment](docs/guide.md#part-2)\n" +
+		"[external](https://example.com/x.md) [mail](mailto:a@b.c)\n" +
+		"[missing](nope.md)\n" +
+		"```\n[not a link check](inside-fence.md)\n```\n" +
+		"`[not either](inline-code.md)` after span\n" +
+		"[also missing](docs/absent.md)\n"
+	got := checkLinks(filepath.Join(dir, "readme.md"), src)
+	if len(got) != 2 {
+		t.Fatalf("found %d broken links, want 2: %+v", len(got), got)
+	}
+	if got[0].target != "nope.md" || got[0].line != 5 {
+		t.Errorf("first broken = %+v, want nope.md on line 5", got[0])
+	}
+	if got[1].target != "docs/absent.md" {
+		t.Errorf("second broken = %+v, want docs/absent.md", got[1])
+	}
+}
+
+// TestCheckLinksParensAndLeadingFence covers the two scanner edge
+// cases: parenthesized filenames keep their whole path, and a fence
+// opening on the file's very first line suppresses checking inside it.
+func TestCheckLinksParensAndLeadingFence(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "design(v2).md"), []byte("# x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "[spec](design(v2).md)\n[missing](gone(v3).md)\n"
+	got := checkLinks(filepath.Join(dir, "readme.md"), src)
+	if len(got) != 1 || got[0].target != "gone(v3).md" {
+		t.Fatalf("parenthesized targets: got %+v, want only gone(v3).md broken", got)
+	}
+	fenced := "```\n[example link](never-checked.md)\n```\n[real missing](absent.md)\n"
+	got = checkLinks(filepath.Join(dir, "readme.md"), fenced)
+	if len(got) != 1 || got[0].target != "absent.md" {
+		t.Fatalf("leading fence: got %+v, want only absent.md broken", got)
+	}
+}
+
+func TestCheckTargetExternalAndAnchors(t *testing.T) {
+	for _, target := range []string{"#anchor", "https://x.test/a", "http://x.test", "mailto:a@b.c"} {
+		if p := checkTarget(".", target); p != "" {
+			t.Errorf("checkTarget(%q) = %q, want clean", target, p)
+		}
+	}
+	if p := checkTarget(".", ""); p == "" {
+		t.Error("empty target should be reported")
+	}
+}

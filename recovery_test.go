@@ -11,7 +11,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	crowdml "github.com/crowdml/crowdml"
 	"github.com/crowdml/crowdml/internal/rng"
@@ -38,6 +40,13 @@ func recServerConfig() crowdml.ServerConfig {
 // sequential submission — bit-identical SGD trajectories).
 func driveCrowd(t *testing.T, task *crowdml.Task) {
 	t.Helper()
+	driveCrowdSeeded(t, task, 0)
+}
+
+// driveCrowdSeeded is driveCrowd with a seed offset, so multi-phase
+// tests can run several distinct-but-deterministic workload waves.
+func driveCrowdSeeded(t *testing.T, task *crowdml.Task, seedBase uint64) {
+	t.Helper()
 	ctx := context.Background()
 	m := crowdml.NewLogisticRegression(recClasses, recDim)
 	devices := make([]*crowdml.Device, recDevices)
@@ -53,12 +62,12 @@ func driveCrowd(t *testing.T, task *crowdml.Task) {
 			Transport: crowdml.NewLoopback(task.Server()),
 			Minibatch: recMinibatch,
 			Budget:    crowdml.Budget{Gradient: crowdml.FromInv(0.05)},
-			Seed:      uint64(i + 1),
+			Seed:      seedBase + uint64(i+1),
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		sources[i] = rng.New(uint64(100 + i))
+		sources[i] = rng.New(seedBase + uint64(100+i))
 	}
 	for n := 0; n < recPerDevice; n++ {
 		for i, d := range devices {
@@ -128,18 +137,20 @@ func TestCrashRecoveryMatchesUncrashedRun(t *testing.T) {
 			preCrash := task.Server().ExportState()
 
 			// Crash: the hub is dropped with no Hub.Close, so no final
-			// checkpoint covers the journal tail. On the file backend, also
-			// tear the journal mid-append the way a dying process would.
+			// checkpoint covers the journal tail. On the file backend the
+			// crash is simulated faithfully: the store tree is frozen by
+			// copying it to a fresh root — a dead process's files stop
+			// changing and the kernel releases its journal flock, which is
+			// exactly what the copy gives us (the in-process "crashed" hub
+			// still holds the original directory's lock) — and the live
+			// journal segment is then torn mid-append the way a dying
+			// process would leave it.
 			if dir != "" {
-				journalPath := filepath.Join(dir, "task", "checkins.jsonl")
-				f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				crashDir := t.TempDir()
+				copyTree(t, dir, crashDir)
+				tearLiveSegment(t, filepath.Join(crashDir, "task"))
+				root, err = crowdml.NewFileRoot(crashDir)
 				if err != nil {
-					t.Fatal(err)
-				}
-				if _, err := f.WriteString(`{"deviceId":"torn","iterat`); err != nil {
-					t.Fatal(err)
-				}
-				if err := f.Close(); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -214,6 +225,63 @@ func TestCrashRecoveryMatchesUncrashedRun(t *testing.T) {
 	}
 }
 
+// copyTree recursively copies a store root, skipping checkpoint temp
+// files (a crash can leave one mid-write; recovery ignores them anyway).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		from, to := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(to, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, from, to)
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		payload, err := os.ReadFile(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(to, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tearLiveSegment appends half a record to the newest journal segment —
+// the artifact a process dying mid-append leaves behind.
+func tearLiveSegment(t *testing.T, storeDir string) {
+	t.Helper()
+	fs, err := crowdml.NewFileStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := fs.Segments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no journal segments to tear")
+	}
+	f, err := os.OpenFile(filepath.Join(storeDir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"deviceId":"torn","iterat`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestOpenHubEmptyRoot: restoring from nothing yields an empty hub, not
 // an error — first boot and restart share one code path.
 func TestOpenHubEmptyRoot(t *testing.T) {
@@ -230,6 +298,262 @@ func TestOpenHubEmptyRoot(t *testing.T) {
 	}
 	if err := h.Close(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// countingStore wraps a Store and counts the journal records its
+// ReadJournalTail calls hand back — the restore path's actual read
+// volume, which segmentation must bound by rotation cadence.
+type countingStore struct {
+	crowdml.Store
+	tailRecords int
+}
+
+func (c *countingStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]crowdml.JournalEntry, error) {
+	entries, err := c.Store.ReadJournalTail(ctx, afterIteration)
+	c.tailRecords += len(entries)
+	return entries, err
+}
+
+// TestRestartReplaysOnlyLiveSegmentTail is the segmentation acceptance
+// test on both backends: after N checkpoints (each of which rotates the
+// journal), a restart must read back only the live segment's few
+// records — not the whole history — while ReadJournal still serves
+// every sealed segment as the audit trail.
+func TestRestartReplaysOnlyLiveSegmentTail(t *testing.T) {
+	const (
+		waves    = 4 // checkpoints (and rotations) before the crash
+		perWave  = 5 // checkins per wave == CheckpointPolicy.AfterN
+		tailLen  = 3 // checkins after the last checkpoint
+		totalN   = waves*perWave + tailLen
+		coveredN = waves * perWave
+	)
+	ctx := context.Background()
+	grad := func(i int) []float64 {
+		g := make([]float64, recClasses*recDim)
+		g[0], g[1] = float64(i)*0.25, -0.5
+		return g
+	}
+	push := func(t *testing.T, srv *crowdml.Server, token string, from, n int) {
+		t.Helper()
+		for i := from; i < from+n; i++ {
+			co, err := srv.Checkout(ctx, "d1", token)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := &crowdml.CheckinRequest{
+				Grad: grad(i), NumSamples: 2, ErrCount: i % 2,
+				LabelCounts: []int{1, 1, 0}, Version: co.Version,
+			}
+			if err := srv.Checkin(ctx, "d1", token, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor := func(t *testing.T, what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("timed out waiting for " + what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	backends := map[string]func(t *testing.T) (st crowdml.Store, segments func() int, reopen func(t *testing.T) crowdml.Store){
+		"MemStore": func(t *testing.T) (crowdml.Store, func() int, func(t *testing.T) crowdml.Store) {
+			st := crowdml.NewMemStore()
+			return st, st.SegmentCount, func(t *testing.T) crowdml.Store { return st }
+		},
+		"FileStore": func(t *testing.T) (crowdml.Store, func() int, func(t *testing.T) crowdml.Store) {
+			dir := t.TempDir()
+			st, err := crowdml.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			segments := func() int {
+				segs, err := st.Segments(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return len(segs)
+			}
+			reopen := func(t *testing.T) crowdml.Store {
+				// Crash semantics: freeze the files and release the dead
+				// process's flock by copying the tree (see copyTree).
+				crashDir := t.TempDir()
+				copyTree(t, dir, crashDir)
+				st2, err := crowdml.NewFileStore(crashDir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st2
+			}
+			return st, segments, reopen
+		},
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			st, segments, reopen := mk(t)
+			h := crowdml.NewHub()
+			task, err := h.CreateTask(ctx, "task", recServerConfig(),
+				crowdml.WithStore(st),
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: perWave}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			token, err := task.Server().RegisterDevice(ctx, "d1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < waves; w++ {
+				push(t, task.Server(), token, w*perWave+1, perWave)
+				// Each wave trips the AfterN checkpoint, whose success seals
+				// the live segment; waiting for the new segment makes the
+				// layout deterministic: wave w's records are sealed, the
+				// next wave starts a fresh segment.
+				waitFor(t, "checkpoint rotation", func() bool { return segments() == w+2 })
+			}
+			push(t, task.Server(), token, coveredN+1, tailLen) // the un-checkpointed tail
+			preCrash := task.Server().ExportState()
+
+			// Crash without Close; restore with a wrapper that counts what
+			// the restore path actually reads.
+			counting := &countingStore{Store: reopen(t)}
+			h2 := crowdml.NewHub()
+			restored, err := h2.CreateTask(ctx, "task", recServerConfig(), crowdml.WithStore(counting))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := restored.Server().ExportState()
+			if !reflect.DeepEqual(got, preCrash) {
+				t.Errorf("recovered state != pre-crash state:\n got: %+v\nwant: %+v", got, preCrash)
+			}
+			if got.Iteration != totalN {
+				t.Errorf("recovered iteration = %d, want %d", got.Iteration, totalN)
+			}
+			// THE bound: restore read only the live segment's tail records,
+			// not the coveredN records sealed behind the 4 checkpoints.
+			if counting.tailRecords != tailLen {
+				t.Errorf("restore read %d journal records, want only the %d-record live segment tail",
+					counting.tailRecords, tailLen)
+			}
+			// Sealed segments remain the complete audit trail.
+			audit, err := counting.ReadJournal(ctx)
+			if err != nil {
+				t.Fatalf("audit read: %v", err)
+			}
+			if len(audit) != totalN {
+				t.Fatalf("audit trail has %d entries, want %d", len(audit), totalN)
+			}
+			for i := range audit {
+				if audit[i].Iteration != i+1 {
+					t.Fatalf("audit entry %d has iteration %d", i, audit[i].Iteration)
+				}
+			}
+			if err := h2.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func adaGradConfig() crowdml.ServerConfig {
+	return crowdml.ServerConfig{
+		Model:   crowdml.NewLogisticRegression(recClasses, recDim),
+		Updater: crowdml.NewAdaGrad(0.5, 0),
+	}
+}
+
+// TestAdaGradCrashRecoveryBitExact: with the updater's accumulators
+// riding in checkpoints (optimizer.StateExporter), recovery of an
+// AdaGrad task is bit-exact against an uncrashed control run even when
+// the restore is genuinely checkpoint + journal-tail — the imported
+// accumulators must line up exactly with the replayed records.
+func TestAdaGradCrashRecoveryBitExact(t *testing.T) {
+	ctx := context.Background()
+
+	// Control: two workload waves on a store-less task, never crashed.
+	control := crowdml.NewHub()
+	controlTask, err := control.CreateTask(ctx, "task", adaGradConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveCrowdSeeded(t, controlTask, 0)
+	driveCrowdSeeded(t, controlTask, 5000)
+	want := controlTask.Server().ExportState()
+	if len(want.UpdaterState) != recClasses*recDim {
+		t.Fatalf("control run exported %d updater-state coordinates, want %d",
+			len(want.UpdaterState), recClasses*recDim)
+	}
+
+	for name, mkStore := range map[string]func(t *testing.T) (st crowdml.Store, reopen func(t *testing.T) crowdml.Store){
+		"MemStore": func(t *testing.T) (crowdml.Store, func(t *testing.T) crowdml.Store) {
+			st := crowdml.NewMemStore()
+			return st, func(t *testing.T) crowdml.Store { return st }
+		},
+		"FileStore": func(t *testing.T) (crowdml.Store, func(t *testing.T) crowdml.Store) {
+			dir := t.TempDir()
+			st, err := crowdml.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st, func(t *testing.T) crowdml.Store {
+				crashDir := t.TempDir()
+				copyTree(t, dir, crashDir)
+				st2, err := crowdml.NewFileStore(crashDir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st2
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			st, reopen := mkStore(t)
+			h := crowdml.NewHub()
+			task, err := h.CreateTask(ctx, "task", adaGradConfig(),
+				crowdml.WithStore(st),
+				// No automatic trigger: the mid-run checkpoint below is the
+				// only snapshot, so the restore is provably checkpoint (with
+				// accumulators at the halfway state) + journal-tail replay.
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{Every: time.Hour}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveCrowdSeeded(t, task, 0)
+			if err := st.Save(ctx, task.Server().ExportState(), time.Now()); err != nil {
+				t.Fatal(err)
+			}
+			driveCrowdSeeded(t, task, 5000) // the tail beyond the snapshot
+
+			// Crash without Close; restore with a FRESH AdaGrad updater.
+			restoreStore := reopen(t)
+			cp, err := restoreStore.Load(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cp.State.UpdaterState) != recClasses*recDim {
+				t.Fatalf("checkpoint carries %d updater-state coordinates, want %d",
+					len(cp.State.UpdaterState), recClasses*recDim)
+			}
+			h2 := crowdml.NewHub()
+			restored, err := h2.CreateTask(ctx, "task", adaGradConfig(), crowdml.WithStore(restoreStore))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := restored.Server().ExportState()
+			// reflect.DeepEqual on float64 slices is bitwise equality: the
+			// parameters AND the recovered accumulators must match the
+			// never-crashed control exactly.
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("recovered AdaGrad state != uncrashed control state:\n got: %+v\nwant: %+v", got, want)
+			}
+			if err := h2.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
