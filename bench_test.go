@@ -342,6 +342,82 @@ func BenchmarkCheckinJournaledSyncBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkJournalTailRestore measures the restore-path journal read as
+// checkpoint history accumulates: the store holds `checkpoints` sealed
+// segments (one per past checkpoint-and-rotate cycle) plus a short live
+// tail, and each op opens a cursor after the latest checkpoint's
+// iteration and streams the tail — exactly what a task restart does.
+// The cursor probes only each trailing segment's first record and never
+// materializes the history, so ns/op AND B/op must stay ~flat as the
+// checkpoint count grows; this is the benchmark that keeps the
+// streaming read's bounded memory from silently regressing (benchgate
+// gates its B/op in CI).
+func BenchmarkJournalTailRestore(b *testing.B) {
+	const perSegment, tailLen = 32, 8
+	grad := make([]float64, 30)
+	for i := range grad {
+		grad[i] = 0.125 * float64(i)
+	}
+	for _, checkpoints := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("checkpoints=%d", checkpoints), func(b *testing.B) {
+			ctx := context.Background()
+			fs, err := crowdml.NewFileStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, err := fs.OpenJournal(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iter := 0
+			appendN := func(n int) {
+				for i := 0; i < n; i++ {
+					iter++
+					err := j.Append(ctx, crowdml.JournalEntry{
+						DeviceID: "d1", Iteration: iter, NumSamples: 5,
+						Grad: grad, LabelCounts: []int{3, 2},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for c := 0; c < checkpoints; c++ {
+				appendN(perSegment)
+				if err := j.Rotate(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			appendN(tailLen)
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+			covered := checkpoints * perSegment
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur, err := fs.OpenCursor(ctx, covered)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					if _, err := cur.Next(); err != nil {
+						break // io.EOF ends the stream
+					}
+					n++
+				}
+				if err := cur.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if n != tailLen {
+					b.Fatalf("restore read %d entries, want the %d-entry tail", n, tailLen)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCommPayloadBytes reports the JSON checkin payload size per
 // sample for b ∈ {1, 20}: the b-fold communication reduction of
 // Section IV-B2 (each checkin carries one gradient regardless of b).

@@ -18,13 +18,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"testing"
 	"time"
 
 	crowdml "github.com/crowdml/crowdml"
@@ -248,7 +251,11 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 // over the store-less baseline. The journal append and the per-batch
 // fsync both run on the batch leader outside the parameter lock, so
 // this measures the honest per-checkin durability cost — the fsync-off
-// number is what benchgate guards via BenchmarkCheckinJournaled.
+// number is what benchgate guards via BenchmarkCheckinJournaled. That
+// phase also ends with an audit scan: the whole journal is streamed
+// back through a cursor under allocation tracking, reporting B/op (and
+// B per entry) so the read path's bounded memory is measurable, not
+// just asserted.
 func durabilityBench(devices, samples, minibatch int) error {
 	ctx := context.Background()
 	m := crowdml.NewLogisticRegression(activity.NumClasses, activity.FeatureDim)
@@ -329,7 +336,7 @@ func durabilityBench(devices, samples, minibatch int) error {
 	fmt.Printf("  store-less:      %d checkins in %v — %.0f checkins/s\n",
 		baseN, baseT.Round(time.Millisecond), baseRate)
 
-	walPhase := func(label string, policy crowdml.SyncPolicy, note string) error {
+	walPhase := func(label string, policy crowdml.SyncPolicy, note string, withAuditScan bool) error {
 		dir, err := os.MkdirTemp("", "crowdml-durability-bench-")
 		if err != nil {
 			return err
@@ -353,27 +360,89 @@ func durabilityBench(devices, samples, minibatch int) error {
 		// Verify the WAL invariant and the rotation bookkeeping: every
 		// acknowledged checkin has exactly one entry across the segment
 		// chain, and the AfterN checkpoints sealed segments along the way.
-		entries, err := fs.ReadJournal(ctx)
+		// The verification streams the journal through a cursor — the
+		// audit path holds one decoded entry at a time.
+		entries, err := countJournal(fs)
 		if err != nil {
 			return fmt.Errorf("verify journal: %w", err)
 		}
-		if len(entries) != walN {
-			return fmt.Errorf("journal has %d entries for %d acknowledged checkins", len(entries), walN)
+		if entries != walN {
+			return fmt.Errorf("journal has %d entries for %d acknowledged checkins", entries, walN)
 		}
 		segs, err := fs.Segments(ctx)
 		if err != nil {
 			return fmt.Errorf("list segments: %w", err)
 		}
 		fmt.Printf("    journal verified: %d entries across %d segment(s), one entry per acknowledged checkin\n",
-			len(entries), len(segs))
+			entries, len(segs))
+		if withAuditScan {
+			if err := auditScan(fs, entries); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	if err := walPhase("journaled:      ", crowdml.SyncNone,
-		"fsync off: every acknowledged checkin survives a process crash"); err != nil {
+		"fsync off: every acknowledged checkin survives a process crash", true); err != nil {
 		return err
 	}
 	return walPhase("journaled+fsync:", crowdml.SyncBatch,
-		"group-commit fsync: acknowledged checkins survive power loss")
+		"group-commit fsync: acknowledged checkins survive power loss", false)
+}
+
+// countJournal streams the full journal through a cursor, counting the
+// entries — the audit read, with O(one entry) resident memory.
+func countJournal(st crowdml.Store) (int, error) {
+	cur, err := st.OpenCursor(context.Background(), 0)
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		if _, err := cur.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		n++
+	}
+}
+
+// auditScan is the -durability bench's streaming-read phase: it runs
+// the full audit scan under testing.Benchmark with allocation tracking
+// and reports B/op — total and per streamed entry. The per-entry figure
+// is the one to watch: it stays flat however many segments (checkpoint
+// cycles) the journal has accumulated, because the cursor never
+// materializes more than one decoded entry, where a slice-based read
+// would retain the entire decoded history at once.
+func auditScan(st crowdml.Store, entries int) error {
+	var scanErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := countJournal(st)
+			if err != nil {
+				scanErr = err
+				b.FailNow()
+			}
+			if n != entries {
+				scanErr = fmt.Errorf("audit scan saw %d entries, want %d", n, entries)
+				b.FailNow()
+			}
+		}
+	})
+	if scanErr != nil {
+		return fmt.Errorf("audit scan: %w", scanErr)
+	}
+	perEntry := 0.0
+	if entries > 0 {
+		perEntry = float64(res.AllocedBytesPerOp()) / float64(entries)
+	}
+	fmt.Printf("    audit scan:     %d entries streamed in %v — %d B/op total, %.0f B per entry (resident memory is O(one entry))\n",
+		entries, time.Duration(res.NsPerOp()).Round(time.Microsecond), res.AllocedBytesPerOp(), perEntry)
+	return nil
 }
 
 // randomSource generates L1-normalized random samples of an arbitrary

@@ -30,9 +30,12 @@
 // pre-crash iteration and parameters (latest checkpoint + journal-tail
 // replay). -sync picks the journal fsync policy (none/batch/every;
 // "batch" group-commits one fsync per applied batch for power-loss
-// durability). All of that is hub-managed — CreateTask(WithStore,
-// WithCheckpointPolicy, WithSyncPolicy) on the way in, Hub.Close on the
-// way out.
+// durability), and -retention (keep/prune/archive, JSON "retention")
+// decides whether sealed journal segments the latest checkpoint covers
+// accumulate as the audit trail, are deleted, or are moved aside to
+// -archive-dir. All of that is hub-managed — CreateTask(WithStore,
+// WithCheckpointPolicy, WithSyncPolicy, WithRetention) on the way in,
+// Hub.Close on the way out.
 //
 // Example: a 3-class activity-recognition task over 64-bin FFT features:
 //
@@ -96,6 +99,16 @@ type taskSpec struct {
 	// (group-commit fsync once per applied batch — power-loss
 	// durability at amortized cost), or "every" (fsync per append).
 	SyncPolicy string `json:"syncPolicy"`
+	// Retention selects the sealed-segment retention policy with
+	// -state-dir: "keep" (default; sealed segments accumulate forever
+	// as the audit trail), "prune" (delete segments the latest
+	// checkpoint fully covers), or "archive" (move covered segments
+	// into ArchiveDir — or <state-dir>/<task-id>/archive when unset —
+	// keeping the audit trail out of the recovery path).
+	Retention string `json:"retention"`
+	// ArchiveDir overrides where "archive" retention moves this task's
+	// covered segments.
+	ArchiveDir string `json:"archiveDir"`
 	// checkinFlush carries the -checkin-flush flag at full resolution for
 	// the single-task path (unexported: the JSON path uses the
 	// millisecond field above).
@@ -114,6 +127,21 @@ func parseSyncPolicy(s string) (crowdml.SyncPolicy, error) {
 		return crowdml.SyncEvery, nil
 	}
 	return crowdml.SyncNone, fmt.Errorf("unknown sync policy %q (want none, batch or every)", s)
+}
+
+// parseRetention maps the -retention flag / retention JSON field onto a
+// crowdml.RetentionPolicy. archiveDir is the task's resolved archive
+// destination, used only by the "archive" mode.
+func parseRetention(s, archiveDir string) (crowdml.RetentionPolicy, error) {
+	switch s {
+	case "", "keep":
+		return crowdml.KeepAll, nil
+	case "prune":
+		return crowdml.PruneCovered, nil
+	case "archive":
+		return crowdml.ArchiveCovered(archiveDir), nil
+	}
+	return crowdml.KeepAll, fmt.Errorf("unknown retention policy %q (want keep, prune or archive)", s)
 }
 
 // flushInterval resolves the spec's flush setting, preferring the
@@ -143,6 +171,8 @@ func run() error {
 		stateDir   = flag.String("state-dir", "", "durability directory, one store per task (empty disables persistence)")
 		saveEvery  = flag.Duration("checkpoint-every", time.Minute, "asynchronous checkpoint interval with -state-dir")
 		syncMode   = flag.String("sync", "none", "journal fsync policy with -state-dir: none, batch (group-commit per applied batch), or every")
+		retention  = flag.String("retention", "keep", "sealed-segment retention with -state-dir: keep, prune (delete checkpoint-covered segments), or archive (move them to -archive-dir)")
+		archiveDir = flag.String("archive-dir", "", "where -retention archive moves covered segments (default <state-dir>/<task-id>/archive)")
 		taskName   = flag.String("task-name", "Crowd-ML task", "task name shown on the portal (single-task flags)")
 		taskLabels = flag.String("task-labels", "", "comma-separated class names for the portal (single-task flags)")
 
@@ -161,6 +191,7 @@ func run() error {
 		Tmax: *tmax, TargetError: *rho, Default: true,
 		CheckinBatch: *checkinBatch, CheckinQueue: *checkinQueue,
 		checkinFlush: *checkinFlush, SyncPolicy: *syncMode,
+		Retention: *retention, ArchiveDir: *archiveDir,
 	}}
 	if *taskLabels != "" {
 		specs[0].Labels = strings.Split(*taskLabels, ",")
@@ -332,6 +363,18 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 		if err != nil {
 			return fmt.Errorf("task %s: %w", spec.ID, err)
 		}
+		// The default archive destination lives INSIDE the task's store
+		// directory (Segments skips subdirectories), so archived history
+		// travels with the store in backups without ever being mistaken
+		// for another task by a root listing.
+		adir := spec.ArchiveDir
+		if adir == "" {
+			adir = filepath.Join(stateDir, spec.ID, "archive")
+		}
+		ret, err := parseRetention(spec.Retention, adir)
+		if err != nil {
+			return fmt.Errorf("task %s: %w", spec.ID, err)
+		}
 		fs, err = crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
 		if err != nil {
 			return err
@@ -342,7 +385,8 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 				Every:  saveEvery,
 				AfterN: spec.CheckpointAfterN,
 			}),
-			crowdml.WithSyncPolicy(sync))
+			crowdml.WithSyncPolicy(sync),
+			crowdml.WithRetention(ret))
 	}
 	task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
 	if err != nil {

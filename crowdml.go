@@ -308,6 +308,16 @@ type ServerState = core.ServerState
 // restore is built on (most callers never touch it directly).
 type ReplayRecord = core.ReplayRecord
 
+// ReplaySource streams replay records into Server.Replay, one at a
+// time (io.EOF ends the stream) — recovery memory stays O(one entry)
+// however long the journal tail is. The hub's restore path adapts a
+// JournalCursor into one; ReplaySlice adapts a materialized slice.
+type ReplaySource = core.ReplaySource
+
+// ReplaySlice adapts an in-memory record slice to a ReplaySource, for
+// embedders that already hold the records (the v3 Replay signature).
+func ReplaySlice(records []ReplayRecord) ReplaySource { return core.ReplaySlice(records) }
+
 // ErrReplayGap is returned by Server.Replay when the journal tail skips
 // an iteration — replaying past a gap would silently diverge from the
 // pre-crash state.
@@ -334,9 +344,10 @@ func NewPortalIndex(h *Hub) http.Handler {
 
 // Store is the pluggable durability backend for one task's learning
 // state: atomic checkpoints (Save/Load) plus a write-ahead checkin
-// journal (OpenJournal/ReadJournal) — the role MySQL played in the
-// paper's prototype. Attach one to a task with WithStore; recovery is
-// load-latest-checkpoint + deterministic replay of the journal tail.
+// journal (OpenJournal to append, OpenCursor to stream it back) — the
+// role MySQL played in the paper's prototype. Attach one to a task with
+// WithStore; recovery is load-latest-checkpoint + deterministic
+// streaming replay of the journal tail.
 type Store = store.Store
 
 // FileStore is the file-backed Store: JSON checkpoints (atomic
@@ -371,12 +382,12 @@ func NewFileRoot(dir string) (*store.FileRoot, error) { return store.NewFileRoot
 func NewMemRoot() *store.MemRoot { return store.NewMemRoot() }
 
 // Store-layer sentinel errors. ErrNoCheckpoint is returned by Store.Load
-// when nothing has been saved yet; ErrJournalTruncated accompanies the
-// valid prefix ReadJournal returns when the journal's final record is
-// torn (the expected artifact of a crash mid-append — recovery treats it
-// as success for the returned entries); ErrStoreLocked is returned by
-// FileStore.OpenJournal when another live journal holds the store
-// directory's advisory lock.
+// when nothing has been saved yet; ErrJournalTruncated is returned by
+// JournalCursor.Next in io.EOF's place when the journal's final record
+// is torn (the expected artifact of a crash mid-append — every valid
+// entry has been yielded, so recovery treats it as a clean end of
+// stream); ErrStoreLocked is returned by FileStore.OpenJournal when
+// another live journal holds the store directory's advisory lock.
 var (
 	ErrNoCheckpoint     = store.ErrNoCheckpoint
 	ErrJournalTruncated = store.ErrJournalTruncated
@@ -394,3 +405,45 @@ type Journal = store.Journal
 // (device, iteration, perturbed gradient, counters, echoed checkout
 // version), enough to deterministically re-apply it during recovery.
 type JournalEntry = store.JournalEntry
+
+// JournalCursor streams journal entries one at a time, opened with
+// Store.OpenCursor(ctx, afterIteration): Next yields entries in append
+// order and returns io.EOF at the clean end of the stream — or
+// ErrJournalTruncated in its place when the live segment ends in a
+// crash-torn record (every valid entry has been yielded by then). An
+// audit scan (OpenCursor with afterIteration 0) or a restore holds one
+// decoded entry resident at a time, however large the journal is.
+type JournalCursor = store.JournalCursor
+
+// SegmentInfo describes one journal segment (FileStore.Segments): its
+// file name, chain sequence number, and whether a rotation has sealed
+// it. The newest segment is live (Sealed == false) — including a legacy
+// pre-segmentation checkins.jsonl until the first rotation seals it —
+// and retention never touches a live segment.
+type SegmentInfo = store.SegmentInfo
+
+// RetentionPolicy decides what happens to sealed journal segments the
+// latest checkpoint fully covers (WithRetention): KeepAll (default)
+// retains everything as the audit trail, PruneCovered deletes covered
+// segments, ArchiveCovered(dir) moves them to dir as plain JSONL. The
+// checkpointer applies the policy only after a successful
+// checkpoint-and-rotate cycle, never to the live segment and never to a
+// segment the checkpoint does not cover — no policy can cost an
+// acknowledged checkin.
+type RetentionPolicy = hub.RetentionPolicy
+
+// Retention policies; see RetentionPolicy and docs/OPERATIONS.md.
+var (
+	KeepAll      = hub.KeepAll
+	PruneCovered = hub.PruneCovered
+)
+
+// ArchiveCovered returns the retention policy that moves covered sealed
+// segments into dir (created if needed) instead of deleting them.
+func ArchiveCovered(dir string) RetentionPolicy { return hub.ArchiveCovered(dir) }
+
+// WithRetention sets a durable task's segment retention policy (only
+// meaningful together with WithStore; any policy other than KeepAll
+// requires a store implementing store.SegmentRetainer — both shipped
+// stores do). The zero policy is KeepAll.
+func WithRetention(p RetentionPolicy) TaskOption { return hub.WithRetention(p) }

@@ -82,14 +82,22 @@
 // The journal is segmented. After each successful snapshot, the
 // asynchronous per-task checkpointer rotates the journal: the live
 // segment is flushed, fsynced and sealed, and appends continue in a
-// fresh one. Sealed segments are never rewritten — they accumulate as
-// the task's audit trail (Store.ReadJournal reads the whole chain) —
-// while recovery reads only the trailing segments the latest checkpoint
-// does not cover (Store.ReadJournalTail), so restart time is bounded by
-// checkpoint cadence instead of lifetime checkin volume. The hot path
-// is untouched: journal appends, group-commit syncs and rotations all
-// run on the batch leader or the checkpointer, outside the parameter
-// lock.
+// fresh one. Reads are streaming: Store.OpenCursor(ctx, afterIteration)
+// returns a JournalCursor whose Next hands back one decoded entry at a
+// time (io.EOF ends the stream), starting at the trailing segments a
+// checkpoint at afterIteration does not cover — so restart TIME is
+// bounded by checkpoint cadence instead of lifetime checkin volume, and
+// restore/audit MEMORY is bounded by one entry instead of journal
+// length (Server.Replay pulls the cursor record by record). Sealed
+// segments are never rewritten; by default (KeepAll) they accumulate as
+// the task's audit trail, and WithRetention automates the alternative:
+// PruneCovered deletes — or ArchiveCovered(dir) moves aside — sealed
+// segments the latest checkpoint fully covers, applied by the
+// checkpointer only after a successful snapshot-and-rotate cycle, never
+// to the live segment, so no policy can cost an acknowledged checkin.
+// The hot path is untouched: journal appends, group-commit syncs,
+// rotations and retention all run on the batch leader or the
+// checkpointer, outside the parameter lock.
 //
 // SyncPolicy picks the crash model. SyncNone (default) hands each entry
 // to the OS per append: acknowledged checkins survive a crash of the
@@ -115,13 +123,13 @@
 //
 // A LIVE segment whose final record is torn by a crash mid-append is
 // repaired on reopen (the record was never durable, so it was never
-// acknowledged); Store.ReadJournal surfaces the same case as
-// ErrJournalTruncated with the valid prefix. Sealed segments are
-// fsynced at rotation and cannot be crash-torn, so damage there is
+// acknowledged); a cursor surfaces the same case as ErrJournalTruncated
+// in io.EOF's place, after yielding every valid entry. Sealed segments
+// are fsynced at rotation and cannot be crash-torn, so damage there is
 // refused rather than repaired. A second process cannot reach either
-// state: FileStore.OpenJournal holds an advisory flock on the store
-// directory until Close (ErrStoreLocked), and the kernel releases a
-// dead holder's lock automatically. If a journal append or sync FAILS
+// state: FileStore.OpenJournal holds an advisory lock on the store
+// directory until Close (ErrStoreLocked) — flock on unix, LockFileEx on
+// Windows — and the kernel releases a dead holder's lock automatically. If a journal append or sync FAILS
 // (disk full, I/O error), the task fail-stops: it stops accepting
 // checkins — bounding the at-risk window to one batch — no later append
 // is attempted (a success behind the hole would break replay
@@ -134,8 +142,9 @@
 //	          a default task for the legacy single-task endpoints;
 //	          hub-managed durability (WithStore, OpenHub/Restore, Close).
 //	Store   — pluggable persistence: checkpoints + segmented write-ahead
-//	          checkin journal (rotation, group-commit fsync, audit
-//	          trail); FileStore and MemStore, grouped under a StoreRoot.
+//	          checkin journal (rotation, group-commit fsync, streaming
+//	          cursor reads, automated retention, audit trail); FileStore
+//	          and MemStore, grouped under a StoreRoot.
 //	Server  — Algorithm 2: authenticated checkout/checkin, SGD update
 //	          w ← Π_W[w − η(t)·ĝ], progress counters, stopping criteria;
 //	          lock-free checkout/stats, batched checkin application.

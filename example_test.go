@@ -154,11 +154,72 @@ func ExampleWithSyncPolicy() {
 		fmt.Println("close:", err)
 		return
 	}
-	entries, err := st.ReadJournal(ctx)
+	// Audit the journal back through a streaming cursor: entries arrive
+	// one at a time (io.EOF ends the stream), so even a huge journal
+	// costs one decoded entry of memory to scan.
+	cur, err := st.OpenCursor(ctx, 0)
 	if err != nil {
-		fmt.Println("read:", err)
+		fmt.Println("cursor:", err)
 		return
 	}
-	fmt.Printf("%d checkin on stable storage before its acknowledgment\n", len(entries))
+	defer cur.Close()
+	n := 0
+	for {
+		if _, err := cur.Next(); err != nil {
+			break // io.EOF: clean end of the journal
+		}
+		n++
+	}
+	fmt.Printf("%d checkin on stable storage before its acknowledgment\n", n)
 	// Output: 1 checkin on stable storage before its acknowledgment
+}
+
+// ExampleWithRetention bounds a durable task's disk growth: with
+// PruneCovered, every successful checkpoint-and-rotate cycle deletes
+// the sealed segments the fresh checkpoint covers, so the journal
+// shrinks back to its live segment instead of accumulating history
+// forever (ArchiveCovered moves them aside instead, keeping the audit
+// trail).
+func ExampleWithRetention() {
+	ctx := context.Background()
+	st := crowdml.NewMemStore()
+	hub := crowdml.NewHub()
+	task, err := hub.CreateTask(ctx, "activity", exampleConfig(),
+		crowdml.WithStore(st),
+		crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{AfterN: 2}),
+		crowdml.WithRetention(crowdml.PruneCovered))
+	if err != nil {
+		fmt.Println("create:", err)
+		return
+	}
+	for _, device := range []string{"phone-1", "phone-2"} {
+		if err := exampleCheckin(ctx, task, device); err != nil {
+			fmt.Println("checkin:", err)
+			return
+		}
+	}
+	// The AfterN checkpoint seals the old segment and retention prunes
+	// it; wait (bounded) for the asynchronous cycle to land. The cycle
+	// is over when the chain is back to one segment whose sequence
+	// number has advanced past the pruned one.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		segs, err := st.Segments(ctx)
+		if err != nil {
+			fmt.Println("segments:", err)
+			return
+		}
+		if len(segs) == 1 && segs[0].Seq == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("prune cycle never landed:", segs)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("segments after the prune cycle: 1")
+	if err := hub.Close(ctx); err != nil {
+		fmt.Println("close:", err)
+	}
+	// Output: segments after the prune cycle: 1
 }

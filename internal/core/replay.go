@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/crowdml/crowdml/internal/linalg"
 )
@@ -25,14 +26,41 @@ type ReplayRecord struct {
 	Req *CheckinRequest
 }
 
+// ReplaySource yields successive replay records for Server.Replay, in
+// journal append order; it returns io.EOF (alone, with a zero record)
+// to end the stream cleanly, and any other error to abort the replay.
+// Streaming instead of a materialized slice is what bounds recovery
+// memory: Replay holds one record at a time, so restoring a task costs
+// O(one entry) resident memory regardless of how long the journal tail
+// is. The source is called synchronously from Replay, under the
+// server's parameter lock — it must not call back into the server.
+type ReplaySource func() (ReplayRecord, error)
+
+// ReplaySlice adapts an in-memory record slice to a ReplaySource — the
+// convenience path for embedders (and tests) that already hold the
+// records.
+func ReplaySlice(records []ReplayRecord) ReplaySource {
+	i := 0
+	return func() (ReplayRecord, error) {
+		if i >= len(records) {
+			return ReplayRecord{}, io.EOF
+		}
+		r := records[i]
+		i++
+		return r, nil
+	}
+}
+
 // Replay re-applies journaled checkins on top of the server's current
 // state — the recovery path after ImportState has restored the latest
-// checkpoint. Records at or below the current iteration counter are
-// already covered by the checkpoint and are skipped; the rest must be
-// contiguous (ErrReplayGap otherwise) and are applied with the same
-// update step, counter accumulation and staleness accounting as the
-// original Checkin, so a recovered server lands on the exact pre-crash
-// iteration, parameters and totals.
+// checkpoint. Records are pulled one at a time from next (a streaming
+// store cursor in the hub's restore path; ReplaySlice for callers with
+// a materialized tail). Records at or below the current iteration
+// counter are already covered by the checkpoint and are skipped; the
+// rest must be contiguous (ErrReplayGap otherwise) and are applied with
+// the same update step, counter accumulation and staleness accounting
+// as the original Checkin, so a recovered server lands on the exact
+// pre-crash iteration, parameters and totals.
 //
 // Replay is a startup-time operation, before the server takes traffic.
 // Unlike Checkin it performs no authentication (credentials are not part
@@ -50,11 +78,18 @@ type ReplayRecord struct {
 // the original Checkin did. A stateful updater that does NOT implement
 // StateExporter resumes with its internal state reset (the checkpoint
 // had nothing to carry).
-func (s *Server) Replay(records []ReplayRecord) (applied int, err error) {
+func (s *Server) Replay(next ReplaySource) (applied int, err error) {
 	classes, dim := s.cfg.Model.Shape()
 	s.wMu.Lock()
 	defer s.wMu.Unlock()
-	for _, r := range records {
+	for {
+		r, err := next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return applied, fmt.Errorf("core: replay source: %w", err)
+		}
 		t := int(s.t.Load())
 		if r.Iteration <= t {
 			continue // covered by the checkpoint

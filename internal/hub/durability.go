@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,53 @@ func WithSyncPolicy(p SyncPolicy) TaskOption {
 	return func(o *createOptions) { o.sync = p }
 }
 
+// retention modes (see RetentionPolicy).
+const (
+	retentionKeep = iota
+	retentionPrune
+	retentionArchive
+)
+
+// RetentionPolicy decides what happens to sealed journal segments a
+// checkpoint fully covers. The checkpointer applies the policy after
+// each successful Save+Rotate cycle — and ONLY then: a failed rotation
+// skips retention entirely (the covered entries still sit in the live
+// segment), the live segment is never touched, and a segment whose last
+// iteration exceeds the new checkpoint's iteration is never touched
+// either. Retention is disk bookkeeping, not durability: every pruned
+// entry is covered by a durable checkpoint, so no policy can ever cost
+// an acknowledged checkin.
+type RetentionPolicy struct {
+	mode int
+	dir  string
+}
+
+// KeepAll — the default — retains every sealed segment forever as the
+// audit trail (the pre-retention behavior); disk use grows with
+// lifetime checkin volume.
+var KeepAll = RetentionPolicy{}
+
+// PruneCovered deletes sealed segments once the latest checkpoint
+// covers their last entry, bounding disk use by checkpoint cadence at
+// the price of the audit trail.
+var PruneCovered = RetentionPolicy{mode: retentionPrune}
+
+// ArchiveCovered moves covered sealed segments into dir instead of
+// deleting them: the store directory stays bounded like PruneCovered,
+// while the audit trail lives on in dir as plain JSONL segment files
+// (both backends write the same artifact).
+func ArchiveCovered(dir string) RetentionPolicy {
+	return RetentionPolicy{mode: retentionArchive, dir: dir}
+}
+
+// WithRetention sets a durable task's segment retention policy; it only
+// has an effect together with WithStore, and requires a store
+// implementing store.SegmentRetainer (both shipped stores do) for any
+// policy other than KeepAll. The zero policy is KeepAll.
+func WithRetention(p RetentionPolicy) TaskOption {
+	return func(o *createOptions) { o.retention = p }
+}
+
 // WithStore attaches a durability store to the task. CreateTask then
 // restores any persisted state (latest checkpoint + deterministic replay
 // of the live journal segments) before the task is registered, journals
@@ -106,12 +154,13 @@ type durability struct {
 	userBatch func(n int)  // the user's own OnBatchCommit, chained after the sync
 	srv       *core.Server // set once the server exists, before any traffic
 
-	policy CheckpointPolicy
-	sync   SyncPolicy
-	dirty  atomic.Int64  // checkins journaled since the last snapshot
-	kick   chan struct{} // AfterN trigger (capacity 1, coalescing)
-	stopCh chan struct{}
-	doneCh chan struct{}
+	policy    CheckpointPolicy
+	sync      SyncPolicy
+	retention RetentionPolicy
+	dirty     atomic.Int64  // checkins journaled since the last snapshot
+	kick      chan struct{} // AfterN trigger (capacity 1, coalescing)
+	stopCh    chan struct{}
+	doneCh    chan struct{}
 
 	// failed latches on the first journal-append failure: the WAL can no
 	// longer honor "every acknowledged checkin is durable", so the task
@@ -151,14 +200,16 @@ type durability struct {
 }
 
 func newDurability(st store.Store, journal store.Journal, policy CheckpointPolicy, sync SyncPolicy,
+	retention RetentionPolicy,
 	user func(context.Context, string, int, *core.CheckinRequest), userBatch func(int)) *durability {
 	return &durability{
 		st: st, journal: journal, user: user, userBatch: userBatch,
-		policy: policy.withDefaults(),
-		sync:   sync,
-		kick:   make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+		policy:    policy.withDefaults(),
+		sync:      sync,
+		retention: retention,
+		kick:      make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
 	}
 }
 
@@ -310,27 +361,54 @@ func (d *durability) save(ctx context.Context) {
 	// by the snapshot too; counting them as still-dirty only means one
 	// redundant save later, never a lost one.
 	d.dirty.Add(-n)
-	d.rotate(ctx)
+	if d.rotate(ctx) {
+		d.retain(ctx, state.Iteration)
+	}
 }
 
-// rotate seals the live journal segment behind a successful checkpoint.
-// Ordering makes the crash windows safe in both directions: entries
-// appended between the state export and the rotation land in the old
-// segment with iterations ABOVE the checkpoint's, and restore's
-// ReadJournalTail walks back past the newest segment whenever its first
-// entry is not covered — so a crash between checkpoint success and the
-// seal (or a failed rotation, which is recorded and retried at the next
+// rotate seals the live journal segment behind a successful checkpoint,
+// reporting whether the seal actually happened (retention runs only
+// then). Ordering makes the crash windows safe in both directions:
+// entries appended between the state export and the rotation land in
+// the old segment with iterations ABOVE the checkpoint's, and restore's
+// cursor walks back past the newest segment whenever its first entry is
+// not covered — so a crash between checkpoint success and the seal (or
+// a failed rotation, which is recorded and retried at the next
 // checkpoint) costs only bounded extra reading, never correctness.
 // Skipped once the task is closing (the journal is being fenced; the
 // final checkpoint covers everything) or fail-stopped.
-func (d *durability) rotate(ctx context.Context) {
+func (d *durability) rotate(ctx context.Context) bool {
 	d.closeMu.RLock()
 	defer d.closeMu.RUnlock()
 	if d.failed.Load() || d.closing {
-		return
+		return false
 	}
 	if err := d.journal.Rotate(ctx); err != nil {
 		d.recordErr(fmt.Errorf("rotate journal: %w", err))
+		return false
+	}
+	return true
+}
+
+// retain applies the task's RetentionPolicy after a successful
+// checkpoint-and-rotate cycle: sealed segments whose last iteration the
+// fresh checkpoint (at coveredIteration) covers are pruned or archived
+// by the store. Never reached on a failed rotation — the covered
+// entries would still sit in the live segment, which retention must not
+// touch — and the store itself re-checks coverage per segment, so
+// entries that raced past the checkpoint's iteration are always kept.
+// A retention failure is bookkeeping, not data loss: it is recorded for
+// Close and retried after the next checkpoint.
+func (d *durability) retain(ctx context.Context, coveredIteration int) {
+	if d.retention.mode == retentionKeep {
+		return
+	}
+	retainer, ok := d.st.(store.SegmentRetainer)
+	if !ok {
+		return // CreateTask validated this; a wrapper store may still hide it
+	}
+	if _, err := retainer.PruneSegments(ctx, coveredIteration, d.retention.dir); err != nil {
+		d.recordErr(fmt.Errorf("segment retention: %w", err))
 	}
 }
 
@@ -438,14 +516,16 @@ func (d *durability) close(ctx context.Context) error {
 // restoreInto reconstructs a freshly built server from its store: load
 // the latest checkpoint (if any), then deterministically replay the
 // journal tail, landing on the exact pre-crash iteration, parameters and
-// totals. Only the trailing journal segments the checkpoint does not
-// cover are read (ReadJournalTail) — the checkpointer rotates after
-// every successful snapshot, so restart time is bounded by checkpoint
-// cadence, not by how many checkins the task has absorbed in its life.
-// A torn final journal record (ErrJournalTruncated) is tolerated — it
-// was never durable, so its checkin was never acknowledged. Entries
-// written by the v1 audit-only journal carry no gradient and cannot be
-// replayed; they are skipped (the checkpoint is the best v1 could do).
+// totals. The tail is STREAMED — Store.OpenCursor picks the trailing
+// segments the checkpoint does not cover and Server.Replay pulls one
+// entry at a time — so both restart time and restore memory are bounded
+// by checkpoint cadence (the checkpointer rotates after every
+// successful snapshot), not by how many checkins the task has absorbed
+// in its life. A torn final journal record (ErrJournalTruncated from
+// the cursor) is tolerated as a clean end of stream — it was never
+// durable, so its checkin was never acknowledged. Entries written by
+// the v1 audit-only journal carry no gradient and cannot be replayed;
+// they are skipped (the checkpoint is the best v1 could do).
 func restoreInto(ctx context.Context, srv *core.Server, st store.Store, taskID string) error {
 	covered := 0 // the checkpoint's iteration: entries at or below it are covered
 	cp, err := st.Load(ctx)
@@ -459,29 +539,39 @@ func restoreInto(ctx context.Context, srv *core.Server, st store.Store, taskID s
 		}
 		covered = cp.State.Iteration
 	}
-	entries, err := st.ReadJournalTail(ctx, covered)
-	if err != nil && !errors.Is(err, store.ErrJournalTruncated) {
-		return fmt.Errorf("task %q: read journal: %w", taskID, err)
+	cur, err := st.OpenCursor(ctx, covered)
+	if err != nil {
+		return fmt.Errorf("task %q: open journal cursor: %w", taskID, err)
 	}
-	records := make([]core.ReplayRecord, 0, len(entries))
-	for i := range entries {
-		e := &entries[i]
-		if !e.Replayable() {
-			continue
+	defer cur.Close()
+	if _, err := srv.Replay(func() (core.ReplayRecord, error) {
+		for {
+			e, err := cur.Next()
+			if errors.Is(err, io.EOF) || errors.Is(err, store.ErrJournalTruncated) {
+				return core.ReplayRecord{}, io.EOF
+			}
+			if err != nil {
+				return core.ReplayRecord{}, err
+			}
+			if !e.Replayable() {
+				continue
+			}
+			// The cursor allocates fresh slices per entry, so handing them
+			// to the request is safe; Replay consumes the record before
+			// pulling the next one — O(one entry) resident.
+			return core.ReplayRecord{
+				DeviceID:  e.DeviceID,
+				Iteration: e.Iteration,
+				Req: &core.CheckinRequest{
+					Grad:        e.Grad,
+					NumSamples:  e.NumSamples,
+					ErrCount:    e.ErrCount,
+					LabelCounts: e.LabelCounts,
+					Version:     e.Version,
+				},
+			}, nil
 		}
-		records = append(records, core.ReplayRecord{
-			DeviceID:  e.DeviceID,
-			Iteration: e.Iteration,
-			Req: &core.CheckinRequest{
-				Grad:        e.Grad,
-				NumSamples:  e.NumSamples,
-				ErrCount:    e.ErrCount,
-				LabelCounts: e.LabelCounts,
-				Version:     e.Version,
-			},
-		})
-	}
-	if _, err := srv.Replay(records); err != nil {
+	}); err != nil {
 		return fmt.Errorf("task %q: replay journal: %w", taskID, err)
 	}
 	return nil

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -14,6 +17,28 @@ import (
 	"github.com/crowdml/crowdml/internal/linalg"
 	"github.com/crowdml/crowdml/internal/store"
 )
+
+// readAll drains a store's full journal through its streaming cursor —
+// the test-only slice wrapper (production code never materializes the
+// journal).
+func readAll(st store.Store) ([]store.JournalEntry, error) {
+	cur, err := st.OpenCursor(context.Background(), 0)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []store.JournalEntry
+	for {
+		e, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
 
 // checkinN drives n deterministic checkins from one registered device.
 func checkinN(t *testing.T, srv *core.Server, deviceID string, n int) {
@@ -58,7 +83,7 @@ func TestDurableTaskJournalsEveryCheckin(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkinN(t, task.Server(), "d1", 7)
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readAll(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +362,7 @@ func TestUserHookRunsAfterJournalAppend(t *testing.T) {
 	hookErr := make(chan error, 64)
 	cfg.OnCheckin = func(ctx context.Context, deviceID string, iteration int, req *core.CheckinRequest) {
 		observed = append(observed, iteration)
-		entries, err := st.ReadJournal(ctx)
+		entries, err := readAll(st)
 		if err != nil {
 			hookErr <- err
 			return
@@ -490,7 +515,7 @@ func TestJournalAppendFailureFailStops(t *testing.T) {
 		t.Errorf("post-failure checkin error = %v, want ErrStopped", err)
 	}
 	// The journal holds the contiguous prefix only — no hole.
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readAll(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -828,7 +853,7 @@ func TestUpdaterPanicKeepsJournalContiguous(t *testing.T) {
 	for range acked {
 		successes++
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readAll(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -915,5 +940,289 @@ func TestDuplicateDurableTaskAborted(t *testing.T) {
 	}
 	if _, err := st.Load(ctx); !errors.Is(err, store.ErrNoCheckpoint) {
 		t.Error("aborted creation must not write a checkpoint")
+	}
+}
+
+// ---- Segment retention (WithRetention) ----
+
+// retentionBackend is one shipped store under retention test: the
+// store, its segment listing, and a crash-faithful reopen (FileStore
+// copies the tree so the dead hub's advisory lock does not block the
+// restore, exactly like the top-level recovery tests).
+type retentionBackend struct {
+	st       store.Store
+	segments func() []store.SegmentInfo
+	reopen   func(t *testing.T) store.Store
+}
+
+// retentionBackends parameterizes the retention tests over both shipped
+// stores.
+func retentionBackends(t *testing.T) map[string]func(t *testing.T) retentionBackend {
+	list := func(fn func(context.Context) ([]store.SegmentInfo, error)) func() []store.SegmentInfo {
+		return func() []store.SegmentInfo {
+			segs, err := fn(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return segs
+		}
+	}
+	return map[string]func(t *testing.T) retentionBackend{
+		"MemStore": func(t *testing.T) retentionBackend {
+			st := store.NewMemStore()
+			return retentionBackend{
+				st:       st,
+				segments: list(st.Segments),
+				reopen:   func(t *testing.T) store.Store { return st },
+			}
+		},
+		"FileStore": func(t *testing.T) retentionBackend {
+			dir := t.TempDir()
+			fs, err := store.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return retentionBackend{
+				st:       fs,
+				segments: list(fs.Segments),
+				reopen: func(t *testing.T) store.Store {
+					crashDir := t.TempDir()
+					copyStoreDir(t, dir, crashDir)
+					fs2, err := store.NewFileStore(crashDir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return fs2
+				},
+			}
+		},
+	}
+}
+
+// copyStoreDir freezes a store directory the way a process crash does:
+// the files stop changing and the kernel releases the dead holder's
+// journal lock — which is exactly what a copy gives us.
+func copyStoreDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		payload, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for " + what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetentionPruneCoveredBounded: with PruneCovered, each checkpoint
+// cycle prunes the sealed segment it covers, so the segment count stays
+// bounded across waves instead of growing — and the pruned store still
+// restores the exact pre-crash state (the checkpoint + live tail are
+// all recovery ever needed).
+func TestRetentionPruneCoveredBounded(t *testing.T) {
+	ctx := context.Background()
+	for name, mk := range retentionBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			backend := mk(t)
+			st := backend.st
+			h := New()
+			task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+				WithCheckpointPolicy(CheckpointPolicy{AfterN: 3}),
+				WithRetention(PruneCovered))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wave := 0; wave < 3; wave++ {
+				checkinN(t, task.Server(), fmt.Sprintf("d%d", wave), 3)
+				// Each wave: checkpoint -> rotate (fresh live segment, seq
+				// wave+2) -> prune (the sealed, covered one goes away). The
+				// sequence number distinguishes "cycle done" from "not yet
+				// rotated", both of which show a single segment.
+				wantSeq := wave + 2
+				waitForCond(t, "checkpoint+prune cycle", func() bool {
+					segs := backend.segments()
+					return len(segs) == 1 && segs[0].Seq == wantSeq
+				})
+			}
+			checkinN(t, task.Server(), "tail", 2) // beyond the last checkpoint
+			want := task.Server().ExportState()
+
+			// Crash without Close; the pruned store must restore exactly.
+			h2 := New()
+			restored, err := h2.CreateTask(ctx, "t", serverConfig(), WithStore(backend.reopen(t)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStatesEqual(t, restored.Server().ExportState(), want)
+			if got := restored.Server().Iteration(); got != 11 {
+				t.Errorf("restored iteration = %d, want 11", got)
+			}
+			if err := h2.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			_ = h.Close(ctx) // release the crashed hub's goroutines and lock
+		})
+	}
+}
+
+// TestRetentionSkippedOnFailedRotation: a checkpoint whose rotation
+// fails must NOT trigger retention — the covered entries still sit in
+// the live segment, and pruning anything near it would be the exact
+// corruption the never-touch-the-live-segment rule exists to prevent.
+func TestRetentionSkippedOnFailedRotation(t *testing.T) {
+	ctx := context.Background()
+	st := &rotateBlockedStore{MemStore: store.NewMemStore()}
+	st.blocked.Store(true)
+	h := New()
+	task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(st),
+		WithCheckpointPolicy(CheckpointPolicy{AfterN: 3}),
+		WithRetention(PruneCovered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkinN(t, task.Server(), "d1", 3)
+	waitForCond(t, "checkpoint", func() bool {
+		cp, err := st.Load(ctx)
+		return err == nil && cp.State.Iteration == 3
+	})
+	if st.SegmentCount() != 1 {
+		t.Fatalf("rotation happened despite the simulated failure (%d segments)", st.SegmentCount())
+	}
+	// Retention must not have touched the (covered but un-rotated) live
+	// segment: every journaled entry is still there.
+	entries, err := readAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("journal has %d entries after the failed rotation, want all 3", len(entries))
+	}
+	checkinN(t, task.Server(), "d2", 2)
+	want := task.Server().ExportState()
+
+	h2 := New()
+	restored, err := h2.CreateTask(ctx, "t", serverConfig(), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStatesEqual(t, restored.Server().ExportState(), want)
+	if err := h2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetentionArchiveKeepsAuditTrail: ArchiveCovered moves covered
+// segments aside instead of deleting them — the store stays bounded
+// like PruneCovered, while the archive directory accumulates the full
+// covered history as ordinary JSONL segments.
+func TestRetentionArchiveKeepsAuditTrail(t *testing.T) {
+	ctx := context.Background()
+	for name, mk := range retentionBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			backend := mk(t)
+			archiveDir := t.TempDir()
+			archive, err := store.NewFileStore(archiveDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := New()
+			task, err := h.CreateTask(ctx, "t", serverConfig(), WithStore(backend.st),
+				WithCheckpointPolicy(CheckpointPolicy{AfterN: 4}),
+				WithRetention(ArchiveCovered(archiveDir)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkinN(t, task.Server(), "d1", 4)
+			// The cycle is observable at its END: the archive holds the
+			// covered history (waiting on segment counts alone would race
+			// the checkpoint-rotate-archive pipeline).
+			waitForCond(t, "checkpoint+archive cycle", func() bool {
+				archived, err := readAll(archive)
+				return err == nil && len(archived) == 4
+			})
+			want := task.Server().ExportState()
+
+			// The archived history reads back as a plain segment chain.
+			archived, err := readAll(archive)
+			if err != nil {
+				t.Fatalf("read archive: %v", err)
+			}
+			for i := range archived {
+				if archived[i].Iteration != i+1 || !archived[i].Replayable() {
+					t.Errorf("archived entry %d = %+v", i, archived[i])
+				}
+			}
+			// And the store alone still restores the exact state.
+			h2 := New()
+			restored, err := h2.CreateTask(ctx, "t", serverConfig(), WithStore(backend.reopen(t)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStatesEqual(t, restored.Server().ExportState(), want)
+			if err := h2.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			_ = h.Close(ctx) // release the crashed hub's goroutines and lock
+		})
+	}
+}
+
+// hiddenRetainerStore wraps a MemStore behind the plain Store interface
+// so the SegmentRetainer implementation is invisible.
+type hiddenRetainerStore struct{ inner store.Store }
+
+func (s *hiddenRetainerStore) Save(ctx context.Context, state *core.ServerState, now time.Time) error {
+	return s.inner.Save(ctx, state, now)
+}
+func (s *hiddenRetainerStore) Load(ctx context.Context) (*store.Checkpoint, error) {
+	return s.inner.Load(ctx)
+}
+func (s *hiddenRetainerStore) OpenJournal(ctx context.Context) (store.Journal, error) {
+	return s.inner.OpenJournal(ctx)
+}
+func (s *hiddenRetainerStore) OpenCursor(ctx context.Context, after int) (store.JournalCursor, error) {
+	return s.inner.OpenCursor(ctx, after)
+}
+
+// TestRetentionMisconfigurationFailsCreate: a retention policy the
+// store cannot execute (or an archive policy with no destination) must
+// fail at CreateTask, not be silently ignored at the first checkpoint.
+func TestRetentionMisconfigurationFailsCreate(t *testing.T) {
+	ctx := context.Background()
+	h := New()
+	if _, err := h.CreateTask(ctx, "no-retainer", serverConfig(),
+		WithStore(&hiddenRetainerStore{inner: store.NewMemStore()}),
+		WithRetention(PruneCovered)); err == nil {
+		t.Error("CreateTask must reject retention on a store without SegmentRetainer")
+	}
+	if _, err := h.CreateTask(ctx, "no-dir", serverConfig(),
+		WithStore(store.NewMemStore()),
+		WithRetention(ArchiveCovered(""))); err == nil {
+		t.Error("CreateTask must reject ArchiveCovered with an empty directory")
+	}
+	// KeepAll (the default) needs neither.
+	if _, err := h.CreateTask(ctx, "keep", serverConfig(),
+		WithStore(&hiddenRetainerStore{inner: store.NewMemStore()}),
+		WithRetention(KeepAll)); err != nil {
+		t.Errorf("KeepAll on a plain store must work: %v", err)
 	}
 }

@@ -125,6 +125,7 @@ type createOptions struct {
 	store     store.Store
 	policy    CheckpointPolicy
 	sync      SyncPolicy
+	retention RetentionPolicy
 }
 
 // WithInfo attaches portal metadata to the task. When the info has no
@@ -263,11 +264,22 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 	}()
 
 	if o.store != nil {
+		// Fail retention misconfiguration at creation, not at the first
+		// checkpoint: a policy other than KeepAll needs a store that can
+		// actually prune, and the archive mode needs a destination.
+		if o.retention.mode != retentionKeep {
+			if _, ok := o.store.(store.SegmentRetainer); !ok {
+				return nil, fmt.Errorf("task %q: retention policy needs a store implementing store.SegmentRetainer", taskID)
+			}
+		}
+		if o.retention.mode == retentionArchive && o.retention.dir == "" {
+			return nil, fmt.Errorf("task %q: ArchiveCovered needs a non-empty archive directory", taskID)
+		}
 		journal, err := o.store.OpenJournal(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("task %q: open journal: %w", taskID, err)
 		}
-		dur = newDurability(o.store, journal, o.policy, o.sync, cfg.OnCheckin, cfg.OnBatchCommit)
+		dur = newDurability(o.store, journal, o.policy, o.sync, o.retention, cfg.OnCheckin, cfg.OnBatchCommit)
 		cfg.OnCheckin = dur.onCheckin
 		if o.sync == SyncBatch {
 			// Group commit rides the batch leader's per-batch hook: one

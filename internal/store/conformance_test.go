@@ -3,12 +3,41 @@ package store
 import (
 	"context"
 	"errors"
+	"io"
 	"reflect"
 	"testing"
 	"time"
 
 	"github.com/crowdml/crowdml/internal/core"
 )
+
+// readJournal and readJournalTail are the TEST-ONLY slice wrappers over
+// the streaming cursor: they drain OpenCursor into memory so assertions
+// can index entries. Production code never materializes the journal —
+// bounding audit and restore memory is the point of the cursor API —
+// which is why these helpers live here and not in the package.
+func readJournal(st Store) ([]JournalEntry, error) { return readJournalTail(st, 0) }
+
+func readJournalTail(st Store, afterIteration int) ([]JournalEntry, error) {
+	cur, err := st.OpenCursor(ctx, afterIteration)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []JournalEntry
+	for {
+		e, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			// ErrJournalTruncated keeps the old slice-API shape: the valid
+			// prefix alongside the sentinel.
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
 
 // TestStoreConformance runs every shipped Store implementation through
 // one shared suite, so FileStore and MemStore cannot drift in the
@@ -38,8 +67,12 @@ func TestStoreConformance(t *testing.T) {
 		"JournalRotation":        testJournalRotation,
 		"JournalTailBounded":     testJournalTailBounded,
 		"JournalSync":            testJournalSync,
-		"ReadJournalMissing":     testReadJournalMissing,
+		"CursorMissingJournal":   testCursorMissingJournal,
+		"CursorUseAfterClose":    testCursorUseAfterClose,
 		"CancelledContext":       testCancelledContext,
+		"RetentionPruneCovered":  testRetentionPruneCovered,
+		"RetentionNeverLive":     testRetentionNeverLive,
+		"RetentionArchive":       testRetentionArchive,
 	}
 	for implName, mk := range impls {
 		t.Run(implName, func(t *testing.T) {
@@ -164,7 +197,7 @@ func testJournalRoundTrip(t *testing.T, st Store) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readJournal(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +234,7 @@ func testJournalSliceReuse(t *testing.T, st Store) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readJournal(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +256,7 @@ func testJournalAcrossReopens(t *testing.T, st Store) {
 			t.Fatal(err)
 		}
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readJournal(st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,9 +309,9 @@ func testJournalRotation(t *testing.T, st Store) {
 	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readJournal(st)
 	if err != nil {
-		t.Fatalf("ReadJournal: %v", err)
+		t.Fatalf("readJournal: %v", err)
 	}
 	if len(entries) != 7 {
 		t.Fatalf("%d entries across segments, want 7", len(entries))
@@ -290,9 +323,9 @@ func testJournalRotation(t *testing.T, st Store) {
 	}
 }
 
-// testJournalTailBounded: ReadJournalTail must return every entry past
-// afterIteration without reading segments the checkpoint fully covers,
-// and ReadJournalTail(0) must equal ReadJournal.
+// testJournalTailBounded: a cursor opened after afterIteration must
+// stream every entry past it without touching segments the checkpoint
+// fully covers, and OpenCursor(ctx, 0) must stream the whole journal.
 func testJournalTailBounded(t *testing.T, st Store) {
 	j, err := st.OpenJournal(ctx)
 	if err != nil {
@@ -312,9 +345,9 @@ func testJournalTailBounded(t *testing.T, st Store) {
 	}
 	// A checkpoint at iteration 6 covers both sealed segments: the tail
 	// read must hand back exactly the live segment.
-	tail, err := st.ReadJournalTail(ctx, 6)
+	tail, err := readJournalTail(st, 6)
 	if err != nil {
-		t.Fatalf("ReadJournalTail: %v", err)
+		t.Fatalf("readJournalTail: %v", err)
 	}
 	if len(tail) != 3 || tail[0].Iteration != 7 {
 		t.Fatalf("tail after 6 = %d entries starting at %d, want 3 starting at 7",
@@ -322,7 +355,7 @@ func testJournalTailBounded(t *testing.T, st Store) {
 	}
 	// A checkpoint mid-segment (iteration 5) needs the second sealed
 	// segment too; whole segments come back and Replay skips entry 5.
-	tail, err = st.ReadJournalTail(ctx, 5)
+	tail, err = readJournalTail(st, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +364,7 @@ func testJournalTailBounded(t *testing.T, st Store) {
 			len(tail), tail[0].Iteration)
 	}
 	// No checkpoint: the tail read IS the full read.
-	all, err := st.ReadJournalTail(ctx, 0)
+	all, err := readJournalTail(st, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,16 +392,23 @@ func testJournalSync(t *testing.T, st Store) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := st.ReadJournal(ctx)
+	entries, err := readJournal(st)
 	if err != nil || len(entries) != 3 {
 		t.Fatalf("after syncs: %d entries err=%v, want 3/nil", len(entries), err)
 	}
 }
 
-func testReadJournalMissing(t *testing.T, st Store) {
-	entries, err := st.ReadJournal(ctx)
-	if err != nil || entries != nil {
-		t.Errorf("missing journal: entries=%v err=%v, want nil/nil", entries, err)
+// testCursorMissingJournal: a store with no journal yields a cursor
+// whose first Next is a clean io.EOF — first boot and restart share the
+// restore code path.
+func testCursorMissingJournal(t *testing.T, st Store) {
+	cur, err := st.OpenCursor(ctx, 0)
+	if err != nil {
+		t.Fatalf("OpenCursor: %v", err)
+	}
+	defer cur.Close()
+	if _, err := cur.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next on a missing journal = %v, want io.EOF", err)
 	}
 }
 
@@ -385,8 +425,187 @@ func testCancelledContext(t *testing.T, st Store) {
 	if _, err := st.OpenJournal(cancelled); !errors.Is(err, context.Canceled) {
 		t.Errorf("OpenJournal error = %v, want context.Canceled", err)
 	}
-	if _, err := st.ReadJournal(cancelled); !errors.Is(err, context.Canceled) {
-		t.Errorf("ReadJournal error = %v, want context.Canceled", err)
+	if _, err := st.OpenCursor(cancelled, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("OpenCursor error = %v, want context.Canceled", err)
+	}
+}
+
+// testCursorUseAfterClose: a cursor closed mid-stream must ERROR on
+// later Nexts (not feign a clean io.EOF end — a use-after-close bug
+// would otherwise read as a truncated-but-valid journal), while a
+// cursor that reached io.EOF keeps reporting io.EOF after Close. Both
+// backends must agree, or a bug would pass MemStore tests and fail on
+// files in production.
+func testCursorUseAfterClose(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := st.OpenCursor(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := cur.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("Next after mid-stream Close = %v, want a non-EOF error", err)
+	}
+	// Drained first, then closed: the io.EOF latch survives.
+	drained, err := st.OpenCursor(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := drained.Next(); err != nil {
+			break
+		}
+	}
+	if err := drained.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drained.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next after drain+Close = %v, want io.EOF", err)
+	}
+}
+
+// retainer asserts the shipped stores implement SegmentRetainer (the
+// conformance suite IS the proof WithRetention can rely on them).
+func retainer(t *testing.T, st Store) SegmentRetainer {
+	t.Helper()
+	r, ok := st.(SegmentRetainer)
+	if !ok {
+		t.Fatalf("%T does not implement SegmentRetainer", st)
+	}
+	return r
+}
+
+// segmentedJournal seeds the retention tests' layout on any backend:
+// sealed segment (iterations 1-3), sealed segment (4-5), live segment
+// (6).
+func segmentedJournal(t *testing.T, st Store) {
+	t.Helper()
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 3)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 4, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 6, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testRetentionPruneCovered: PruneSegments removes a sealed segment
+// ONLY when the checkpoint covers its last entry, walking oldest-first
+// and stopping at the first uncovered segment — a checkpoint mid-way
+// through the chain never costs an uncovered entry.
+func testRetentionPruneCovered(t *testing.T, st Store) {
+	segmentedJournal(t, st)
+	// Covered through iteration 4: segment 1-3 is prunable, segment 4-5
+	// is NOT (its last entry, 5, exceeds the checkpoint).
+	pruned, err := retainer(t, st).PruneSegments(ctx, 4, "")
+	if err != nil {
+		t.Fatalf("PruneSegments: %v", err)
+	}
+	if len(pruned) != 1 {
+		t.Fatalf("pruned %v, want exactly the first sealed segment", pruned)
+	}
+	entries, err := readJournal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Iteration != 4 {
+		t.Fatalf("after prune: %d entries starting at %d, want 3 starting at 4",
+			len(entries), entries[0].Iteration)
+	}
+	// A later checkpoint covering iteration 5 frees the second segment.
+	pruned, err = retainer(t, st).PruneSegments(ctx, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 {
+		t.Fatalf("second prune removed %v, want one segment", pruned)
+	}
+	// Restore-style read: the surviving live tail is intact.
+	tail, err := readJournalTail(st, 5)
+	if err != nil || len(tail) != 1 || tail[0].Iteration != 6 {
+		t.Fatalf("tail after prunes = %+v err=%v, want just iteration 6", tail, err)
+	}
+}
+
+// testRetentionNeverLive: however high the checkpoint, the live segment
+// is untouchable — its entries may not be covered yet (appends race the
+// export) and tearing the append target would corrupt the journal.
+func testRetentionNeverLive(t *testing.T, st Store) {
+	segmentedJournal(t, st)
+	pruned, err := retainer(t, st).PruneSegments(ctx, 1<<30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 2 {
+		t.Fatalf("pruned %v, want both sealed segments and nothing else", pruned)
+	}
+	entries, err := readJournal(st)
+	if err != nil || len(entries) != 1 || entries[0].Iteration != 6 {
+		t.Fatalf("live segment must survive: entries=%+v err=%v", entries, err)
+	}
+	// With only the live segment left there is nothing more to prune.
+	if pruned, err := retainer(t, st).PruneSegments(ctx, 1<<30, ""); err != nil || len(pruned) != 0 {
+		t.Errorf("prune of a live-only journal = %v, %v; want none/nil", pruned, err)
+	}
+}
+
+// testRetentionArchive: archived segments are moved, not lost — the
+// audit trail lives on in the archive directory as plain JSONL segment
+// files both backends render identically (readable by pointing a
+// FileStore at the directory).
+func testRetentionArchive(t *testing.T, st Store) {
+	segmentedJournal(t, st)
+	dir := t.TempDir() + "/archive" // PruneSegments must create it
+	pruned, err := retainer(t, st).PruneSegments(ctx, 5, dir)
+	if err != nil {
+		t.Fatalf("PruneSegments(archive): %v", err)
+	}
+	if len(pruned) != 2 {
+		t.Fatalf("archived %v, want both sealed segments", pruned)
+	}
+	// The store keeps only the live tail...
+	entries, err := readJournal(st)
+	if err != nil || len(entries) != 1 || entries[0].Iteration != 6 {
+		t.Fatalf("store after archive: entries=%+v err=%v, want just iteration 6", entries, err)
+	}
+	// ...and the archive holds the full covered history, as an ordinary
+	// segment chain.
+	archive, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, err := readJournal(archive)
+	if err != nil {
+		t.Fatalf("read archived segments: %v", err)
+	}
+	if len(archived) != 5 {
+		t.Fatalf("archive holds %d entries, want the 5 covered ones", len(archived))
+	}
+	for i := range archived {
+		if archived[i].Iteration != i+1 {
+			t.Errorf("archived entry %d has iteration %d", i, archived[i].Iteration)
+		}
 	}
 }
 

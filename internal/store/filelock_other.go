@@ -1,4 +1,4 @@
-//go:build !unix
+//go:build !unix && !windows
 
 package store
 
@@ -7,7 +7,8 @@ import (
 	"os"
 )
 
-// acquireDirLock on platforms without flock(2) only creates the lock
+// acquireDirLock on platforms with neither flock(2) nor LockFileEx
+// (see filelock_unix.go and filelock_windows.go) only creates the lock
 // file: the single-live-journal exclusion documented on FileStore is
 // NOT enforced here, exactly the pre-lock behavior. Deployments on such
 // platforms must not point two servers at one store directory.

@@ -194,11 +194,15 @@ func segmentSeq(name string) (int, bool) {
 	return seq, true
 }
 
-// Segments returns the journal's segment file names, oldest first (the
-// last one is the live segment). Empty when no journal exists yet.
-// Exposed for auditing and operations tooling; reading one is plain
-// JSONL.
-func (f *FileStore) Segments(ctx context.Context) ([]string, error) {
+// Segments returns the journal's segments, oldest first, with their
+// sealed-vs-live status: every segment except the newest is sealed (a
+// rotation sealed it when it created its successor). The newest is the
+// live segment — a pre-segmentation checkins.jsonl that no rotation has
+// sealed yet counts as live too, which is why retention never touches
+// it until the first rotation seals it. Empty when no journal exists
+// yet. Exposed for auditing and operations tooling; reading one is
+// plain JSONL.
+func (f *FileStore) Segments(ctx context.Context) ([]SegmentInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -206,25 +210,20 @@ func (f *FileStore) Segments(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: list segments: %w", err)
 	}
-	type seg struct {
-		name string
-		seq  int
-	}
-	var segs []seg
+	var segs []SegmentInfo
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
 		if seq, ok := segmentSeq(e.Name()); ok {
-			segs = append(segs, seg{name: e.Name(), seq: seq})
+			segs = append(segs, SegmentInfo{Name: e.Name(), Seq: seq, Sealed: true})
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
-	names := make([]string, len(segs))
-	for i, s := range segs {
-		names[i] = s.name
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	if n := len(segs); n > 0 {
+		segs[n-1].Sealed = false
 	}
-	return names, nil
+	return segs, nil
 }
 
 // fileJournal is the append-only segmented JSONL journal behind a
@@ -247,11 +246,11 @@ type fileJournal struct {
 // for a fresh store, or continuing a pre-segmentation checkins.jsonl —
 // and repairs a crash-torn tail first, truncating back to the last
 // decodable, newline-terminated record. The repair removes EXACTLY the
-// tail ReadJournal classifies as ErrJournalTruncated (one trailing
+// tail a cursor classifies as ErrJournalTruncated (one trailing
 // undecodable or unterminated line): such a record was never durable, so
 // its checkin was never acknowledged, and appending after it without the
 // repair would strand undecodable bytes mid-file and poison every later
-// ReadJournal. Anything worse — several bad trailing lines, or a valid
+// journal read. Anything worse — several bad trailing lines, or a valid
 // entry after a bad line — is corruption no crash produces, and
 // OpenJournal refuses to touch it.
 func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
@@ -274,7 +273,7 @@ func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
 	}
 	name := fmt.Sprintf(segmentPattern, 1)
 	if len(segs) > 0 {
-		name = segs[len(segs)-1]
+		name = segs[len(segs)-1].Name
 	}
 	seq, _ := segmentSeq(name)
 	file, err := os.OpenFile(filepath.Join(f.dir, name),
@@ -293,11 +292,11 @@ func (f *FileStore) OpenJournal(ctx context.Context) (Journal, error) {
 // repairTornTail truncates a single torn tail record — an undecodable
 // final line, or an unterminated one (even a parseable unterminated
 // record is dropped: its Append never returned, so its checkin was
-// never acknowledged; ReadJournal classifies it as torn by the same
+// never acknowledged; a cursor classifies it as torn by the same
 // rule). Two broken trailing lines is damage no single crash produces
 // and is refused. Mid-file corruption (a bad line with valid entries
 // after it) is not this function's business: it is left in place for
-// ReadJournal to report as fatal.
+// the cursor to report as fatal.
 //
 // The scan finds line boundaries in one cheap forward pass without
 // decoding; only the last one or two non-blank lines are JSON-decoded,
@@ -365,7 +364,7 @@ func repairTornTail(file *os.File) error {
 
 // Append writes one entry and flushes it to the OS, so a crashed server
 // process loses at most the entry being written — and a torn tail is
-// exactly what ReadJournal's ErrJournalTruncated tolerance is for. The
+// exactly what the cursor's ErrJournalTruncated tolerance is for. The
 // flush runs before the originating Checkin is acknowledged (write-ahead
 // ordering). There is no per-entry fsync: durability is against process
 // crashes, not power loss, unless the caller follows up with Sync (the
@@ -483,40 +482,17 @@ func (j *fileJournal) Close() error {
 	return j.file.Close()
 }
 
-// ReadJournal loads every entry from every journal segment, oldest
-// first — the full audit trail. A missing journal yields an empty
-// slice. A torn or corrupt FINAL line of the LIVE (newest) segment —
-// the expected artifact of a crash mid-append — yields the valid prefix
-// plus ErrJournalTruncated instead of failing the whole replay; a
-// corrupt line anywhere else (mid-segment, or in a sealed segment,
-// which no crash can tear) is real corruption and stays a hard error.
-func (f *FileStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	segs, err := f.Segments(ctx)
-	if err != nil {
-		return nil, err
-	}
-	var out []JournalEntry
-	for i, name := range segs {
-		entries, err := f.readSegment(name, i == len(segs)-1)
-		out = append(out, entries...)
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
-}
-
-// ReadJournalTail implements the bounded recovery read: segments are
-// read newest-first and prepended until one contains an entry at or
-// below afterIteration+1 — every earlier segment then holds only
+// OpenCursor opens the streaming journal read. Segment selection walks
+// the chain newest-first probing only each segment's FIRST record: the
+// walk stops at the first segment whose first entry is at or below
+// afterIteration+1, because every earlier segment then holds only
 // iterations the checkpoint already covers (journal iterations are
-// monotone), so recovery cost tracks rotation cadence, not journal
-// size. Whole segments are returned; core.Server.Replay skips leading
-// entries the checkpoint covers.
-func (f *FileStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error) {
+// monotone) — recovery cost tracks rotation cadence, not journal size.
+// A segment whose first record cannot be probed (empty, or a fully torn
+// live segment) cannot prove coverage, so the walk keeps going — erring
+// toward streaming more, never less. Whole segments are then streamed
+// oldest-first; core.Server.Replay skips leading covered entries.
+func (f *FileStore) OpenCursor(ctx context.Context, afterIteration int) (JournalCursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -524,52 +500,132 @@ func (f *FileStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]
 	if err != nil {
 		return nil, err
 	}
-	var out []JournalEntry
-	var tornTail error
-	for i := len(segs) - 1; i >= 0; i-- {
-		entries, err := f.readSegment(segs[i], i == len(segs)-1)
-		if errors.Is(err, ErrJournalTruncated) {
-			tornTail = err // only the live segment can report this
-		} else if err != nil {
-			return nil, err
-		}
-		out = append(entries, out...)
-		if len(entries) > 0 && entries[0].Iteration <= afterIteration+1 {
-			break
+	start := 0
+	if afterIteration > 0 {
+		for i := len(segs) - 1; i >= 0; i-- {
+			first, ok, err := f.probeFirstEntry(segs[i].Name)
+			if err != nil {
+				return nil, err
+			}
+			if ok && first.Iteration <= afterIteration+1 {
+				start = i
+				break
+			}
 		}
 	}
-	if tornTail != nil {
-		return out, tornTail
-	}
-	return out, nil
+	return &fileCursor{dir: f.dir, segs: segs[start:]}, nil
 }
 
-// readSegment decodes one segment file. With tolerateTail (the live
-// segment), a torn or corrupt final record yields the valid prefix plus
-// ErrJournalTruncated; without it, any bad line is a hard error.
-func (f *FileStore) readSegment(name string, tolerateTail bool) ([]JournalEntry, error) {
+// probeFirstEntry decodes a segment's first non-blank record, reporting
+// ok == false when there is none or it does not decode (an empty
+// segment, or a live segment whose only record is torn — the cursor's
+// full classification handles those; the probe only needs a lower
+// bound it can trust).
+func (f *FileStore) probeFirstEntry(name string) (JournalEntry, bool, error) {
 	file, err := os.Open(filepath.Join(f.dir, name))
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil // raced a concurrent cleanup; nothing to read
+		return JournalEntry{}, false, nil // raced a concurrent prune
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: open journal segment %s: %w", name, err)
+		return JournalEntry{}, false, fmt.Errorf("store: open journal segment %s: %w", name, err)
 	}
 	defer file.Close()
-	var out []JournalEntry
-	var badLine int  // 1-based line number of the first undecodable line
-	var badErr error // its decode error
-	// bufio.Reader instead of a Scanner: journal lines carry full
-	// gradients (classes·dim floats), so no fixed line-length cap may
-	// stand between an Append that succeeded and the recovery that needs
-	// to read it back.
 	r := bufio.NewReaderSize(file, 64*1024)
-	for line := 1; ; line++ {
+	for {
 		raw, readErr := r.ReadBytes('\n')
 		if readErr != nil && !errors.Is(readErr, io.EOF) {
-			return nil, fmt.Errorf("store: scan journal segment %s: %w", name, readErr)
+			return JournalEntry{}, false, fmt.Errorf("store: scan journal segment %s: %w", name, readErr)
 		}
 		terminated := readErr == nil
+		raw = bytes.TrimSuffix(raw, []byte{'\n'})
+		if len(raw) > 0 {
+			var e JournalEntry
+			if json.Unmarshal(raw, &e) == nil && terminated {
+				return e, true, nil
+			}
+			return JournalEntry{}, false, nil
+		}
+		if readErr != nil {
+			return JournalEntry{}, false, nil
+		}
+	}
+}
+
+// fileCursor streams journal segments oldest-first, line by line,
+// holding one open file and one decoded entry at a time. The per-line
+// classification is exactly the slice reader's old contract: a torn or
+// corrupt FINAL line of the LIVE (newest) segment — the expected
+// artifact of a crash mid-append — ends the stream with
+// ErrJournalTruncated after every valid entry has been yielded; a bad
+// line anywhere else (mid-segment, or in a sealed segment, which no
+// crash can tear) is real corruption and a hard error.
+type fileCursor struct {
+	dir  string
+	segs []SegmentInfo // remaining + current, oldest first
+	idx  int           // next segment to open once file is nil
+
+	file *os.File
+	r    *bufio.Reader
+	line int // 1-based within the current segment
+
+	// badLine/badErr hold a suspected torn tail: one undecodable line
+	// whose verdict (torn vs corruption) depends on what follows it.
+	badLine int
+	badErr  error
+
+	err error // latched terminal state (io.EOF, ErrJournalTruncated, or a hard error)
+}
+
+var _ JournalCursor = (*fileCursor)(nil)
+
+// fail latches a terminal error and returns it.
+func (c *fileCursor) fail(err error) (JournalEntry, error) {
+	if c.file != nil {
+		c.file.Close()
+		c.file = nil
+	}
+	c.err = err
+	return JournalEntry{}, err
+}
+
+// Next returns the next journal entry, io.EOF at the clean end of the
+// chain, or ErrJournalTruncated (wrapped with the segment context) in
+// io.EOF's place when the live segment ends in a crash-torn record.
+func (c *fileCursor) Next() (JournalEntry, error) {
+	if c.err != nil {
+		return JournalEntry{}, c.err
+	}
+	for {
+		if c.file == nil {
+			if c.idx >= len(c.segs) {
+				return c.fail(io.EOF)
+			}
+			name := c.segs[c.idx].Name
+			file, err := os.Open(filepath.Join(c.dir, name))
+			if errors.Is(err, fs.ErrNotExist) {
+				c.idx++ // raced a concurrent prune; nothing to read here
+				continue
+			}
+			if err != nil {
+				return c.fail(fmt.Errorf("store: open journal segment %s: %w", name, err))
+			}
+			c.file = file
+			// bufio.Reader instead of a Scanner: journal lines carry full
+			// gradients (classes·dim floats), so no fixed line-length cap
+			// may stand between an Append that succeeded and the recovery
+			// that needs to read it back.
+			c.r = bufio.NewReaderSize(file, 64*1024)
+			c.line = 0
+			c.badLine, c.badErr = 0, nil
+		}
+		name := c.segs[c.idx].Name
+		live := c.idx == len(c.segs)-1
+		raw, readErr := c.r.ReadBytes('\n')
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return c.fail(fmt.Errorf("store: scan journal segment %s: %w", name, readErr))
+		}
+		terminated := readErr == nil
+		c.line++
 		raw = bytes.TrimSuffix(raw, []byte{'\n'})
 		if len(raw) > 0 {
 			// An unterminated final record is torn even when its JSON
@@ -582,33 +638,265 @@ func (f *FileStore) readSegment(name string, tolerateTail bool) ([]JournalEntry,
 				decodeErr = errors.New("record not newline-terminated")
 			}
 			switch {
-			case decodeErr != nil && badLine != 0:
+			case decodeErr != nil && c.badLine != 0:
 				// Two undecodable lines: not a torn tail.
-				return nil, fmt.Errorf("store: journal segment %s line %d: %w", name, badLine, badErr)
+				return c.fail(fmt.Errorf("store: journal segment %s line %d: %w", name, c.badLine, c.badErr))
 			case decodeErr != nil:
-				badLine, badErr = line, decodeErr
-			case badLine != 0:
+				c.badLine, c.badErr = c.line, decodeErr
+			case c.badLine != 0:
 				// A valid entry AFTER a bad line means mid-journal
 				// corruption, not a crash-torn tail; replaying past it
 				// would silently drop an acknowledged checkin.
-				return nil, fmt.Errorf("store: journal segment %s line %d: %w", name, badLine, badErr)
+				return c.fail(fmt.Errorf("store: journal segment %s line %d: %w", name, c.badLine, c.badErr))
 			default:
-				out = append(out, e)
+				// A decodable entry is always newline-terminated (the
+				// unterminated case was classified torn above), so the
+				// reader is mid-file here; the EOF branch below handles
+				// segment advance on a later call.
+				return e, nil
 			}
 		}
 		if readErr != nil { // io.EOF: past the (possibly unterminated) last line
+			if c.badLine != 0 {
+				if !live {
+					// Sealed segments were flushed, fsynced and closed; no
+					// crash tears them. A bad final line here is damage,
+					// not a torn tail.
+					return c.fail(fmt.Errorf("store: journal segment %s line %d: %v", name, c.badLine, c.badErr))
+				}
+				return c.fail(fmt.Errorf("store: journal segment %s line %d: %v: %w", name, c.badLine, c.badErr, ErrJournalTruncated))
+			}
+			c.file.Close()
+			c.file = nil
+			c.idx++
+		}
+	}
+}
+
+// Close releases the cursor's open segment file, if any.
+func (c *fileCursor) Close() error {
+	if c.file != nil {
+		err := c.file.Close()
+		c.file = nil
+		if c.err == nil {
+			c.err = errors.New("store: cursor closed")
+		}
+		return err
+	}
+	if c.err == nil {
+		c.err = errors.New("store: cursor closed")
+	}
+	return nil
+}
+
+var _ SegmentRetainer = (*FileStore)(nil)
+
+// PruneSegments implements automated retention: sealed segments whose
+// last record's iteration is at or below coveredIteration are removed
+// (archiveDir == "") or moved into archiveDir, oldest first, stopping
+// at the first segment a checkpoint at coveredIteration does not fully
+// cover. The live segment is never touched — including a legacy
+// checkins.jsonl that no rotation has sealed yet, which stays
+// retention-exempt until the first rotation seals it. Pruning
+// oldest-first means an interruption at any point (crash mid-prune)
+// leaves exactly the state of a smaller completed prune: a contiguous
+// journal suffix, fully recoverable.
+func (f *FileStore) PruneSegments(ctx context.Context, coveredIteration int, archiveDir string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	segs, err := f.Segments(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if archiveDir != "" {
+		if err := os.MkdirAll(archiveDir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: create archive dir: %w", err)
+		}
+	}
+	var pruned []string
+	for _, seg := range segs {
+		if !seg.Sealed {
+			break // the live segment (always last) is never pruned
+		}
+		last, empty, err := f.lastEntryOf(seg.Name)
+		if err != nil {
+			return pruned, err
+		}
+		// Journal iterations are monotone, so a sealed segment whose last
+		// entry the checkpoint covers is covered in full; the first
+		// uncovered segment ends the walk (everything after it is newer).
+		if !empty && last.Iteration > coveredIteration {
+			break
+		}
+		path := filepath.Join(f.dir, seg.Name)
+		if archiveDir != "" {
+			if err := moveFile(path, filepath.Join(archiveDir, seg.Name)); err != nil {
+				return pruned, fmt.Errorf("store: archive segment %s: %w", seg.Name, err)
+			}
+		} else if err := os.Remove(path); err != nil {
+			return pruned, fmt.Errorf("store: prune segment %s: %w", seg.Name, err)
+		}
+		pruned = append(pruned, seg.Name)
+	}
+	if len(pruned) > 0 {
+		// Make the removals durable so a machine crash cannot resurrect a
+		// pruned dirent. Best-effort: a resurrected segment only lengthens
+		// the audit trail, it cannot affect recovery (its entries are all
+		// covered by the checkpoint).
+		_ = syncDir(f.dir)
+	}
+	return pruned, nil
+}
+
+// moveFile moves src to dst, preferring a plain rename and falling back
+// to copy-then-remove when the two sit on different filesystems (EXDEV)
+// — an archive directory on a separate audit volume is the natural
+// deployment, and rename alone would fail every retention cycle there.
+// The copy lands via a temp file + rename inside the destination
+// directory, so a crash mid-copy never leaves a half-written file under
+// the segment's name, and the source is removed only after the copy is
+// fsynced — a crash between the two leaves a duplicate, never a loss.
+//
+// An EXISTING dst is never overwritten: archived segments are the audit
+// trail, and a name collision means either a misconfiguration (two
+// tasks sharing one archive directory, a store restored from backup
+// re-issuing sequence numbers) — refused with an error — or the
+// crash-duplicate this function's own copy path can leave, recognized
+// by identical contents and resolved by just removing the source.
+func moveFile(src, dst string) error {
+	if _, err := os.Lstat(dst); err == nil {
+		same, err := sameContents(src, dst)
+		if err != nil {
+			return err
+		}
+		if !same {
+			return fmt.Errorf("archive destination %s already exists with different contents", dst)
+		}
+		return os.Remove(src) // duplicate from an interrupted earlier move
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	renameErr := os.Rename(src, dst)
+	if renameErr == nil {
+		return nil
+	}
+	if !errors.Is(renameErr, syscall.EXDEV) {
+		// Only a cross-device rename earns the copy fallback; any other
+		// failure (permissions, read-only volume) surfaces as itself so
+		// the recorded retention error names the real cause. (Windows
+		// reports cross-volume renames with its own error code, not
+		// EXDEV — archiving across volumes there surfaces that error
+		// rather than silently copying.)
+		return renameErr
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the successful rename
+	if _, err := io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		return err
+	}
+	// The destination dirent must be durable BEFORE the source unlink:
+	// otherwise a machine crash could make the unlink durable while the
+	// never-synced archive dirent is not, losing the segment from both
+	// directories. (The plain-rename path above has no such window —
+	// rename is atomic, so the segment is always in exactly one place.)
+	if err := syncDir(filepath.Dir(dst)); err != nil {
+		return err
+	}
+	return os.Remove(src)
+}
+
+// sameContents streams two files side by side, reporting whether their
+// bytes are identical — O(one buffer) memory, like every other read in
+// this package.
+func sameContents(a, b string) (bool, error) {
+	fa, err := os.Open(a)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(b)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	bufA, bufB := make([]byte, 64*1024), make([]byte, 64*1024)
+	for {
+		na, errA := io.ReadFull(fa, bufA)
+		nb, errB := io.ReadFull(fb, bufB)
+		if na != nb || !bytes.Equal(bufA[:na], bufB[:nb]) {
+			return false, nil
+		}
+		endA := errors.Is(errA, io.EOF) || errors.Is(errA, io.ErrUnexpectedEOF)
+		endB := errors.Is(errB, io.EOF) || errors.Is(errB, io.ErrUnexpectedEOF)
+		switch {
+		case errA == nil && errB == nil:
+			continue
+		case endA && endB:
+			return true, nil
+		case endA != endB:
+			return false, nil
+		default:
+			if errA != nil && !endA {
+				return false, errA
+			}
+			return false, errB
+		}
+	}
+}
+
+// lastEntryOf scans one sealed segment for its final record in a single
+// forward pass, decoding only that record — O(one line) memory. An
+// undecodable final line in a sealed segment is damage (sealing fsyncs
+// the file), reported as an error rather than guessed around.
+func (f *FileStore) lastEntryOf(name string) (last JournalEntry, empty bool, err error) {
+	file, err := os.Open(filepath.Join(f.dir, name))
+	if err != nil {
+		return JournalEntry{}, false, fmt.Errorf("store: open journal segment %s: %w", name, err)
+	}
+	defer file.Close()
+	r := bufio.NewReaderSize(file, 64*1024)
+	var lastRaw []byte
+	for {
+		raw, readErr := r.ReadBytes('\n')
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return JournalEntry{}, false, fmt.Errorf("store: scan journal segment %s: %w", name, readErr)
+		}
+		if line := bytes.TrimSuffix(raw, []byte{'\n'}); len(line) > 0 {
+			lastRaw = append(lastRaw[:0], line...)
+		}
+		if readErr != nil {
 			break
 		}
 	}
-	if badLine != 0 {
-		if !tolerateTail {
-			// Sealed segments were flushed, fsynced and closed; no crash
-			// tears them. A bad final line here is damage, not a torn tail.
-			return out, fmt.Errorf("store: journal segment %s line %d: %v", name, badLine, badErr)
-		}
-		return out, fmt.Errorf("store: journal segment %s line %d: %v: %w", name, badLine, badErr, ErrJournalTruncated)
+	if len(lastRaw) == 0 {
+		return JournalEntry{}, true, nil
 	}
-	return out, nil
+	var e JournalEntry
+	if err := json.Unmarshal(lastRaw, &e); err != nil {
+		return JournalEntry{}, false, fmt.Errorf("store: journal segment %s final record: %w", name, err)
+	}
+	return e, false, nil
 }
 
 // FileRoot exposes a directory of per-task FileStores: each immediate

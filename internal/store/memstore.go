@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -23,13 +26,17 @@ type MemStore struct {
 	mu       sync.Mutex
 	cp       *Checkpoint
 	segments [][]JournalEntry // oldest first; the last is the live segment
+	// seqBase is segments[0]'s chain sequence number; it advances as
+	// retention prunes leading segments, so archived segment names stay
+	// aligned with the positions FileStore would have used.
+	seqBase int
 }
 
 var _ Store = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{segments: make([][]JournalEntry, 1)}
+	return &MemStore{segments: make([][]JournalEntry, 1), seqBase: 1}
 }
 
 // Save replaces the checkpoint with a deep copy of the given state, so
@@ -137,64 +144,173 @@ func (j *memJournal) Sync(ctx context.Context) error { return ctx.Err() }
 func (j *memJournal) Close() error { return nil }
 
 // SegmentCount reports the number of journal segments (sealed + live) —
-// the in-memory analogue of FileStore.Segments, for tests asserting
-// rotation behavior.
+// the quick probe tests use for rotation behavior; Segments is the full
+// FileStore-parity listing.
 func (m *MemStore) SegmentCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.segments)
 }
 
-// ReadJournal returns a copy of every appended entry across every
-// segment, in order.
-func (m *MemStore) ReadJournal(ctx context.Context) ([]JournalEntry, error) {
+// Segments mirrors FileStore.Segments: the segment chain oldest first,
+// with synthesized FileStore-style names (aligned with what PruneSegments
+// archives them as) and sealed-vs-live status.
+func (m *MemStore) Segments(ctx context.Context) ([]SegmentInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var out []JournalEntry
-	for _, seg := range m.segments {
-		out = append(out, copyEntries(seg)...)
+	segs := make([]SegmentInfo, len(m.segments))
+	for i := range m.segments {
+		seq := m.seqBase + i
+		segs[i] = SegmentInfo{
+			Name:   fmt.Sprintf(segmentPattern, seq),
+			Seq:    seq,
+			Sealed: i < len(m.segments)-1,
+		}
 	}
-	return out, nil
+	return segs, nil
 }
 
-// ReadJournalTail mirrors FileStore's bounded recovery read: segments
-// are scanned newest-first and prepended until one starts at or below
-// afterIteration+1.
-func (m *MemStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error) {
+// OpenCursor mirrors FileStore's bounded streaming read: the starting
+// segment is found by a newest-first walk over each segment's first
+// entry, and the cursor then streams whole segments oldest-first,
+// deep-copying one entry per Next — the same O(one entry) residency
+// contract as the file backend. The cursor holds a point-in-time
+// snapshot of the segment chain: appends, rotations and prunes racing
+// the scan never disturb it.
+func (m *MemStore) OpenCursor(ctx context.Context, afterIteration int) (JournalCursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
+	// Copy the outer slice only: the inner segment slices are append-only
+	// (a racing Append may grow the live segment's backing array, but the
+	// snapshot's header pins the entries visible at open time).
+	segs := make([][]JournalEntry, len(m.segments))
+	copy(segs, m.segments)
+	m.mu.Unlock()
+	start := 0
+	if afterIteration > 0 {
+		for i := len(segs) - 1; i >= 0; i-- {
+			if len(segs[i]) > 0 && segs[i][0].Iteration <= afterIteration+1 {
+				start = i
+				break
+			}
+		}
+	}
+	return &memCursor{segs: segs[start:]}, nil
+}
+
+// memCursor iterates a snapshot of the segment chain. Its terminal
+// states mirror fileCursor's exactly — io.EOF latched at the drained
+// end, a "cursor closed" error latched by a mid-stream Close — so a
+// use-after-close bug fails the same way on both backends instead of
+// reading as a clean-but-truncated stream here.
+type memCursor struct {
+	segs [][]JournalEntry
+	i, j int
+	err  error // latched terminal state
+}
+
+var _ JournalCursor = (*memCursor)(nil)
+
+func (c *memCursor) Next() (JournalEntry, error) {
+	if c.err != nil {
+		return JournalEntry{}, c.err
+	}
+	for c.i < len(c.segs) {
+		if c.j < len(c.segs[c.i]) {
+			e := c.segs[c.i][c.j]
+			c.j++
+			if e.Grad != nil {
+				e.Grad = append([]float64(nil), e.Grad...)
+			}
+			if e.LabelCounts != nil {
+				e.LabelCounts = append([]int(nil), e.LabelCounts...)
+			}
+			return e, nil
+		}
+		c.i, c.j = c.i+1, 0
+	}
+	c.err = io.EOF
+	return JournalEntry{}, io.EOF
+}
+
+func (c *memCursor) Close() error {
+	if c.err == nil {
+		c.err = errors.New("store: cursor closed")
+	}
+	return nil
+}
+
+var _ SegmentRetainer = (*MemStore)(nil)
+
+// PruneSegments mirrors FileStore's retention semantics: sealed
+// segments (every segment but the last) whose last entry is at or below
+// coveredIteration are dropped oldest-first, stopping at the first
+// uncovered one; the live segment is never touched. With archiveDir
+// set, each pruned segment is first written out as a JSONL file named
+// exactly as FileStore would have named it (journal-NNNNNNNNNN.jsonl),
+// so the archived audit trail is the same artifact on both backends.
+func (m *MemStore) PruneSegments(ctx context.Context, coveredIteration int, archiveDir string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if archiveDir != "" {
+		if err := os.MkdirAll(archiveDir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: create archive dir: %w", err)
+		}
+	}
+	// The whole walk holds the store lock — including the archive file
+	// writes — so a concurrent PruneSegments (or a racing Rotate) can
+	// never re-check a segment this call is mid-way through removing.
+	// MemStore is the test/embedded backend; briefly blocking an Append
+	// behind an archive write is a fair price for the check-then-remove
+	// atomicity.
+	m.mu.Lock()
 	defer m.mu.Unlock()
-	var out []JournalEntry
-	for i := len(m.segments) - 1; i >= 0; i-- {
-		seg := m.segments[i]
-		out = append(copyEntries(seg), out...)
-		if len(seg) > 0 && seg[0].Iteration <= afterIteration+1 {
+	var pruned []string
+	for len(m.segments) > 1 {
+		seg, seq := m.segments[0], m.seqBase
+		if len(seg) > 0 && seg[len(seg)-1].Iteration > coveredIteration {
 			break
 		}
+		name := fmt.Sprintf(segmentPattern, seq)
+		if archiveDir != "" {
+			if err := writeSegmentFile(filepath.Join(archiveDir, name), seg); err != nil {
+				return pruned, err
+			}
+		}
+		m.segments = m.segments[1:]
+		m.seqBase++
+		pruned = append(pruned, name)
 	}
-	return out, nil
+	return pruned, nil
 }
 
-func copyEntries(seg []JournalEntry) []JournalEntry {
-	if len(seg) == 0 {
-		return nil
+// writeSegmentFile renders one archived segment as JSONL. O_EXCL:
+// archived segments are the audit trail, and a name collision (two
+// tasks sharing one archive directory) must surface as an error, never
+// silently truncate earlier history.
+func writeSegmentFile(path string, seg []JournalEntry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: archive segment: %w", err)
 	}
-	out := make([]JournalEntry, len(seg))
-	copy(out, seg)
-	for i := range out {
-		if out[i].Grad != nil {
-			out[i].Grad = append([]float64(nil), out[i].Grad...)
+	for i := range seg {
+		payload, err := json.Marshal(&seg[i])
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: encode archived entry: %w", err)
 		}
-		if out[i].LabelCounts != nil {
-			out[i].LabelCounts = append([]int(nil), out[i].LabelCounts...)
+		if _, err := f.Write(append(payload, '\n')); err != nil {
+			f.Close()
+			return fmt.Errorf("store: write archived segment: %w", err)
 		}
 	}
-	return out
+	return f.Close()
 }
 
 // MemRoot is an in-memory Root: a process-lifetime namespace of

@@ -22,10 +22,13 @@
 // The journal is segmented: Journal.Rotate seals the live segment and
 // begins a fresh one (the hub's checkpointer rotates after each
 // successful checkpoint), sealed segments are retained as the audit
-// trail, and ReadJournalTail reads back only the trailing segments a
-// recovery needs — so restart time is bounded by checkpoint cadence,
-// not total checkin volume, while ReadJournal still returns the full
-// history for auditing.
+// trail, and OpenCursor streams entries back one at a time — starting
+// at the trailing segments a recovery needs — so both restart time AND
+// resident memory are bounded by checkpoint cadence, not total checkin
+// volume; a full audit scan (OpenCursor with afterIteration 0) holds
+// one decoded entry at a time however large the history is. Stores
+// implementing SegmentRetainer additionally support automated retention
+// of sealed segments the latest checkpoint fully covers.
 //
 // The journal only ever sees sanitized quantities — raw device data
 // never reaches the server, so it cannot reach the store; persisting the
@@ -46,11 +49,12 @@ var (
 	// been saved yet.
 	ErrNoCheckpoint = errors.New("store: no checkpoint")
 
-	// ErrJournalTruncated is returned by ReadJournal alongside the valid
-	// entry prefix when the journal's final record is torn or corrupt —
-	// the expected artifact of a crash mid-append. Callers recovering
-	// state should treat it as success for the returned entries: the torn
-	// record was never durable, so its checkin was never acknowledged.
+	// ErrJournalTruncated is returned by JournalCursor.Next in place of
+	// io.EOF when the journal's final record is torn or corrupt — the
+	// expected artifact of a crash mid-append. Every valid entry has been
+	// yielded by then; callers recovering state should treat it as a
+	// clean end of stream: the torn record was never durable, so its
+	// checkin was never acknowledged.
 	ErrJournalTruncated = errors.New("store: journal truncated mid-record")
 
 	// ErrStoreLocked is returned by FileStore.OpenJournal when another
@@ -117,10 +121,10 @@ type Journal interface {
 	Append(ctx context.Context, e JournalEntry) error
 	// Rotate seals the live segment and begins a fresh empty one; later
 	// Appends land in the new segment. Sealed segments are never written
-	// again and remain readable (ReadJournal) as the audit trail. The
+	// again and remain readable (OpenCursor) as the audit trail. The
 	// hub's checkpointer calls Rotate after each successful checkpoint,
 	// so the live segment holds only entries the latest checkpoint may
-	// not cover — which is what bounds ReadJournalTail, and therefore
+	// not cover — which is what bounds a recovery cursor, and therefore
 	// restart time, by checkpoint cadence. Rotation is bookkeeping, not
 	// durability: a failed Rotate leaves the journal appending to the old
 	// segment, fully recoverable, just less tightly bounded.
@@ -132,9 +136,32 @@ type Journal interface {
 	Close() error
 }
 
+// JournalCursor streams journal entries in append order, one at a time.
+// Next returns io.EOF after the final entry (the clean end of the
+// stream) and ErrJournalTruncated — possibly wrapped with the torn
+// segment's context — in io.EOF's place when the live segment's final
+// record is torn by a crash: every valid entry has been yielded by
+// then, and the torn record was never durable, so recovery treats the
+// sentinel as a clean end. Any other error is real corruption or I/O
+// failure. After the first non-nil error the cursor is exhausted and
+// Next keeps returning the same error. Cursors are not safe for
+// concurrent use; Close releases the cursor's resources and must be
+// called exactly as for any io.Closer, whether or not the stream was
+// drained.
+//
+// Each entry's slices (Grad, LabelCounts) are freshly allocated per
+// Next call, so a caller may retain them — but a caller that does NOT
+// retain them keeps resident memory at O(one entry) however long the
+// journal is, which is the point of the cursor over a slice read.
+type JournalCursor interface {
+	Next() (JournalEntry, error)
+	Close() error
+}
+
 // Store persists one task's learning state: atomic checkpoints plus the
 // write-ahead checkin journal. Implementations must be safe for
-// concurrent use; Save and Load may race an open journal's Appends.
+// concurrent use; Save, Load and open cursors may race an open
+// journal's Appends.
 type Store interface {
 	// Save atomically replaces the checkpoint with the given state.
 	Save(ctx context.Context, state *core.ServerState, now time.Time) error
@@ -143,21 +170,58 @@ type Store interface {
 	// OpenJournal opens (creating if needed) the task's journal for
 	// appending. Entries appended across opens accumulate.
 	OpenJournal(ctx context.Context) (Journal, error)
-	// ReadJournal returns every journal entry, across every segment, in
-	// append order — the full audit trail. A missing journal yields
-	// (nil, nil). A torn or corrupt final record yields the valid prefix
-	// plus ErrJournalTruncated; corruption earlier in the journal is a
-	// hard error.
-	ReadJournal(ctx context.Context) ([]JournalEntry, error)
-	// ReadJournalTail returns the journal suffix a recovery already
-	// holding a checkpoint at afterIteration needs: every entry with
-	// Iteration > afterIteration, reading only the trailing segments
-	// required (whole segments are returned, so entries at or below
-	// afterIteration may lead the result — core.Server.Replay skips
-	// them). ReadJournalTail(ctx, 0) is equivalent to ReadJournal. The
-	// same torn-tail tolerance applies: ErrJournalTruncated alongside
-	// the valid entries when the live segment's final record is torn.
-	ReadJournalTail(ctx context.Context, afterIteration int) ([]JournalEntry, error)
+	// OpenCursor opens a streaming read over the journal suffix a
+	// recovery already holding a checkpoint at afterIteration needs:
+	// every entry with Iteration > afterIteration, reading only the
+	// trailing segments required (whole segments are streamed, so
+	// entries at or below afterIteration may lead the stream —
+	// core.Server.Replay skips them). OpenCursor(ctx, 0) streams the
+	// full journal, oldest entry first — the audit scan. A missing
+	// journal yields a cursor whose first Next returns io.EOF. Segment
+	// selection is a cheap probe of each trailing segment's first
+	// record, never a full decode; the cursor itself holds O(one entry)
+	// of decoded state at a time.
+	OpenCursor(ctx context.Context, afterIteration int) (JournalCursor, error)
+}
+
+// SegmentRetainer is implemented by stores whose journal supports
+// automated retention of sealed segments (both shipped stores do). The
+// hub's checkpointer calls PruneSegments after each successful
+// checkpoint-and-rotate cycle when a retention policy is attached.
+type SegmentRetainer interface {
+	// PruneSegments removes sealed journal segments that the checkpoint
+	// at coveredIteration fully covers: a segment is eligible only if it
+	// is not the live (newest) segment and its LAST entry's iteration is
+	// at or below coveredIteration (journal iterations are monotone, so
+	// every entry in it is then covered; an empty sealed segment is
+	// trivially covered). Segments are pruned oldest-first and the walk
+	// stops at the first ineligible one, so an interrupted prune leaves
+	// exactly the state of a smaller completed prune — a contiguous
+	// suffix of the journal, always recoverable.
+	//
+	// With archiveDir == "", eligible segments are deleted. Otherwise
+	// they are moved into archiveDir (created if needed), keeping their
+	// segment file names — the audit trail lives on as plain JSONL,
+	// readable with any JSON tooling. Returns the names of the segments
+	// pruned or archived.
+	PruneSegments(ctx context.Context, coveredIteration int, archiveDir string) ([]string, error)
+}
+
+// SegmentInfo describes one journal segment for auditing and retention
+// tooling.
+type SegmentInfo struct {
+	// Name is the segment's file name within the store directory (for
+	// the legacy pre-segmentation journal, "checkins.jsonl").
+	Name string
+	// Seq is the segment's position in the chain (the legacy journal is
+	// 0; numbered segments start at 1).
+	Seq int
+	// Sealed reports whether the segment has been sealed by a rotation:
+	// immutable, fsynced, eligible for retention once a checkpoint
+	// covers it. The newest segment is the live one (Sealed == false) —
+	// including a legacy checkins.jsonl that no rotation has sealed yet,
+	// which is therefore retention-exempt exactly like any live segment.
+	Sealed bool
 }
 
 // Root is a namespace of per-task stores — the store-side counterpart of

@@ -129,7 +129,7 @@ func TestReadJournalTruncatedTail(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			fs := writeJournalFile(t, t.TempDir(), tail)
-			entries, err := fs.ReadJournal(ctx)
+			entries, err := readJournal(fs)
 			if !errors.Is(err, ErrJournalTruncated) {
 				t.Fatalf("error = %v, want ErrJournalTruncated", err)
 			}
@@ -144,7 +144,7 @@ func TestReadJournalTruncatedTail(t *testing.T) {
 // prefix, but still the tolerant sentinel rather than a hard failure.
 func TestReadJournalOnlyLineTorn(t *testing.T) {
 	fs := writeJournalFile(t, t.TempDir(), "{bad\n")
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if !errors.Is(err, ErrJournalTruncated) {
 		t.Fatalf("error = %v, want ErrJournalTruncated", err)
 	}
@@ -163,7 +163,7 @@ func TestReadJournalMidCorruptionIsFatal(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			fs := writeJournalFile(t, t.TempDir(), content)
-			if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+			if _, err := readJournal(fs); err == nil || errors.Is(err, ErrJournalTruncated) {
 				t.Errorf("error = %v, want a hard (non-truncation) error", err)
 			}
 		})
@@ -198,7 +198,7 @@ func TestOpenJournalRepairsTornTail(t *testing.T) {
 			}
 			// The appended-to journal must read back clean — across a
 			// SECOND open/read cycle too (the restart-after-recovery path).
-			entries, err := fs.ReadJournal(ctx)
+			entries, err := readJournal(fs)
 			if err != nil {
 				t.Fatalf("ReadJournal after repair+append: %v", err)
 			}
@@ -234,7 +234,7 @@ func TestOpenJournalRefusesRealCorruption(t *testing.T) {
 		if err := j.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+		if _, err := readJournal(fs); err == nil || errors.Is(err, ErrJournalTruncated) {
 			t.Errorf("ReadJournal error = %v, want a hard mid-corruption error", err)
 		}
 	})
@@ -251,7 +251,7 @@ func TestOpenJournalRepairsFullyTornFile(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if err != nil || len(entries) != 0 {
 		t.Errorf("after repair: entries=%v err=%v, want none/nil", entries, err)
 	}
@@ -259,7 +259,7 @@ func TestOpenJournalRepairsFullyTornFile(t *testing.T) {
 
 func TestReadJournalToleratesBlankLines(t *testing.T) {
 	fs := writeJournalFile(t, t.TempDir(), validLine1+"\n\n"+validLine2+"\n")
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if err != nil {
 		t.Fatalf("ReadJournal: %v", err)
 	}
@@ -337,7 +337,7 @@ func TestJournalEntriesDurableWithoutClose(t *testing.T) {
 	if err := j.Append(ctx, JournalEntry{Iteration: 1}); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,10 +376,18 @@ func TestRotateCreatesNumberedSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"journal-0000000001.jsonl", "journal-0000000002.jsonl"}
-	if len(segs) != 2 || segs[0] != want[0] || segs[1] != want[1] {
+	if len(segs) != 2 || segs[0].Name != want[0] || segs[1].Name != want[1] {
 		t.Fatalf("Segments = %v, want %v", segs, want)
 	}
-	entries, err := fs.ReadJournal(ctx)
+	// Sealed-vs-live status: every segment but the newest was sealed by
+	// the rotation that created its successor.
+	if !segs[0].Sealed || segs[1].Sealed {
+		t.Errorf("Segments status = %+v, want [sealed, live]", segs)
+	}
+	if segs[0].Seq != 1 || segs[1].Seq != 2 {
+		t.Errorf("Segments seq = %+v, want 1, 2", segs)
+	}
+	entries, err := readJournal(fs)
 	if err != nil || len(entries) != 3 {
 		t.Fatalf("ReadJournal: %d entries, err=%v", len(entries), err)
 	}
@@ -406,17 +414,20 @@ func TestLegacyJournalReadAsOldestSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(segs) != 2 || segs[0] != "checkins.jsonl" || segs[1] != "journal-0000000001.jsonl" {
+	if len(segs) != 2 || segs[0].Name != "checkins.jsonl" || segs[1].Name != "journal-0000000001.jsonl" {
 		t.Fatalf("Segments = %v, want [checkins.jsonl journal-0000000001.jsonl]", segs)
 	}
-	entries, err := fs.ReadJournal(ctx)
+	if !segs[0].Sealed || segs[0].Seq != 0 || segs[1].Sealed {
+		t.Errorf("Segments status = %+v, want the sealed legacy journal (seq 0) + the live numbered segment", segs)
+	}
+	entries, err := readJournal(fs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 4 || entries[0].DeviceID != "d1" || entries[3].Iteration != 4 {
 		t.Fatalf("entries = %+v, want legacy pair + 2 appended", entries)
 	}
-	tail, err := fs.ReadJournalTail(ctx, 3)
+	tail, err := readJournalTail(fs, 3)
 	if err != nil || len(tail) != 1 || tail[0].Iteration != 4 {
 		t.Fatalf("tail after 3 = %+v err=%v, want just iteration 4", tail, err)
 	}
@@ -452,16 +463,16 @@ func TestTornLiveSegmentWithSealedHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if !errors.Is(err, ErrJournalTruncated) {
 		t.Fatalf("ReadJournal error = %v, want ErrJournalTruncated", err)
 	}
 	if len(entries) != 4 {
 		t.Fatalf("valid prefix = %d entries, want 4", len(entries))
 	}
-	tail, err := fs.ReadJournalTail(ctx, 2)
+	tail, err := readJournalTail(fs, 2)
 	if !errors.Is(err, ErrJournalTruncated) {
-		t.Fatalf("ReadJournalTail error = %v, want ErrJournalTruncated", err)
+		t.Fatalf("readJournalTail error = %v, want ErrJournalTruncated", err)
 	}
 	if len(tail) != 2 || tail[0].Iteration != 3 {
 		t.Fatalf("tail = %+v, want iterations 3..4", tail)
@@ -474,7 +485,7 @@ func TestTornLiveSegmentWithSealedHistory(t *testing.T) {
 	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if entries, err := fs.ReadJournal(ctx); err != nil || len(entries) != 4 {
+	if entries, err := readJournal(fs); err != nil || len(entries) != 4 {
 		t.Fatalf("after repair: %d entries err=%v, want 4/nil", len(entries), err)
 	}
 }
@@ -496,11 +507,179 @@ func TestTornSealedSegmentIsFatal(t *testing.T) {
 		[]byte(validLine2+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.ReadJournal(ctx); err == nil || errors.Is(err, ErrJournalTruncated) {
+	if _, err := readJournal(fs); err == nil || errors.Is(err, ErrJournalTruncated) {
 		t.Errorf("ReadJournal error = %v, want a hard sealed-segment error", err)
 	}
-	if _, err := fs.ReadJournalTail(ctx, 0); err == nil || errors.Is(err, ErrJournalTruncated) {
-		t.Errorf("ReadJournalTail error = %v, want a hard sealed-segment error", err)
+	if _, err := readJournalTail(fs, 0); err == nil || errors.Is(err, ErrJournalTruncated) {
+		t.Errorf("readJournalTail error = %v, want a hard sealed-segment error", err)
+	}
+}
+
+// ---- Retention (FileStore-specific; the conformance suite covers the
+// shared PruneSegments semantics on both backends) ----
+
+// TestLegacyJournalRetentionExempt: a pre-segmentation checkins.jsonl
+// is the LIVE segment until the first rotation seals it, so retention
+// must leave it alone no matter how high the checkpoint — and may prune
+// it the moment a rotation has sealed it.
+func TestLegacyJournalRetentionExempt(t *testing.T) {
+	fs := writeJournalFile(t, t.TempDir(), validLine1+"\n"+validLine2+"\n")
+	pruned, err := fs.PruneSegments(ctx, 1<<30, "")
+	if err != nil {
+		t.Fatalf("PruneSegments: %v", err)
+	}
+	if len(pruned) != 0 {
+		t.Fatalf("pruned %v; the unsealed legacy journal is retention-exempt", pruned)
+	}
+	// Seal it with one rotation; now it is an ordinary covered segment.
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err = fs.PruneSegments(ctx, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != "checkins.jsonl" {
+		t.Fatalf("pruned %v, want the sealed legacy journal", pruned)
+	}
+}
+
+// TestPruneInterruptedMidwayLeavesRecoverableStore: pruning runs
+// oldest-first, so a crash between two removals leaves exactly what a
+// smaller completed prune leaves — a contiguous journal suffix. The
+// simulated interruption removes only the oldest covered segment by
+// hand; everything must still read, restore and re-prune cleanly.
+func TestPruneInterruptedMidwayLeavesRecoverableStore(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fs.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 1, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 3, 2)
+	if err := j.Rotate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	appendIters(t, j, 5, 2) // the live tail
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" after the first removal of a PruneSegments(4, "") run.
+	if err := os.Remove(filepath.Join(fs.Dir(), "journal-0000000001.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	// The restore read (checkpoint at 4) is untouched by the gap...
+	tail, err := readJournalTail(fs, 4)
+	if err != nil || len(tail) != 2 || tail[0].Iteration != 5 {
+		t.Fatalf("tail after interrupted prune = %+v err=%v, want iterations 5..6", tail, err)
+	}
+	// ...the audit scan serves the surviving suffix...
+	entries, err := readJournal(fs)
+	if err != nil || len(entries) != 4 || entries[0].Iteration != 3 {
+		t.Fatalf("audit after interrupted prune = %d entries err=%v, want 4 starting at 3", len(entries), err)
+	}
+	// ...and re-running the prune finishes the job.
+	pruned, err := fs.PruneSegments(ctx, 4, "")
+	if err != nil || len(pruned) != 1 || pruned[0] != "journal-0000000002.jsonl" {
+		t.Fatalf("re-run pruned %v err=%v, want the second segment", pruned, err)
+	}
+}
+
+// TestArchiveCollision: an existing same-named file in the archive
+// directory is never overwritten — identical contents (the duplicate an
+// interrupted earlier archive leaves) resolve by dropping the source,
+// different contents (two tasks sharing an archive dir, a restored
+// backup re-issuing sequence numbers) are refused.
+func TestArchiveCollision(t *testing.T) {
+	mkStore := func(t *testing.T) *FileStore {
+		fs, err := NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := fs.OpenJournal(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendIters(t, j, 1, 2)
+		if err := j.Rotate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	t.Run("duplicate resolves", func(t *testing.T) {
+		fs := mkStore(t)
+		archive := t.TempDir()
+		src, err := os.ReadFile(filepath.Join(fs.Dir(), "journal-0000000001.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The leftover of an interrupted earlier archive: dst already
+		// holds the identical bytes.
+		if err := os.WriteFile(filepath.Join(archive, "journal-0000000001.jsonl"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := fs.PruneSegments(ctx, 2, archive)
+		if err != nil || len(pruned) != 1 {
+			t.Fatalf("PruneSegments over a crash-duplicate = %v, %v; want it resolved", pruned, err)
+		}
+		if _, err := os.Stat(filepath.Join(fs.Dir(), "journal-0000000001.jsonl")); !errors.Is(err, os.ErrNotExist) {
+			t.Error("source segment should be gone after the duplicate resolved")
+		}
+	})
+	t.Run("conflict refused", func(t *testing.T) {
+		fs := mkStore(t)
+		archive := t.TempDir()
+		if err := os.WriteFile(filepath.Join(archive, "journal-0000000001.jsonl"),
+			[]byte(validLine2+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if pruned, err := fs.PruneSegments(ctx, 2, archive); err == nil || len(pruned) != 0 {
+			t.Fatalf("PruneSegments over a foreign archive file = %v, %v; want a refusal", pruned, err)
+		}
+		// The foreign file is untouched.
+		got, err := os.ReadFile(filepath.Join(archive, "journal-0000000001.jsonl"))
+		if err != nil || string(got) != validLine2+"\n" {
+			t.Errorf("archive file was disturbed: %q err=%v", got, err)
+		}
+	})
+}
+
+// TestPruneRefusesCorruptSealedSegment: retention decides coverage from
+// a sealed segment's final record; if that record does not decode the
+// segment is damaged (sealing fsyncs the file) and pruning must stop
+// with an error instead of guessing.
+func TestPruneRefusesCorruptSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal-0000000001.jsonl"),
+		[]byte(validLine1+"\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "journal-0000000002.jsonl"),
+		[]byte(validLine2+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if pruned, err := fs.PruneSegments(ctx, 1<<30, ""); err == nil || len(pruned) != 0 {
+		t.Errorf("PruneSegments on a corrupt sealed segment = %v, %v; want an error and no removals", pruned, err)
 	}
 }
 
@@ -557,7 +736,7 @@ func TestReadJournalHugeLines(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := fs.ReadJournal(ctx)
+	entries, err := readJournal(fs)
 	if err != nil {
 		t.Fatalf("ReadJournal: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
@@ -16,7 +17,9 @@ import (
 //
 // The GOMAXPROCS suffix stays part of the name: a -cpu change is a
 // different experiment and must not be compared against the old one.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+// The B/op column (printed under -benchmem) is captured when present,
+// so allocation regressions can be gated too.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op)?`)
 
 // Result aggregates the -count repetitions of one benchmark.
 type Result struct {
@@ -30,6 +33,14 @@ type Result struct {
 	// small -benchtime — while a real regression shifts the whole
 	// distribution, minimum included.
 	Min float64 `json:"min"`
+	// BPerOp holds the repetitions' B/op readings (empty when the run
+	// was not made with -benchmem); MedianB/MinB aggregate them like
+	// Median/Min. Allocation counts are far less noisy than wall time,
+	// but the minimum stays the gate statistic for symmetry (GC timing
+	// can perturb amortized figures like pooled-buffer reuse).
+	BPerOp  []float64 `json:"bPerOp,omitempty"`
+	MedianB float64   `json:"medianB,omitempty"`
+	MinB    float64   `json:"minB,omitempty"`
 }
 
 // Suite is the JSON artifact written by -json and consumed as -baseline.
@@ -58,6 +69,13 @@ func ParseBench(r io.Reader) (*Suite, error) {
 			s.Benchmarks[m[1]] = res
 		}
 		res.NsPerOp = append(res.NsPerOp, ns)
+		if m[4] != "" {
+			bop, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad B/op %q: %w", m[4], err)
+			}
+			res.BPerOp = append(res.BPerOp, bop)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("benchgate: scan: %w", err)
@@ -67,14 +85,23 @@ func ParseBench(r io.Reader) (*Suite, error) {
 	}
 	for _, res := range s.Benchmarks {
 		res.Median = median(res.NsPerOp)
-		res.Min = res.NsPerOp[0]
-		for _, v := range res.NsPerOp[1:] {
-			if v < res.Min {
-				res.Min = v
-			}
+		res.Min = minOf(res.NsPerOp)
+		if len(res.BPerOp) > 0 {
+			res.MedianB = median(res.BPerOp)
+			res.MinB = minOf(res.BPerOp)
 		}
 	}
 	return s, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
 }
 
 func median(xs []float64) float64 {
@@ -87,39 +114,65 @@ func median(xs []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
-// Delta is one benchmark's baseline-vs-current comparison.
+// Delta is one benchmark's baseline-vs-current comparison of a single
+// statistic (ns/op, or B/op when byte gating is on).
 type Delta struct {
 	Name      string
-	Base      float64 // baseline min ns/op
-	Current   float64 // current min ns/op
-	Ratio     float64 // Current/Base − 1 (positive = slower)
+	Unit      string  // "ns/op" or "B/op"
+	Base      float64 // baseline minimum
+	Current   float64 // current minimum
+	Ratio     float64 // Current/Base − 1 (positive = worse)
 	Regressed bool
 }
 
 // Compare evaluates current against baseline with the given regression
-// threshold (0.20 = fail when >20% slower). Benchmarks only present on
-// one side are reported in missing/added and never fail the gate: CI may
-// legitimately run a subset, and new benchmarks have no baseline yet.
-func Compare(baseline, current *Suite, threshold float64) (deltas []Delta, missing, added []string) {
+// threshold (0.20 = fail when >20% slower). bopThreshold > 0 adds a
+// second gate on B/op for benchmarks where BOTH sides carry allocation
+// data (runs made with -benchmem) — the streaming-read benchmarks rely
+// on it so a bounded-memory win cannot silently regress; 0 keeps byte
+// deltas out entirely, matching the pre-benchmem behavior. Benchmarks
+// only present on one side are reported in missing/added and never fail
+// the gate: CI may legitimately run a subset, and new benchmarks have
+// no baseline yet.
+func Compare(baseline, current *Suite, threshold, bopThreshold float64) (deltas []Delta, missing, added []string) {
 	for name, base := range baseline.Benchmarks {
 		cur, ok := current.Benchmarks[name]
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
-		d := Delta{Name: name, Base: gateStat(base), Current: gateStat(cur)}
+		d := Delta{Name: name, Unit: "ns/op", Base: gateStat(base), Current: gateStat(cur)}
 		if d.Base > 0 {
 			d.Ratio = d.Current/d.Base - 1
 		}
 		d.Regressed = d.Ratio > threshold
 		deltas = append(deltas, d)
+		if bopThreshold > 0 && len(base.BPerOp) > 0 && len(cur.BPerOp) > 0 {
+			b := Delta{Name: name, Unit: "B/op", Base: base.MinB, Current: cur.MinB}
+			switch {
+			case b.Base > 0:
+				b.Ratio = b.Current/b.Base - 1
+				b.Regressed = b.Ratio > bopThreshold
+			case b.Current > 0:
+				// From zero allocations to some is always a regression;
+				// +Inf keeps the rendered delta column honest about it.
+				b.Ratio = math.Inf(1)
+				b.Regressed = true
+			}
+			deltas = append(deltas, b)
+		}
 	}
 	for name := range current.Benchmarks {
 		if _, ok := baseline.Benchmarks[name]; !ok {
 			added = append(added, name)
 		}
 	}
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Name != deltas[j].Name {
+			return deltas[i].Name < deltas[j].Name
+		}
+		return deltas[i].Unit < deltas[j].Unit
+	})
 	sort.Strings(missing)
 	sort.Strings(added)
 	return deltas, missing, added
@@ -127,14 +180,14 @@ func Compare(baseline, current *Suite, threshold float64) (deltas []Delta, missi
 
 // Render writes a benchstat-style comparison table.
 func Render(w io.Writer, deltas []Delta, missing, added []string, threshold float64) {
-	fmt.Fprintf(w, "%-50s %14s %14s %9s\n", "benchmark", "base ns/op", "current ns/op", "delta")
+	fmt.Fprintf(w, "%-50s %6s %14s %14s %9s\n", "benchmark", "unit", "base", "current", "delta")
 	for _, d := range deltas {
 		mark := ""
 		if d.Regressed {
 			mark = "  << REGRESSION"
 		}
-		fmt.Fprintf(w, "%-50s %14.1f %14.1f %+8.1f%%%s\n",
-			d.Name, d.Base, d.Current, d.Ratio*100, mark)
+		fmt.Fprintf(w, "%-50s %6s %14.1f %14.1f %+8.1f%%%s\n",
+			d.Name, d.Unit, d.Base, d.Current, d.Ratio*100, mark)
 	}
 	for _, name := range missing {
 		fmt.Fprintf(w, "%-50s (in baseline, not measured this run)\n", name)

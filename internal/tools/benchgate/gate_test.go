@@ -69,7 +69,7 @@ func TestGateFailsOnSyntheticRegression(t *testing.T) {
 	slow := strings.ReplaceAll(sampleOutput, "649.4", "811.8")
 	slow = strings.ReplaceAll(slow, "655.1", "818.9")
 	slow = strings.ReplaceAll(slow, "700.9", "876.1")
-	deltas, missing, added := Compare(base, parse(t, slow), 0.20)
+	deltas, missing, added := Compare(base, parse(t, slow), 0.20, 0)
 	if len(missing) != 0 || len(added) != 0 {
 		t.Fatalf("missing=%v added=%v, want none", missing, added)
 	}
@@ -82,13 +82,13 @@ func TestGateFailsOnSyntheticRegression(t *testing.T) {
 	mild := strings.ReplaceAll(sampleOutput, "649.4", "714.3")
 	mild = strings.ReplaceAll(mild, "655.1", "720.6")
 	mild = strings.ReplaceAll(mild, "700.9", "771.0")
-	deltas, _, _ = Compare(base, parse(t, mild), 0.20)
+	deltas, _, _ = Compare(base, parse(t, mild), 0.20, 0)
 	if regs := Regressions(deltas); len(regs) != 0 {
 		t.Fatalf("regressions = %+v, want none at +10%%", regs)
 	}
 
 	// Identical runs: zero delta.
-	deltas, _, _ = Compare(base, parse(t, sampleOutput), 0.20)
+	deltas, _, _ = Compare(base, parse(t, sampleOutput), 0.20, 0)
 	for _, d := range deltas {
 		if d.Ratio != 0 || d.Regressed {
 			t.Errorf("%s: ratio = %v regressed = %v, want 0/false", d.Name, d.Ratio, d.Regressed)
@@ -103,7 +103,7 @@ func TestCompareDisjointSuites(t *testing.T) {
 	onlyCheckout := `BenchmarkCheckoutParallel-8   	 1348351	       918.4 ns/op
 BenchmarkBrandNew-8           	  100000	      1000.0 ns/op
 `
-	deltas, missing, added := Compare(base, parse(t, onlyCheckout), 0.20)
+	deltas, missing, added := Compare(base, parse(t, onlyCheckout), 0.20, 0)
 	if len(deltas) != 1 || deltas[0].Name != "BenchmarkCheckoutParallel-8" {
 		t.Fatalf("deltas = %+v", deltas)
 	}
@@ -115,5 +115,63 @@ BenchmarkBrandNew-8           	  100000	      1000.0 ns/op
 	}
 	if regs := Regressions(deltas); len(regs) != 0 {
 		t.Fatalf("disjoint suites must not regress, got %+v", regs)
+	}
+}
+
+// benchmemOutput has -benchmem columns on every repetition, so the B/op
+// gate has data on both sides.
+const benchmemOutput = `BenchmarkJournalTailRestore/checkpoints=8-2   	    1000	    104000 ns/op	  145000 B/op	     193 allocs/op
+BenchmarkJournalTailRestore/checkpoints=8-2   	    1000	    101000 ns/op	  144000 B/op	     193 allocs/op
+BenchmarkJournalTailRestore/checkpoints=8-2   	    1000	    110000 ns/op	  146000 B/op	     195 allocs/op
+`
+
+func TestParseBenchCapturesBPerOp(t *testing.T) {
+	s := parse(t, benchmemOutput)
+	r := s.Benchmarks["BenchmarkJournalTailRestore/checkpoints=8-2"]
+	if r == nil {
+		t.Fatal("benchmark missing")
+	}
+	if len(r.BPerOp) != 3 || r.MinB != 144000 || r.MedianB != 145000 {
+		t.Errorf("BPerOp = %v minB = %v medianB = %v, want 3 readings min 144000 median 145000",
+			r.BPerOp, r.MinB, r.MedianB)
+	}
+	// The sample output's partial B/op coverage (only one line carries
+	// it) still parses, aggregating what is there.
+	partial := parse(t, sampleOutput)
+	if co := partial.Benchmarks["BenchmarkCheckoutParallel-8"]; len(co.BPerOp) != 1 || co.MinB != 4144 {
+		t.Errorf("partial B/op = %v minB = %v, want the one 4144 reading", co.BPerOp, co.MinB)
+	}
+}
+
+// TestGateOnBytes: with -bop-threshold set, an allocation regression
+// fails the gate even when ns/op is flat — and without it, bytes are
+// ignored entirely.
+func TestGateOnBytes(t *testing.T) {
+	base := parse(t, benchmemOutput)
+	bloated := strings.ReplaceAll(benchmemOutput, "145000 B/op", "300000 B/op")
+	bloated = strings.ReplaceAll(bloated, "144000 B/op", "299000 B/op")
+	bloated = strings.ReplaceAll(bloated, "146000 B/op", "301000 B/op")
+
+	deltas, _, _ := Compare(base, parse(t, bloated), 0.20, 0.20)
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Unit != "B/op" {
+		t.Fatalf("regressions = %+v, want exactly the B/op delta", regs)
+	}
+	// Same comparison with byte gating off: nothing regresses.
+	deltas, _, _ = Compare(base, parse(t, bloated), 0.20, 0)
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Fatalf("regressions with bytes gating off = %+v, want none", regs)
+	}
+	// A baseline without B/op data (old format) never produces byte
+	// deltas even when the gate is on.
+	noBytes := strings.NewReplacer(
+		"\t  145000 B/op\t     193 allocs/op", "",
+		"\t  144000 B/op\t     193 allocs/op", "",
+		"\t  146000 B/op\t     195 allocs/op", "").Replace(benchmemOutput)
+	deltas, _, _ = Compare(parse(t, noBytes), parse(t, bloated), 0.20, 0.20)
+	for _, d := range deltas {
+		if d.Unit == "B/op" {
+			t.Errorf("byte delta produced without baseline data: %+v", d)
+		}
 	}
 }

@@ -4,6 +4,10 @@
 // failing (exit 1) on any regression beyond the threshold. The minimum
 // is the gate statistic because scheduler interference on shared runners
 // only ever inflates a run, while a real regression shifts every run.
+// With -bop-threshold and -benchmem output on both sides, each
+// benchmark's best B/op is gated the same way — the guard that keeps
+// the streaming journal reads' bounded allocations from silently
+// regressing back to materialized slices.
 //
 // Typical CI usage:
 //
@@ -41,6 +45,7 @@ func run() error {
 		jsonOut   = flag.String("json", "", "also write the parsed current results to this JSON file")
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or to write with -update)")
 		threshold = flag.Float64("threshold", 0.20, "fail when a benchmark's best ns/op regresses by more than this fraction")
+		bop       = flag.Float64("bop-threshold", 0, "also fail when a benchmark's best B/op regresses by more than this fraction (0 disables; needs -benchmem runs on both sides)")
 		update    = flag.Bool("update", false, "write the parsed results to -baseline instead of comparing")
 	)
 	flag.Parse()
@@ -80,10 +85,10 @@ func run() error {
 	if err := json.Unmarshal(payload, &base); err != nil {
 		return fmt.Errorf("benchgate: parse baseline %s: %w", *baseline, err)
 	}
-	deltas, missing, added := Compare(&base, current, *threshold)
+	deltas, missing, added := Compare(&base, current, *threshold, *bop)
 	Render(os.Stdout, deltas, missing, added, *threshold)
 	if regs := Regressions(deltas); len(regs) > 0 {
-		return fmt.Errorf("benchgate: %d benchmark(s) regressed beyond %.0f%%", len(regs), *threshold*100)
+		return fmt.Errorf("benchgate: %d benchmark statistic(s) regressed beyond the threshold", len(regs))
 	}
 	fmt.Println("benchgate: no regressions")
 	return nil

@@ -8,6 +8,8 @@ package crowdml_test
 
 import (
 	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -270,7 +272,7 @@ func tearLiveSegment(t *testing.T, storeDir string) {
 	if len(segs) == 0 {
 		t.Fatal("no journal segments to tear")
 	}
-	f, err := os.OpenFile(filepath.Join(storeDir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(storeDir, segs[len(segs)-1].Name), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,25 +303,62 @@ func TestOpenHubEmptyRoot(t *testing.T) {
 	}
 }
 
-// countingStore wraps a Store and counts the journal records its
-// ReadJournalTail calls hand back — the restore path's actual read
-// volume, which segmentation must bound by rotation cadence.
+// countingStore wraps a Store and counts the journal records streamed
+// through the cursors it opens — the restore path's actual read volume,
+// which segmentation must bound by rotation cadence.
 type countingStore struct {
 	crowdml.Store
 	tailRecords int
 }
 
-func (c *countingStore) ReadJournalTail(ctx context.Context, afterIteration int) ([]crowdml.JournalEntry, error) {
-	entries, err := c.Store.ReadJournalTail(ctx, afterIteration)
-	c.tailRecords += len(entries)
-	return entries, err
+func (c *countingStore) OpenCursor(ctx context.Context, afterIteration int) (crowdml.JournalCursor, error) {
+	cur, err := c.Store.OpenCursor(ctx, afterIteration)
+	if err != nil {
+		return nil, err
+	}
+	return &countingCursor{JournalCursor: cur, n: &c.tailRecords}, nil
+}
+
+type countingCursor struct {
+	crowdml.JournalCursor
+	n *int
+}
+
+func (c *countingCursor) Next() (crowdml.JournalEntry, error) {
+	e, err := c.JournalCursor.Next()
+	if err == nil {
+		*c.n++
+	}
+	return e, err
+}
+
+// drainJournal streams a store's full journal into a slice — the
+// test-only wrapper over the cursor audit scan.
+func drainJournal(t *testing.T, st crowdml.Store) []crowdml.JournalEntry {
+	t.Helper()
+	cur, err := st.OpenCursor(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("audit read: %v", err)
+	}
+	defer cur.Close()
+	var out []crowdml.JournalEntry
+	for {
+		e, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("audit read: %v", err)
+		}
+		out = append(out, e)
+	}
 }
 
 // TestRestartReplaysOnlyLiveSegmentTail is the segmentation acceptance
 // test on both backends: after N checkpoints (each of which rotates the
 // journal), a restart must read back only the live segment's few
-// records — not the whole history — while ReadJournal still serves
-// every sealed segment as the audit trail.
+// records — not the whole history — while a full cursor scan still
+// serves every sealed segment as the audit trail.
 func TestRestartReplaysOnlyLiveSegmentTail(t *testing.T) {
 	const (
 		waves    = 4 // checkpoints (and rotations) before the crash
@@ -440,10 +479,7 @@ func TestRestartReplaysOnlyLiveSegmentTail(t *testing.T) {
 					counting.tailRecords, tailLen)
 			}
 			// Sealed segments remain the complete audit trail.
-			audit, err := counting.ReadJournal(ctx)
-			if err != nil {
-				t.Fatalf("audit read: %v", err)
-			}
+			audit := drainJournal(t, counting)
 			if len(audit) != totalN {
 				t.Fatalf("audit trail has %d entries, want %d", len(audit), totalN)
 			}
