@@ -16,9 +16,11 @@
 package crowdml_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"testing"
 
 	crowdml "github.com/crowdml/crowdml"
@@ -32,6 +34,7 @@ import (
 	"github.com/crowdml/crowdml/internal/rng"
 	"github.com/crowdml/crowdml/internal/sim"
 	"github.com/crowdml/crowdml/internal/simnet"
+	"github.com/crowdml/crowdml/internal/store"
 )
 
 // benchCfg is the reduced scale used by the figure benches.
@@ -415,6 +418,82 @@ func BenchmarkJournalTailRestore(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFollowerReplay measures the follower's apply path: decoding
+// one entry of a shipped journal feed (the JSONL wire format the leader
+// streams) and replaying it into the local replica as its own Replay
+// call — exactly what internal/replica does per entry while tailing, so
+// ns/op bounds how fast a follower drains a backlog and B/op keeps the
+// per-entry decode from growing a hidden buffer (benchgate gates it in
+// CI). The feed is pre-encoded with 512 entries; re-bootstrapping a
+// fresh replica at each feed end happens off-timer.
+func BenchmarkFollowerReplay(b *testing.B) {
+	const entries = 512
+	grad := make([]float64, mnistClasses*mnistDim)
+	for i := range grad {
+		grad[i] = 0.001 * float64(i%17)
+	}
+	var feed bytes.Buffer
+	fw := store.NewFeedWriter(&feed)
+	for i := 1; i <= entries; i++ {
+		err := fw.WriteEntry(store.JournalEntry{
+			DeviceID: "d1", Iteration: i, NumSamples: 20,
+			Grad: grad, LabelCounts: []int{5, 5, 5, 5, 0, 0, 0, 0, 0, 0},
+			Version: i - 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fw.WriteEOS(entries); err != nil {
+		b.Fatal(err)
+	}
+	wire := feed.Bytes()
+	newReplica := func() *core.Server {
+		srv, err := core.NewServer(core.ServerConfig{
+			Model:   model.NewLogisticRegression(mnistClasses, mnistDim),
+			Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	srv := newReplica()
+	fr := store.NewFeedReader(bytes.NewReader(wire))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := fr.Next()
+		if err == io.EOF {
+			b.StopTimer()
+			if srv.Iteration() != entries || fr.LeaderIteration() != entries {
+				b.Fatalf("replayed to %d (leader %d), want %d", srv.Iteration(), fr.LeaderIteration(), entries)
+			}
+			srv = newReplica()
+			fr = store.NewFeedReader(bytes.NewReader(wire))
+			b.StartTimer()
+			e, err = fr.Next()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = srv.Replay(core.ReplaySlice([]core.ReplayRecord{{
+			DeviceID:  e.DeviceID,
+			Iteration: e.Iteration,
+			Req: &core.CheckinRequest{
+				Grad:        e.Grad,
+				NumSamples:  e.NumSamples,
+				ErrCount:    e.ErrCount,
+				LabelCounts: e.LabelCounts,
+				Version:     e.Version,
+			},
+		}}))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

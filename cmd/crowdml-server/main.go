@@ -8,6 +8,11 @@
 //     protocol of Algorithm 2, per task;
 //   - /v1/tasks/{id}/stats — differentially private progress statistics;
 //   - /v1/tasks/{id}/register — device enrollment, guarded by -enroll-key;
+//   - /v1/tasks/{id}/journal, /v1/tasks/{id}/checkpoint — the WAL-
+//     shipping replication feed (and remote-audit endpoint) of a durable
+//     task: the streamed journal plus the latest bootstrap checkpoint;
+//   - /v1/healthz — per-task readiness, including follower replication
+//     state and lag;
 //   - /v1/checkout, /v1/checkin, /v1/stats, /v1/register — legacy
 //     single-task aliases bound to the default task;
 //   - /portal/ — the public multi-task Web portal with live DP statistics.
@@ -37,10 +42,21 @@
 // WithCheckpointPolicy, WithSyncPolicy, WithRetention) on the way in,
 // Hub.Close on the way out.
 //
-// Example: a 3-class activity-recognition task over 64-bin FFT features:
+// With -follow <leader-url> (or a per-task "follow" field in the -tasks
+// file), the process instead runs its tasks as read-only follower
+// replicas: each bootstraps from the leader's latest checkpoint, tails
+// the leader's journal feed (re-bootstrapping if leader retention pruned
+// past its position), serves checkouts and stats locally — vouching
+// unknown device credentials against the leader once, then caching them
+// — and rejects writes with 409 plus an X-Crowdml-Leader hint.
+//
+// Example: a 3-class activity-recognition task over 64-bin FFT features,
+// plus a read replica on another host:
 //
 //	crowdml-server -addr :8080 -classes 3 -dim 64 -rate 10 \
 //	    -enroll-key join -state-dir /var/lib/crowdml
+//	crowdml-server -addr :8081 -classes 3 -dim 64 \
+//	    -follow http://leader.example:8080
 package main
 
 import (
@@ -109,6 +125,14 @@ type taskSpec struct {
 	// ArchiveDir overrides where "archive" retention moves this task's
 	// covered segments.
 	ArchiveDir string `json:"archiveDir"`
+	// Follow turns this task into a read-only follower replica of the
+	// same task ID on the leader at this base URL: it bootstraps from the
+	// leader's checkpoint, tails the leader's journal feed, serves
+	// checkouts and stats locally, and rejects writes with a leader hint.
+	// The -follow flag supplies a process-wide default. Follower tasks
+	// are never durable locally (a dead follower re-bootstraps from its
+	// leader), so -state-dir is ignored for them.
+	Follow string `json:"follow"`
 	// checkinFlush carries the -checkin-flush flag at full resolution for
 	// the single-task path (unexported: the JSON path uses the
 	// millisecond field above).
@@ -179,6 +203,9 @@ func run() error {
 		checkinBatch = flag.Int("checkin-batch", 0, "max checkins applied per lock acquisition (0 = server default)")
 		checkinQueue = flag.Int("checkin-queue", 0, "bounded pending-checkin queue depth (0 = server default)")
 		checkinFlush = flag.Duration("checkin-flush", 0, "how long a batch leader lingers to fill a partial batch (0 = apply immediately)")
+
+		follow     = flag.String("follow", "", "run as a follower replica of the leader at this base URL (per-task override: the tasks file's \"follow\" field)")
+		followPoll = flag.Duration("follow-poll", 250*time.Millisecond, "how often a caught-up follower re-polls the leader's journal feed")
 	)
 	flag.Parse()
 
@@ -213,10 +240,26 @@ func run() error {
 	}
 
 	h := crowdml.NewHub()
+	var replicators []*crowdml.Replicator
+	// Follower shutdown: stop every replication loop before durability is
+	// flushed, whatever path run() exits through.
+	defer func() {
+		for _, r := range replicators {
+			r.Stop()
+		}
+	}()
 	for _, spec := range specs {
-		if err := createTask(ctx, h, spec, *stateDir, *saveEvery); err != nil {
+		if spec.Follow == "" {
+			spec.Follow = *follow
+		}
+		r, err := createTask(ctx, h, spec, *stateDir, *saveEvery, *followPoll)
+		if err != nil {
 			flushHub(h)
 			return err
+		}
+		if r != nil {
+			r.Start(ctx)
+			replicators = append(replicators, r)
 		}
 	}
 	// Durability shutdown: flush a final checkpoint and close the journal
@@ -295,19 +338,21 @@ func flushHub(h *crowdml.Hub) {
 
 // createTask builds one task from its spec and registers it on the hub;
 // with a state directory the task is durable (write-ahead journal +
-// asynchronous checkpoints) and resumes any persisted state.
-func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery time.Duration) error {
+// asynchronous checkpoints) and resumes any persisted state. A spec with
+// a Follow URL instead becomes a read-only follower replica; the
+// returned Replicator (nil for leader tasks) is ready to Start.
+func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery, followPoll time.Duration) (*crowdml.Replicator, error) {
 	// Validate the ID before it is used as an on-disk directory name —
 	// hub.CreateTask would reject it too, but only after the state dir
 	// had been created at a possibly escaped path.
 	if !crowdml.ValidTaskID(spec.ID) {
-		return fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
+		return nil, fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
 	}
 	if spec.Rate == 0 {
 		spec.Rate = 10
 	}
 	if spec.Classes < 2 || spec.Dim < 1 {
-		return fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
+		return nil, fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
 			spec.ID, spec.Classes, spec.Dim)
 	}
 	var m crowdml.Model
@@ -317,7 +362,7 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	case "svm":
 		m = crowdml.NewLinearSVM(spec.Classes, spec.Dim)
 	default:
-		return fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
+		return nil, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
 	}
 	cfg := crowdml.ServerConfig{
 		Model:                m,
@@ -357,11 +402,39 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	if spec.Default {
 		opts = append(opts, crowdml.AsDefaultTask())
 	}
+	if spec.Follow != "" {
+		// Follower replica: no local store (re-bootstrap covers a dead
+		// follower), leader-vouched auth for devices checking out here,
+		// and a replication runtime tailing the leader's journal feed.
+		if stateDir != "" {
+			log.Printf("task %s: follower of %s; -state-dir ignored", spec.ID, spec.Follow)
+		}
+		feed := crowdml.NewHTTPClient(spec.Follow, nil).
+			WithTask(spec.ID).
+			WithRetry(crowdml.RetryPolicy{})
+		cfg.AuthFallback = feed.AuthProbe
+		opts = append(opts, crowdml.AsReplicaOf(spec.Follow))
+		task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		r, err := crowdml.NewReplicator(crowdml.ReplicaConfig{
+			Task:         task,
+			Feed:         feed,
+			PollInterval: followPoll,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("task %s: following %s", spec.ID, spec.Follow)
+		return r, nil
+	}
 	var fs *crowdml.FileStore
 	if stateDir != "" {
 		sync, err := parseSyncPolicy(spec.SyncPolicy)
 		if err != nil {
-			return fmt.Errorf("task %s: %w", spec.ID, err)
+			return nil, fmt.Errorf("task %s: %w", spec.ID, err)
 		}
 		// The default archive destination lives INSIDE the task's store
 		// directory (Segments skips subdirectories), so archived history
@@ -373,11 +446,11 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 		}
 		ret, err := parseRetention(spec.Retention, adir)
 		if err != nil {
-			return fmt.Errorf("task %s: %w", spec.ID, err)
+			return nil, fmt.Errorf("task %s: %w", spec.ID, err)
 		}
 		fs, err = crowdml.NewFileStore(filepath.Join(stateDir, spec.ID))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		opts = append(opts,
 			crowdml.WithStore(fs),
@@ -390,7 +463,7 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	}
 	task, err := h.CreateTask(ctx, spec.ID, cfg, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if fs != nil {
 		// Iteration alone can't tell "fresh" from "restored at iteration
@@ -404,5 +477,5 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 			log.Printf("task %s: no persisted state; starting fresh", spec.ID)
 		}
 	}
-	return nil
+	return nil, nil
 }

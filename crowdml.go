@@ -11,6 +11,7 @@ import (
 	"github.com/crowdml/crowdml/internal/optimizer"
 	"github.com/crowdml/crowdml/internal/portal"
 	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/replica"
 	"github.com/crowdml/crowdml/internal/store"
 	"github.com/crowdml/crowdml/internal/transport"
 )
@@ -447,3 +448,65 @@ func ArchiveCovered(dir string) RetentionPolicy { return hub.ArchiveCovered(dir)
 // requires a store implementing store.SegmentRetainer — both shipped
 // stores do). The zero policy is KeepAll.
 func WithRetention(p RetentionPolicy) TaskOption { return hub.WithRetention(p) }
+
+// AsReplicaOf marks a task created on this hub as a read-only follower
+// replica of the same task ID on the leader at leaderURL: its state is
+// maintained solely by a Replicator tailing the leader's journal feed,
+// reads (checkout, stats) are served locally, and the HTTP layer rejects
+// writes with 409 plus an X-Crowdml-Leader hint. Incompatible with
+// WithStore — a follower that dies re-bootstraps from the leader.
+func AsReplicaOf(leaderURL string) TaskOption { return hub.AsReplicaOf(leaderURL) }
+
+// ReplicaStatus is a follower task's replication telemetry (state,
+// leader URL, leader iteration, last error), surfaced per task on the
+// GET /v1/healthz endpoint and via Task.ReplicaStatus.
+type ReplicaStatus = hub.ReplicaStatus
+
+// Replica states reported in ReplicaStatus.State.
+const (
+	ReplicaBootstrapping = hub.ReplicaBootstrapping
+	ReplicaTailing       = hub.ReplicaTailing
+	ReplicaRetrying      = hub.ReplicaRetrying
+	ReplicaStopped       = hub.ReplicaStopped
+)
+
+// Replicator drives one follower task: it bootstraps from the leader's
+// latest checkpoint, tails the leader's journal feed, and applies each
+// shipped entry through the same deterministic replay path crash
+// recovery uses, keeping the replica bit-exact while it serves the read
+// path. Build with NewReplicator, run with Start/Stop (or Run for
+// callers managing their own goroutines).
+type Replicator = replica.Replicator
+
+// ReplicaConfig configures a Replicator: the local follower task
+// (created with AsReplicaOf), a task-bound HTTPClient aimed at the
+// leader, and optional poll/backoff tuning.
+type ReplicaConfig = replica.Config
+
+// NewReplicator validates the configuration and binds the replicator to
+// the follower task's health probe.
+func NewReplicator(cfg ReplicaConfig) (*Replicator, error) { return replica.New(cfg) }
+
+// RetryPolicy configures transparent capped-exponential-backoff retries
+// (with full jitter) for an HTTPClient's idempotent GET requests —
+// checkout, stats, task listing, checkpoint fetch, journal feed open.
+// Derive a retrying client with HTTPClient.WithRetry; non-idempotent
+// requests (checkin, register) are never retried.
+type RetryPolicy = transport.RetryPolicy
+
+// StatsResponse is the body of the GET stats endpoints — the
+// differentially private progress view (HTTPClient.Stats).
+type StatsResponse = transport.StatsResponse
+
+// HealthResponse is the body of GET /v1/healthz: overall status plus one
+// row per hosted task, including follower replication state and lag
+// (HTTPClient.Healthz).
+type HealthResponse = transport.HealthResponse
+
+// HealthTask is one task's row in a HealthResponse.
+type HealthTask = transport.HealthTask
+
+// ErrReadOnlyReplica is the sentinel behind the 409 a follower answers
+// writes with (the client maps that status back to ErrStopped; handlers
+// embedding the transport see this sentinel).
+var ErrReadOnlyReplica = transport.ErrReadOnlyReplica

@@ -136,6 +136,24 @@
 // contiguity), and Hub.Close reports the failure; its final checkpoint,
 // if it succeeds, still captures the full in-memory state.
 //
+// # Replication
+//
+// The write-ahead journal doubles as a replication feed: the HTTP
+// handler streams any stored task's journal as chunked JSONL
+// (GET /v1/tasks/{id}/journal?after=N, read through a cursor so the
+// leader holds one entry in memory per open feed) plus its latest
+// checkpoint, and a follower process — a task created with AsReplicaOf
+// plus a Replicator driving it — bootstraps from the checkpoint and
+// tails the feed, applying each entry through the same deterministic
+// Server.Replay crash recovery uses. Followers serve the read path
+// (checkout, stats) bit-exactly at the replicated iteration, reject
+// writes with ErrReadOnlyReplica (HTTP 409 + an X-Crowdml-Leader
+// hint), vouch unknown device credentials against the leader via
+// ServerConfig.AuthFallback (credentials never ride in the WAL), and
+// recover from falling behind leader retention by re-bootstrapping.
+// GET /v1/healthz reports each task's replica state and lag. See
+// docs/REPLICATION.md.
+//
 // # Architecture
 //
 //	Hub     — named-task registry (sharded); CreateTask/Task/CloseTask,
@@ -155,10 +173,15 @@
 //	Models  — multiclass logistic regression (Table I), linear SVM,
 //	          ridge regression — anything with a bounded-sensitivity
 //	          (sub)gradient fits the framework.
+//	Replica — the follower runtime: Replicator bootstraps a read-only
+//	          task from the leader's checkpoint and tails its journal
+//	          feed with jittered-backoff reconnects and gap-driven
+//	          re-bootstrap.
 //	HTTP    — task-scoped routes /v1/tasks/{id}/checkout|checkin|stats|
-//	          register plus a /v1/tasks listing; the legacy /v1/* paths
-//	          alias the hub's default task. NewPortalIndex serves the
-//	          human-facing multi-task portal.
+//	          register|journal|checkpoint plus a /v1/tasks listing and
+//	          /v1/healthz; the legacy /v1/* paths alias the hub's
+//	          default task. NewPortalIndex serves the human-facing
+//	          multi-task portal.
 //
 // # Quick start
 //

@@ -14,6 +14,17 @@ import (
 // silently diverge from the pre-crash server.
 var ErrReplayGap = errors.New("core: replay records skip an iteration")
 
+// replayPublishEvery is how many applied records a long Replay lets
+// accumulate before republishing the checkout snapshot mid-stream.
+// Replay holds the parameter lock for its whole run, which starves the
+// lazy TryLock publication path concurrent readers normally rely on — a
+// follower replica applying a long bootstrap tail while already serving
+// checkouts would otherwise pin every reader to the pre-replay
+// parameters until the stream ends. Publishing every N records bounds
+// that staleness at N iterations for the cost of one parameter copy per
+// N applies.
+const replayPublishEvery = 64
+
 // ReplayRecord is one journaled, previously-acknowledged checkin on its
 // way back into a restored server — the store.JournalEntry fields that
 // determine the state transition.
@@ -62,13 +73,17 @@ func ReplaySlice(records []ReplayRecord) ReplaySource {
 // as the original Checkin, so a recovered server lands on the exact
 // pre-crash iteration, parameters and totals.
 //
-// Replay is a startup-time operation, before the server takes traffic.
-// Unlike Checkin it performs no authentication (credentials are not part
-// of persisted state), does not consult the stopping rule (every record
-// was acknowledged, so it passed the rule when originally applied), and
-// does not invoke the OnCheckin hook (the records came FROM the journal;
-// journaling them again would duplicate the log). It returns the number
-// of records applied.
+// Replay excludes the write path for its whole run (it holds the apply
+// lock) but coexists with concurrent readers: checkouts and stats serve
+// the published snapshot, which Replay republishes every
+// replayPublishEvery applied records and once at the end — the
+// follower-replica mode applies a live journal tail through Replay while
+// serving the read path. Unlike Checkin it performs no authentication
+// (credentials are not part of persisted state), does not consult the
+// stopping rule (every record was acknowledged, so it passed the rule
+// when originally applied), and does not invoke the OnCheckin hook (the
+// records came FROM the journal; journaling them again would duplicate
+// the log). It returns the number of records applied.
 //
 // Exactness holds for updaters whose step depends only on (w, ĝ, t) —
 // the paper's SGD schedules — and equally for stateful updaters that
@@ -125,6 +140,11 @@ func (s *Server) Replay(next ReplaySource) (applied int, err error) {
 		s.totalNs.Add(int64(r.Req.NumSamples))
 		s.devices.recordReplay(r.DeviceID, r.Req, staleness, classes)
 		applied++
+		if applied%replayPublishEvery == 0 {
+			// Keep concurrent readers fed during a long replay (see
+			// replayPublishEvery); counters above are atomics, already live.
+			s.publishSnapshotLocked()
+		}
 	}
 	// Re-latch the stopping rule from the replayed counters, then publish
 	// the recovered parameters for checkouts.

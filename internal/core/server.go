@@ -44,6 +44,18 @@ type ServerConfig struct {
 	// w" in Algorithm 2). Nil starts from zero, which is a valid (and
 	// deterministic) initialization for the convex models in this repo.
 	InitParams *linalg.Matrix
+	// AuthFallback, if non-nil, is consulted when a device presents
+	// credentials this server does not recognize: it receives the device
+	// ID and token and returns nil to vouch for them. On success the
+	// credential is provisioned locally (cached), so the fallback runs
+	// once per unknown device, not once per request. This is how a
+	// follower replica serves authenticated checkouts for devices that
+	// registered on the leader — credentials are deliberately never part
+	// of replicated state (see ServerState), so the replica verifies them
+	// against the leader instead. A non-nil error keeps the original
+	// ErrAuth; the fallback's own failure is never surfaced to the device
+	// (it must not learn whether the fallback was even attempted).
+	AuthFallback func(ctx context.Context, deviceID, token string) error
 	// OnCheckin, if non-nil, is invoked after every successfully applied
 	// checkin with the request context, the device ID, the resulting
 	// iteration number, and the sanitized request (safe to log: it only
@@ -253,6 +265,30 @@ func (s *Server) RegisterDevice(ctx context.Context, deviceID string) (token str
 	return token, nil
 }
 
+// authenticate verifies a device's credentials, falling back to
+// cfg.AuthFallback for devices this server does not know. A vouched-for
+// credential is cached in the local registry, so the fallback's cost
+// (for a replica, one round trip to the leader) is paid once per device,
+// and the lock-free fast path is untouched for every later request.
+func (s *Server) authenticate(ctx context.Context, deviceID, token string) error {
+	err := s.devices.authenticate(deviceID, token)
+	if err == nil || s.cfg.AuthFallback == nil {
+		return err
+	}
+	// Empty tokens never authenticate locally (an unprovisioned restored
+	// entry has an empty stored token) and must not be laundered through
+	// the fallback either.
+	if deviceID == "" || token == "" {
+		return err
+	}
+	if s.cfg.AuthFallback(ctx, deviceID, token) != nil {
+		return err // the device only ever learns ErrAuth
+	}
+	classes, _ := s.cfg.Model.Shape()
+	s.devices.register(deviceID, token, classes)
+	return nil
+}
+
 // Checkout implements Server Routine 1: authenticate and hand out the
 // current parameters. It is lock-free — authentication takes one shard
 // read lock and the parameters come from the immutable snapshot — so
@@ -263,7 +299,7 @@ func (s *Server) Checkout(ctx context.Context, deviceID, token string) (*Checkou
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := s.devices.authenticate(deviceID, token); err != nil {
+	if err := s.authenticate(ctx, deviceID, token); err != nil {
 		return nil, err
 	}
 	snap := s.refreshSnapshot()
@@ -284,7 +320,7 @@ func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *Check
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := s.devices.authenticate(deviceID, token); err != nil {
+	if err := s.authenticate(ctx, deviceID, token); err != nil {
 		return err
 	}
 	if s.evalStopped() {

@@ -87,6 +87,11 @@ type Task struct {
 	server *core.Server
 	info   TaskInfo
 	dur    *durability // nil without WithStore
+	// replicaOf is the leader base URL for a follower replica task
+	// (AsReplicaOf); "" for a leader-role task. probe is the replication
+	// runtime's telemetry hook (see BindReplicaProbe in replica.go).
+	replicaOf string
+	probe     probeBox
 }
 
 // ID returns the task's registry key.
@@ -126,6 +131,7 @@ type createOptions struct {
 	policy    CheckpointPolicy
 	sync      SyncPolicy
 	retention RetentionPolicy
+	replicaOf string
 }
 
 // WithInfo attaches portal metadata to the task. When the info has no
@@ -263,6 +269,13 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 		sh.mu.Unlock()
 	}()
 
+	if o.replicaOf != "" && o.store != nil {
+		// A follower's state arrives through Server.Replay, which bypasses
+		// the OnCheckin journaling hook by design — a local WAL would
+		// silently diverge from the replica's actual state. Followers
+		// re-bootstrap from the leader instead of recovering locally.
+		return nil, fmt.Errorf("task %q: a replica task (AsReplicaOf) cannot also have a store", taskID)
+	}
 	if o.store != nil {
 		// Fail retention misconfiguration at creation, not at the first
 		// checkpoint: a policy other than KeepAll needs a store that can
@@ -302,7 +315,7 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 		// CloseTask/Close can always join it.
 		go dur.run()
 	}
-	task := &Task{id: taskID, server: server, info: o.info, dur: dur}
+	task := &Task{id: taskID, server: server, info: o.info, dur: dur, replicaOf: o.replicaOf}
 
 	sh.mu.Lock()
 	delete(sh.pending, taskID)

@@ -1,0 +1,106 @@
+package hub
+
+import (
+	"sync/atomic"
+)
+
+// Replica states reported by ReplicaStatus.State; defined here (rather
+// than in the replica runtime) so the HTTP layer can interpret a probe's
+// status without importing the runtime package.
+const (
+	// ReplicaBootstrapping: the follower is fetching the leader's latest
+	// checkpoint (or retrying after losing the journal feed's continuity
+	// to retention) and is not yet a faithful read replica.
+	ReplicaBootstrapping = "bootstrapping"
+	// ReplicaTailing: bootstrapped and applying the live journal feed;
+	// the replica serves reads, trailing the leader by ReplicationLag.
+	ReplicaTailing = "tailing"
+	// ReplicaRetrying: the leader is unreachable; the follower serves its
+	// last-applied state while reconnecting under capped backoff.
+	ReplicaRetrying = "retrying"
+	// ReplicaStopped: the replication runtime has shut down.
+	ReplicaStopped = "stopped"
+)
+
+// ReplicaStatus is a follower task's replication telemetry, reported by
+// the runtime driving it (see BindReplicaProbe) and surfaced on the
+// /v1/healthz endpoint.
+type ReplicaStatus struct {
+	// State is one of the Replica* constants above.
+	State string
+	// LeaderURL is the leader this task replicates from.
+	LeaderURL string
+	// LeaderIteration is the leader's iteration counter as of the last
+	// completed feed exchange (0 until one completes).
+	LeaderIteration int
+	// LastError describes the most recent replication failure, cleared
+	// on the next successful exchange.
+	LastError string
+}
+
+// ReplicaProbe is implemented by the runtime replicating into a task
+// (replica.Replicator); the task holds it so the hub's HTTP surface can
+// report replication health without depending on the runtime package.
+type ReplicaProbe interface {
+	ReplicaStatus() ReplicaStatus
+}
+
+// AsReplicaOf marks the task as a read-only follower replica of the
+// same task on the leader at leaderURL: its state is maintained solely
+// by replaying the leader's shipped journal, the HTTP layer rejects
+// writes (checkin, register) with 409 and a leader hint, and reads
+// (checkout, stats) are served locally. Incompatible with WithStore —
+// replayed entries bypass the journaling hook, so a follower's own WAL
+// would silently diverge from its state; a follower that dies simply
+// re-bootstraps from the leader's checkpoint.
+func AsReplicaOf(leaderURL string) TaskOption {
+	return func(o *createOptions) { o.replicaOf = leaderURL }
+}
+
+// ReadOnly reports whether the task is a follower replica (created with
+// AsReplicaOf): its state is owned by the replication runtime and the
+// HTTP layer must reject writes.
+func (t *Task) ReadOnly() bool { return t.replicaOf != "" }
+
+// LeaderURL returns the leader base URL a replica task follows, or ""
+// for a leader-role task.
+func (t *Task) LeaderURL() string { return t.replicaOf }
+
+// BindReplicaProbe attaches the replication runtime's telemetry probe to
+// the task. Called once by the runtime when it starts; safe to call
+// again (a restarted runtime re-binds, latest wins).
+func (t *Task) BindReplicaProbe(p ReplicaProbe) {
+	t.probe.Store(&p)
+}
+
+// ReplicaStatus reports the task's replication telemetry; ok is false
+// for leader-role tasks and for replicas whose runtime has not bound a
+// probe yet (a follower between CreateTask and Replicator start).
+func (t *Task) ReplicaStatus() (ReplicaStatus, bool) {
+	p := t.probe.Load()
+	if p == nil {
+		return ReplicaStatus{}, false
+	}
+	return (*p).ReplicaStatus(), true
+}
+
+// ReplicationLag reports how many iterations the replica trails the
+// leader: the leader's iteration counter from the last completed feed
+// exchange minus the locally applied iteration, clamped at zero (the
+// local counter can briefly lead the EOS-frame observation). ok is
+// false when no probe is bound or no exchange has completed yet — lag
+// is then unknown, not zero.
+func (t *Task) ReplicationLag() (int, bool) {
+	st, ok := t.ReplicaStatus()
+	if !ok || st.LeaderIteration == 0 {
+		return 0, false
+	}
+	lag := st.LeaderIteration - t.server.Iteration()
+	if lag < 0 {
+		lag = 0
+	}
+	return lag, true
+}
+
+// probeBox is the atomic holder for a task's replica probe.
+type probeBox = atomic.Pointer[ReplicaProbe]

@@ -1,0 +1,53 @@
+package replica
+
+import "fmt"
+
+// Error categories: every failure the replication runtime reports is
+// tagged with the axis it failed on, so operators reading follower logs
+// (and tests asserting on failure modes) can classify without parsing
+// message text.
+const (
+	// CategoryNetwork: the leader could not be reached or the connection
+	// died mid-stream — transient, retried under capped backoff.
+	CategoryNetwork = "network"
+	// CategoryProtocol: the leader answered, but with something the
+	// follower cannot use (malformed frame, unexpected status).
+	CategoryProtocol = "protocol"
+	// CategoryState: applying leader state locally failed (checkpoint
+	// import, replay validation) — usually a model-shape mismatch between
+	// the follower's task configuration and the leader's.
+	CategoryState = "state"
+	// CategoryGap: the leader's retention pruned the journal range the
+	// follower's cursor needs; recovery is a checkpoint re-bootstrap, not
+	// a retry.
+	CategoryGap = "gap"
+)
+
+// Error is the component-tagged error the replication runtime wraps
+// every failure in: the fixed component ("replica"), the operation that
+// failed, and the category above. It unwraps to the underlying cause, so
+// errors.Is still matches the framework sentinels (core.ErrReplayGap,
+// store.ErrFeedInterrupted, …) through it.
+type Error struct {
+	// Component identifying the subsystem; always "replica" here.
+	Component string
+	// Category is one of the Category* constants.
+	Category string
+	// Op names the failed operation ("bootstrap", "tail", "apply").
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s [%s]: %v", e.Component, e.Op, e.Category, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// errOf builds a tagged replication error.
+func errOf(category, op string, err error) *Error {
+	return &Error{Component: "replica", Category: category, Op: op, Err: err}
+}

@@ -1,0 +1,320 @@
+// Package replica implements the follower side of WAL-shipping
+// replication: a Replicator that keeps a read-only hub task bit-exact
+// with its leader by bootstrapping from the leader's latest checkpoint
+// and then tailing the leader's journal feed, applying each shipped
+// entry through the same deterministic replay path crash recovery uses.
+//
+// The runtime is a three-state machine (mirrored on /v1/healthz):
+//
+//	bootstrapping ──ok──▶ tailing ──feed lost──▶ retrying ──┐
+//	      ▲                  │                              │
+//	      │            ErrReplayGap                    backoff, then
+//	      └──────(retention pruned our range)◀──────── reconnect ──▶ tailing
+//
+// While tailing, the follower serves the read path (checkout, stats)
+// from its local replica, trailing the leader by the replication lag the
+// healthz endpoint reports; writes are rejected by the HTTP layer with a
+// leader hint. A follower that falls behind leader retention — the gap —
+// does not guess: it re-bootstraps from the leader's checkpoint, which by
+// construction covers everything retention pruned.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/transport"
+)
+
+// Config configures a Replicator.
+type Config struct {
+	// Task is the local follower task (created with hub.AsReplicaOf) the
+	// replicator maintains. Required.
+	Task *hub.Task
+	// Feed is the HTTP client bound (WithTask) to the same task ID on the
+	// leader; build it WithRetry so transient leader hiccups are absorbed
+	// below the replication state machine. Required.
+	Feed *transport.HTTPClient
+	// PollInterval is how long the follower idles after draining the feed
+	// to the leader's current end before re-polling. Default 250ms.
+	PollInterval time.Duration
+	// BackoffMin / BackoffMax bound the jittered exponential backoff
+	// between reconnect attempts after a failure. Defaults 100ms / 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Logf, when set, receives one line per state transition and failure
+	// (log.Printf-shaped). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Replicator drives one follower task: Start launches the
+// bootstrap-and-tail loop in a goroutine, Stop shuts it down. It
+// implements hub.ReplicaProbe (New binds it to the task), so the task's
+// healthz row reflects its live state.
+type Replicator struct {
+	cfg  Config
+	srv  *core.Server
+	logf func(string, ...any)
+
+	status chan hub.ReplicaStatus // 1-buffered mailbox holding current telemetry
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+var _ hub.ReplicaProbe = (*Replicator)(nil)
+
+// New validates the configuration, binds the replicator to the task's
+// health probe, and returns it ready to Start.
+func New(cfg Config) (*Replicator, error) {
+	if cfg.Task == nil {
+		return nil, errors.New("replica: Config.Task is required")
+	}
+	if !cfg.Task.ReadOnly() {
+		return nil, fmt.Errorf("replica: task %q is not a replica (create it with hub.AsReplicaOf)", cfg.Task.ID())
+	}
+	if cfg.Feed == nil {
+		return nil, errors.New("replica: Config.Feed is required")
+	}
+	if cfg.Feed.TaskID() == "" {
+		return nil, errors.New("replica: Config.Feed must be task-bound (WithTask)")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 5 * time.Second
+		if cfg.BackoffMax < cfg.BackoffMin {
+			cfg.BackoffMax = cfg.BackoffMin
+		}
+	}
+	r := &Replicator{
+		cfg:    cfg,
+		srv:    cfg.Task.Server(),
+		logf:   cfg.Logf,
+		status: make(chan hub.ReplicaStatus, 1),
+	}
+	if r.logf == nil {
+		r.logf = func(string, ...any) {}
+	}
+	r.status <- hub.ReplicaStatus{State: hub.ReplicaBootstrapping, LeaderURL: cfg.Task.LeaderURL()}
+	cfg.Task.BindReplicaProbe(r)
+	return r, nil
+}
+
+// ReplicaStatus implements hub.ReplicaProbe.
+func (r *Replicator) ReplicaStatus() hub.ReplicaStatus {
+	st := <-r.status
+	r.status <- st
+	return st
+}
+
+// update mutates the current telemetry through fn.
+func (r *Replicator) update(fn func(*hub.ReplicaStatus)) {
+	st := <-r.status
+	fn(&st)
+	r.status <- st
+}
+
+// Start launches Run in a goroutine. Stop (or cancelling ctx) ends it.
+func (r *Replicator) Start(ctx context.Context) {
+	ctx, r.cancel = context.WithCancel(ctx)
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		r.Run(ctx)
+	}()
+}
+
+// Stop cancels a Started replicator and waits for its loop to exit.
+func (r *Replicator) Stop() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.done
+}
+
+// Run drives the bootstrap-and-tail loop until ctx is cancelled. It is
+// exported for callers that manage their own goroutines; Start/Stop wrap
+// it for everyone else.
+func (r *Replicator) Run(ctx context.Context) {
+	defer r.update(func(st *hub.ReplicaStatus) { st.State = hub.ReplicaStopped })
+	backoff := r.cfg.BackoffMin
+	needBootstrap := true
+	for ctx.Err() == nil {
+		if needBootstrap {
+			r.update(func(st *hub.ReplicaStatus) { st.State = hub.ReplicaBootstrapping })
+			if err := r.bootstrap(ctx); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				r.logf("replica[%s]: %v", r.cfg.Task.ID(), err)
+				backoff = r.failWait(ctx, err, backoff)
+				continue
+			}
+			needBootstrap = false
+			r.logf("replica[%s]: bootstrapped at iteration %d", r.cfg.Task.ID(), r.srv.Iteration())
+		}
+		err := r.tailOnce(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil:
+			backoff = r.cfg.BackoffMin // a full clean exchange resets the budget
+			r.idle(ctx)
+		case errors.Is(err, core.ErrReplayGap):
+			// Leader retention pruned past our position; the checkpoint
+			// covers the pruned range by construction. Re-bootstrap now —
+			// waiting would only grow the gap.
+			r.logf("replica[%s]: %v; re-bootstrapping from checkpoint", r.cfg.Task.ID(), err)
+			r.update(func(st *hub.ReplicaStatus) { st.LastError = err.Error() })
+			needBootstrap = true
+		default:
+			r.logf("replica[%s]: %v", r.cfg.Task.ID(), err)
+			backoff = r.failWait(ctx, err, backoff)
+		}
+	}
+}
+
+// bootstrap imports the leader's latest checkpoint. A leader with no
+// checkpoint yet is only acceptable when the follower holds nothing
+// either — both sides then start from iteration 0 and the journal tail
+// carries everything; otherwise the feed has a hole nothing can fill.
+func (r *Replicator) bootstrap(ctx context.Context) error {
+	cp, err := r.cfg.Feed.FetchCheckpoint(ctx)
+	if errors.Is(err, store.ErrNoCheckpoint) {
+		return nil // tail from wherever we are (iteration 0 on first boot)
+	}
+	if err != nil {
+		return errOf(CategoryNetwork, "bootstrap", err)
+	}
+	// An old checkpoint cannot help with a gap that starts past it:
+	// applying it would rewind the replica only to hit the same gap
+	// again. Skip the import and let the tail proceed from local state.
+	if cp.State != nil && cp.State.Iteration <= r.srv.Iteration() {
+		return nil
+	}
+	if err := r.srv.ImportState(cp.State); err != nil {
+		return errOf(CategoryState, "bootstrap", err)
+	}
+	return nil
+}
+
+// tailOnce opens the journal feed after the locally applied iteration
+// and applies entries until the stream ends. A nil return is one
+// complete exchange: every shipped entry applied and the end-of-stream
+// frame consumed (its leader iteration feeds the lag telemetry).
+func (r *Replicator) tailOnce(ctx context.Context) error {
+	after := r.srv.Iteration()
+	feed, err := r.cfg.Feed.OpenJournalFeed(ctx, after)
+	if err != nil {
+		return errOf(CategoryNetwork, "tail", err)
+	}
+	defer feed.Close()
+	applied := 0
+	for {
+		e, err := feed.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, store.ErrFeedInterrupted) {
+			return errOf(CategoryNetwork, "tail", err)
+		}
+		if err != nil {
+			return errOf(CategoryProtocol, "tail", err)
+		}
+		if !e.Replayable() {
+			continue // v1 audit-only entry; the checkpoint covered it
+		}
+		if err := r.apply(e); err != nil {
+			return err
+		}
+		applied++
+	}
+	// A clean exchange that shipped nothing while the leader sits ahead
+	// of us is a gap the stream itself cannot reveal: retention pruned
+	// our whole missing range, so the cursor had no entry left to trip
+	// ErrReplayGap on. (A cursor merely racing fresh appends looks the
+	// same for one poll; re-bootstrapping then is harmless — the
+	// checkpoint is at least as fresh as the entries we missed.)
+	if applied == 0 && feed.LeaderIteration() > r.srv.Iteration() {
+		return errOf(CategoryGap, "tail",
+			fmt.Errorf("feed ended empty at leader iteration %d with replica at %d: %w",
+				feed.LeaderIteration(), r.srv.Iteration(), core.ErrReplayGap))
+	}
+	r.update(func(st *hub.ReplicaStatus) {
+		st.State = hub.ReplicaTailing
+		st.LeaderIteration = feed.LeaderIteration()
+		st.LastError = ""
+	})
+	return nil
+}
+
+// apply replays one shipped journal entry into the local server. Each
+// entry is its own Replay call: the parameter lock is held per entry,
+// not per stream, so local checkouts interleave freely with a live tail
+// — and the feed's network reads never happen under the lock (Replay's
+// source must not block).
+func (r *Replicator) apply(e store.JournalEntry) error {
+	_, err := r.srv.Replay(core.ReplaySlice([]core.ReplayRecord{{
+		DeviceID:  e.DeviceID,
+		Iteration: e.Iteration,
+		Req: &core.CheckinRequest{
+			Grad:        e.Grad,
+			NumSamples:  e.NumSamples,
+			ErrCount:    e.ErrCount,
+			LabelCounts: e.LabelCounts,
+			Version:     e.Version,
+		},
+	}}))
+	if errors.Is(err, core.ErrReplayGap) {
+		return errOf(CategoryGap, "apply", err)
+	}
+	if err != nil {
+		return errOf(CategoryState, "apply", err)
+	}
+	return nil
+}
+
+// idle waits PollInterval (or cancellation) between caught-up polls.
+func (r *Replicator) idle(ctx context.Context) {
+	t := time.NewTimer(r.cfg.PollInterval)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// failWait records a failure, sleeps the jittered backoff, and returns
+// the next (doubled, capped) backoff.
+func (r *Replicator) failWait(ctx context.Context, err error, backoff time.Duration) time.Duration {
+	r.update(func(st *hub.ReplicaStatus) {
+		st.State = hub.ReplicaRetrying
+		st.LastError = err.Error()
+	})
+	// Full jitter into [backoff/2, backoff]: a fleet of followers losing
+	// one leader must not reconnect in lockstep.
+	half := backoff / 2
+	t := time.NewTimer(half + rand.N(half+1))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+	if backoff *= 2; backoff > r.cfg.BackoffMax {
+		backoff = r.cfg.BackoffMax
+	}
+	return backoff
+}

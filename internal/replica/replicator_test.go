@@ -1,0 +1,324 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/transport"
+)
+
+func serverConfig() core.ServerConfig {
+	return core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}
+}
+
+// newLeader hosts task "alpha" with a MemStore journal behind an HTTP
+// server and returns its base URL, server, and store.
+func newLeader(t *testing.T, opts ...hub.TaskOption) (string, *core.Server, *store.MemStore) {
+	t.Helper()
+	st := store.NewMemStore()
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "alpha", serverConfig(),
+		append([]hub.TaskOption{hub.WithStore(st)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(transport.NewHandler(h))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { h.Close(context.Background()) })
+	return ts.URL, task.Server(), st
+}
+
+// newFollower creates a follower replica of the leader at baseURL and a
+// Replicator driving it (not yet started).
+func newFollower(t *testing.T, baseURL string) (*hub.Task, *Replicator) {
+	t.Helper()
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "alpha", serverConfig(),
+		hub.AsReplicaOf(baseURL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{
+		Task:         task,
+		Feed:         transport.NewHTTPClient(baseURL, nil).WithTask("alpha"),
+		PollInterval: 5 * time.Millisecond,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, r
+}
+
+func drive(t *testing.T, srv *core.Server, device string, n int) {
+	t.Helper()
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, device)
+	if err != nil && !errors.Is(err, core.ErrAuth) {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		req := &core.CheckinRequest{
+			Grad:        []float64{0.1, -0.2, 0.3, -0.4},
+			NumSamples:  3,
+			ErrCount:    1,
+			LabelCounts: []int{2, 1},
+			Version:     srv.Iteration(),
+		}
+		if err := srv.Checkin(ctx, device, token, req); err != nil {
+			t.Fatalf("checkin %d: %v", i, err)
+		}
+	}
+}
+
+// waitConverged polls until the follower has applied everything the
+// leader has, with zero reported lag.
+func waitConverged(t *testing.T, leader *core.Server, task *hub.Task) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		lag, ok := task.ReplicationLag()
+		if ok && lag == 0 && task.Server().Iteration() == leader.Iteration() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := task.ReplicaStatus()
+	t.Fatalf("follower never converged: leader at %d, follower at %d, status %+v",
+		leader.Iteration(), task.Server().Iteration(), st)
+}
+
+// requireSameState asserts leader and follower export bit-identical
+// learning state: iteration, parameters, totals, per-device counters.
+func requireSameState(t *testing.T, leader, follower *core.Server) {
+	t.Helper()
+	ls, fs := leader.ExportState(), follower.ExportState()
+	if !reflect.DeepEqual(ls, fs) {
+		t.Fatalf("replica diverged:\nleader   %+v\nfollower %+v", ls, fs)
+	}
+}
+
+func TestReplicatorConvergesFromEmptyLeader(t *testing.T) {
+	url, leader, _ := newLeader(t)
+	drive(t, leader, "d1", 7)
+	task, r := newFollower(t, url)
+	r.Start(context.Background())
+	defer r.Stop()
+	waitConverged(t, leader, task)
+	requireSameState(t, leader, task.Server())
+
+	// Keep writing: the live tail must carry the new entries too.
+	drive(t, leader, "d1", 5)
+	waitConverged(t, leader, task)
+	requireSameState(t, leader, task.Server())
+}
+
+func TestReplicatorBootstrapsFromCheckpoint(t *testing.T) {
+	url, leader, st := newLeader(t,
+		hub.WithCheckpointPolicy(hub.CheckpointPolicy{AfterN: 3}),
+		hub.WithRetention(hub.PruneCovered))
+	drive(t, leader, "d1", 9)
+	waitCheckpointCovering(t, st, 3)
+
+	task, r := newFollower(t, url)
+	r.Start(context.Background())
+	defer r.Stop()
+	waitConverged(t, leader, task)
+	requireSameState(t, leader, task.Server())
+}
+
+// waitCheckpointCovering polls until the store holds a checkpoint at or
+// past the given iteration (the async checkpointer runs on its own
+// goroutine).
+func waitCheckpointCovering(t *testing.T, st *store.MemStore, iteration int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		cp, err := st.Load(context.Background())
+		if err == nil && cp.State.Iteration >= iteration {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no checkpoint covering iteration %d appeared", iteration)
+}
+
+func TestReplicatorGapRebootstrap(t *testing.T) {
+	url, leader, st := newLeader(t,
+		hub.WithCheckpointPolicy(hub.CheckpointPolicy{AfterN: 2}),
+		hub.WithRetention(hub.PruneCovered))
+	drive(t, leader, "d1", 4)
+
+	task, r := newFollower(t, url)
+	r.Start(context.Background())
+	waitConverged(t, leader, task)
+	followerAt := task.Server().Iteration()
+
+	// Disconnect the follower, then advance the leader far enough that
+	// retention prunes the segments covering the follower's position.
+	r.Stop()
+	drive(t, leader, "d1", 10)
+	waitCheckpointCovering(t, st, followerAt+2)
+	waitPrunedPast(t, st, followerAt)
+
+	// A fresh replicator on the same task resumes after=followerAt, hits
+	// the retention gap, and must re-bootstrap from the checkpoint.
+	_, r2 := newFollower2(t, task, url)
+	r2.Start(context.Background())
+	defer r2.Stop()
+	waitConverged(t, leader, task)
+	requireSameState(t, leader, task.Server())
+}
+
+// newFollower2 builds a replicator for an existing follower task.
+func newFollower2(t *testing.T, task *hub.Task, baseURL string) (*hub.Task, *Replicator) {
+	t.Helper()
+	r, err := New(Config{
+		Task:         task,
+		Feed:         transport.NewHTTPClient(baseURL, nil).WithTask("alpha"),
+		PollInterval: 5 * time.Millisecond,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, r
+}
+
+// waitPrunedPast polls until the journal's oldest retained entry is past
+// the given iteration — i.e. a cursor positioned there has a gap.
+func waitPrunedPast(t *testing.T, st *store.MemStore, iteration int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		cur, err := st.OpenCursor(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := cur.Next()
+		cur.Close()
+		// Either the oldest retained entry starts past the follower's
+		// resume point, or retention emptied the journal outright.
+		if (err == nil && e.Iteration > iteration+1) || errors.Is(err, io.EOF) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("retention never pruned past iteration %d", iteration)
+}
+
+func TestReplicatorRetriesThroughLeaderOutage(t *testing.T) {
+	stHub := hub.New()
+	leaderTask, err := stHub.CreateTask(context.Background(), "alpha", serverConfig(),
+		hub.WithStore(store.NewMemStore()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := leaderTask.Server()
+	inner := transport.NewHandler(stHub)
+	var down atomic.Bool
+	down.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "leader down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	drive(t, leader, "d1", 3)
+
+	task, r := newFollower(t, ts.URL)
+	r.Start(context.Background())
+	defer r.Stop()
+
+	// With the leader dark the follower must settle into retrying.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := task.ReplicaStatus()
+		if st.State == hub.ReplicaRetrying && st.LastError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reported retrying, status %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Leader returns: the follower converges and clears the error.
+	down.Store(false)
+	waitConverged(t, leader, task)
+	requireSameState(t, leader, task.Server())
+	st, _ := task.ReplicaStatus()
+	if st.State != hub.ReplicaTailing || st.LastError != "" {
+		t.Errorf("recovered status %+v, want tailing with no error", st)
+	}
+}
+
+func TestReplicatorStopTransitionsToStopped(t *testing.T) {
+	url, leader, _ := newLeader(t)
+	drive(t, leader, "d1", 2)
+	task, r := newFollower(t, url)
+	r.Start(context.Background())
+	waitConverged(t, leader, task)
+	r.Stop()
+	if st, _ := task.ReplicaStatus(); st.State != hub.ReplicaStopped {
+		t.Errorf("state after Stop = %q, want stopped", st.State)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	h := hub.New()
+	leaderTask, err := h.CreateTask(context.Background(), "lead", serverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := transport.NewHTTPClient("http://x", nil).WithTask("lead")
+	if _, err := New(Config{Feed: feed}); err == nil {
+		t.Error("nil Task accepted")
+	}
+	if _, err := New(Config{Task: leaderTask, Feed: feed}); err == nil {
+		t.Error("non-replica task accepted")
+	}
+	rep, err := h.CreateTask(context.Background(), "rep", serverConfig(), hub.AsReplicaOf("http://x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Task: rep}); err == nil {
+		t.Error("nil Feed accepted")
+	}
+	if _, err := New(Config{Task: rep, Feed: transport.NewHTTPClient("http://x", nil)}); err == nil {
+		t.Error("task-unbound Feed accepted")
+	}
+}
+
+func TestErrorTagging(t *testing.T) {
+	base := errors.New("boom")
+	e := errOf(CategoryNetwork, "tail", base)
+	if !errors.Is(e, base) {
+		t.Error("tagged error does not unwrap to its cause")
+	}
+	want := "replica: tail [network]: boom"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -73,6 +74,7 @@ func TestStoreConformance(t *testing.T) {
 		"RetentionPruneCovered":  testRetentionPruneCovered,
 		"RetentionNeverLive":     testRetentionNeverLive,
 		"RetentionArchive":       testRetentionArchive,
+		"CursorRacesPrune":       testCursorRacesPrune,
 	}
 	for implName, mk := range impls {
 		t.Run(implName, func(t *testing.T) {
@@ -606,6 +608,107 @@ func testRetentionArchive(t *testing.T, st Store) {
 		if archived[i].Iteration != i+1 {
 			t.Errorf("archived entry %d has iteration %d", i, archived[i].Iteration)
 		}
+	}
+}
+
+// testCursorRacesPrune: a live cursor draining the journal while the
+// writer rotates segments and prunes covered ones must never observe
+// corruption. This is exactly the leader-side replication race — the
+// journal feed streams through a cursor while the checkpointer prunes
+// behind it. Contract: within one cursor pass iterations are strictly
+// increasing (segment granularity means covered entries may lead the
+// stream, but pruning never reorders or duplicates), and a pass
+// terminates only with io.EOF or ErrJournalTruncated — a segment
+// vanishing under the cursor is not an error.
+func testCursorRacesPrune(t *testing.T, st Store) {
+	j, err := st.OpenJournal(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := retainer(t, st)
+	const (
+		total  = 400 // entries the writer appends
+		perSeg = 8   // rotation (and prune-horizon) cadence
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: append, sealing a segment every perSeg entries and pruning
+	// everything a checkpoint trailing one segment behind would cover.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 1; i <= total; i++ {
+			err := j.Append(ctx, JournalEntry{
+				DeviceID: "d1", Iteration: i, NumSamples: 1,
+				Grad: []float64{float64(i)}, LabelCounts: []int{1},
+			})
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			if i%perSeg == 0 {
+				if err := j.Rotate(ctx); err != nil {
+					t.Errorf("rotate at %d: %v", i, err)
+					return
+				}
+				if _, err := ret.PruneSegments(ctx, i-perSeg, ""); err != nil {
+					t.Errorf("prune at %d: %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: repeatedly open cursors at staggered positions and drain
+	// them while segments disappear underneath. One final pass after the
+	// writer finishes so every reader also sees the settled journal.
+	for reader := 0; reader < 3; reader++ {
+		wg.Add(1)
+		go func(reader int) {
+			defer wg.Done()
+			for pass := 0; ; pass++ {
+				final := false
+				select {
+				case <-done:
+					final = true // writer finished; one settled pass, then exit
+				default:
+				}
+				after := (reader*17 + pass*13) % total
+				cur, err := st.OpenCursor(ctx, after)
+				if err != nil {
+					t.Errorf("reader %d pass %d: OpenCursor(%d): %v", reader, pass, after, err)
+					return
+				}
+				prev := 0 // covered entries may lead the stream; only order matters
+				for {
+					e, err := cur.Next()
+					if errors.Is(err, io.EOF) || errors.Is(err, ErrJournalTruncated) {
+						break
+					}
+					if err != nil {
+						t.Errorf("reader %d pass %d: Next: %v", reader, pass, err)
+						cur.Close()
+						return
+					}
+					if e.Iteration <= prev {
+						t.Errorf("reader %d pass %d: iteration %d after %d", reader, pass, e.Iteration, prev)
+						cur.Close()
+						return
+					}
+					prev = e.Iteration
+				}
+				cur.Close()
+				if final {
+					return
+				}
+			}
+		}(reader)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

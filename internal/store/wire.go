@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFeedInterrupted is returned by FeedReader.Next when the byte stream
+// ends without the end-of-stream frame the sender always writes last: the
+// connection was cut mid-feed (a crashed leader, a dropped TCP stream, a
+// proxy timeout). Every frame decoded before the cut is intact — JSONL
+// framing means a torn final line simply fails to decode — so a follower
+// treats the sentinel as "resume from where I got to", not as corruption.
+var ErrFeedInterrupted = errors.New("store: journal feed interrupted before end-of-stream")
+
+// feedFrame is one line of the journal wire feed: either a journal entry
+// or the terminal end-of-stream marker. The EOS frame reuses the same
+// JSON object shape (JournalEntry has no "eos" key, so the marker is
+// unambiguous) and carries the sender's current iteration counter, which
+// is what lets a follower measure its replication lag without a second
+// round trip.
+type feedFrame struct {
+	JournalEntry
+	// EOS marks the terminal frame of a complete feed response.
+	EOS bool `json:"eos,omitempty"`
+	// LeaderIteration is the sender's iteration counter at EOS time. It
+	// can exceed the last streamed entry's iteration (checkins applied
+	// while the feed drained), never trail it.
+	LeaderIteration int `json:"leaderIteration,omitempty"`
+}
+
+// FeedWriter encodes a journal cursor onto a wire stream as JSONL — the
+// leader side of WAL shipping. Entries are written one per line exactly
+// as the store persists them, so the feed holds O(one entry) in memory
+// however long the journal is, and the stream doubles as a remote audit
+// scan (the same artifact `OpenCursor` yields locally). A complete
+// response always ends with an EOS frame; its absence tells the reader
+// the connection died mid-stream (ErrFeedInterrupted).
+type FeedWriter struct {
+	enc *json.Encoder
+}
+
+// NewFeedWriter returns a writer encoding frames onto w. The caller owns
+// any flushing (an HTTP handler flushes after each entry so a live tail
+// reaches the follower without buffering delay).
+func NewFeedWriter(w io.Writer) *FeedWriter {
+	return &FeedWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteEntry encodes one journal entry as a feed line.
+func (fw *FeedWriter) WriteEntry(e JournalEntry) error {
+	if err := fw.enc.Encode(feedFrame{JournalEntry: e}); err != nil {
+		return fmt.Errorf("store: encode feed entry at iteration %d: %w", e.Iteration, err)
+	}
+	return nil
+}
+
+// WriteEOS terminates the feed with the end-of-stream frame carrying the
+// sender's current iteration counter.
+func (fw *FeedWriter) WriteEOS(leaderIteration int) error {
+	if err := fw.enc.Encode(feedFrame{EOS: true, LeaderIteration: leaderIteration}); err != nil {
+		return fmt.Errorf("store: encode feed EOS: %w", err)
+	}
+	return nil
+}
+
+// FeedReader decodes a journal wire feed — the follower side of WAL
+// shipping. Next yields entries in stream order and returns io.EOF after
+// the EOS frame (the clean end: LeaderIteration then reports the
+// sender's iteration counter), or ErrFeedInterrupted when the underlying
+// stream ends without one. Like a JournalCursor, after the first non-nil
+// error the reader is exhausted and keeps returning it.
+type FeedReader struct {
+	dec             *json.Decoder
+	err             error
+	leaderIteration int
+}
+
+// NewFeedReader returns a reader decoding frames from r.
+func NewFeedReader(r io.Reader) *FeedReader {
+	return &FeedReader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next journal entry from the feed. io.EOF marks the
+// clean end of a complete response; ErrFeedInterrupted a cut stream.
+func (fr *FeedReader) Next() (JournalEntry, error) {
+	if fr.err != nil {
+		return JournalEntry{}, fr.err
+	}
+	var frame feedFrame
+	switch err := fr.dec.Decode(&frame); {
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		// Raw end of bytes without an EOS frame — including a line torn
+		// mid-object by the cut.
+		fr.err = ErrFeedInterrupted
+	case err != nil:
+		fr.err = fmt.Errorf("store: decode feed frame: %w", err)
+	case frame.EOS:
+		fr.leaderIteration = frame.LeaderIteration
+		fr.err = io.EOF
+	default:
+		return frame.JournalEntry, nil
+	}
+	return JournalEntry{}, fr.err
+}
+
+// LeaderIteration reports the sender's iteration counter from the EOS
+// frame; it is meaningful only after Next has returned io.EOF.
+func (fr *FeedReader) LeaderIteration() int { return fr.leaderIteration }

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func feedEntries(t *testing.T, n int) []JournalEntry {
+	t.Helper()
+	out := make([]JournalEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, JournalEntry{
+			DeviceID:    "dev",
+			Iteration:   i,
+			NumSamples:  2 * i,
+			ErrCount:    i % 3,
+			Grad:        []float64{float64(i), -float64(i)},
+			LabelCounts: []int{i, 0},
+			Version:     i - 1,
+		})
+	}
+	return out
+}
+
+func TestFeedRoundTrip(t *testing.T) {
+	entries := feedEntries(t, 5)
+	var buf bytes.Buffer
+	fw := NewFeedWriter(&buf)
+	for _, e := range entries {
+		if err := fw.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry: %v", err)
+		}
+	}
+	if err := fw.WriteEOS(42); err != nil {
+		t.Fatalf("WriteEOS: %v", err)
+	}
+
+	fr := NewFeedReader(&buf)
+	for i, want := range entries {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if got.Iteration != want.Iteration || got.DeviceID != want.DeviceID ||
+			len(got.Grad) != len(want.Grad) || got.Grad[0] != want.Grad[0] {
+			t.Fatalf("entry %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at EOS, got %v", err)
+	}
+	if fr.LeaderIteration() != 42 {
+		t.Fatalf("LeaderIteration = %d, want 42", fr.LeaderIteration())
+	}
+	// Exhausted readers keep returning the same error.
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF again, got %v", err)
+	}
+}
+
+func TestFeedInterrupted(t *testing.T) {
+	entries := feedEntries(t, 3)
+	var buf bytes.Buffer
+	fw := NewFeedWriter(&buf)
+	for _, e := range entries {
+		if err := fw.WriteEntry(e); err != nil {
+			t.Fatalf("WriteEntry: %v", err)
+		}
+	}
+	// No EOS frame, and the last line torn mid-object — a cut connection.
+	raw := buf.String()
+	cut := raw[:len(raw)-10]
+
+	fr := NewFeedReader(strings.NewReader(cut))
+	n := 0
+	for {
+		_, err := fr.Next()
+		if err != nil {
+			if !errors.Is(err, ErrFeedInterrupted) {
+				t.Fatalf("want ErrFeedInterrupted, got %v", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != len(entries)-1 {
+		t.Fatalf("yielded %d intact entries before the cut, want %d", n, len(entries)-1)
+	}
+	if _, err := fr.Next(); !errors.Is(err, ErrFeedInterrupted) {
+		t.Fatalf("exhausted reader should repeat ErrFeedInterrupted, got %v", err)
+	}
+}
+
+func TestFeedEmptyStreamInterrupted(t *testing.T) {
+	fr := NewFeedReader(strings.NewReader(""))
+	if _, err := fr.Next(); !errors.Is(err, ErrFeedInterrupted) {
+		t.Fatalf("empty stream: want ErrFeedInterrupted, got %v", err)
+	}
+}
+
+func TestFeedEOSOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFeedWriter(&buf).WriteEOS(7); err != nil {
+		t.Fatalf("WriteEOS: %v", err)
+	}
+	fr := NewFeedReader(&buf)
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if fr.LeaderIteration() != 7 {
+		t.Fatalf("LeaderIteration = %d, want 7", fr.LeaderIteration())
+	}
+}

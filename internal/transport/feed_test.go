@@ -1,0 +1,417 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/store"
+)
+
+// newLeader hosts task "alpha" with a MemStore-backed journal and
+// returns the handler, the task's server, and the store.
+func newLeader(t *testing.T) (*Handler, *core.Server, *store.MemStore) {
+	t.Helper()
+	st := store.NewMemStore()
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "alpha", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}, hub.WithStore(st))
+	if err != nil {
+		t.Fatalf("CreateTask: %v", err)
+	}
+	return NewHandler(h), task.Server(), st
+}
+
+func TestJournalFeedStreamsEntries(t *testing.T) {
+	hd, srv, _ := newLeader(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	for i := 0; i < 5; i++ {
+		if err := srv.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+
+	feed, err := client.OpenJournalFeed(ctx, 0)
+	if err != nil {
+		t.Fatalf("OpenJournalFeed: %v", err)
+	}
+	defer feed.Close()
+	var got []int
+	for {
+		e, err := feed.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, e.Iteration)
+	}
+	if len(got) != 5 {
+		t.Fatalf("streamed %d entries, want 5: %v", len(got), got)
+	}
+	for i, it := range got {
+		if it != i+1 {
+			t.Errorf("entry %d has iteration %d, want %d", i, it, i+1)
+		}
+	}
+	if feed.LeaderIteration() != 5 {
+		t.Errorf("LeaderIteration = %d, want 5", feed.LeaderIteration())
+	}
+}
+
+func TestJournalFeedAfterSkipsPrefix(t *testing.T) {
+	hd, srv, _ := newLeader(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	for i := 0; i < 4; i++ {
+		if err := srv.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+	feed, err := client.OpenJournalFeed(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+	first, err := feed.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	// Cursor granularity is whole segments; the stream may lead with
+	// entries at or below `after` but must include everything past it.
+	n := 0
+	for it := first.Iteration; ; {
+		if it > 2 {
+			n++
+		}
+		e, err := feed.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		it = e.Iteration
+	}
+	if n != 2 {
+		t.Errorf("entries past iteration 2 = %d, want 2", n)
+	}
+}
+
+func TestJournalFeedNoStore(t *testing.T) {
+	hd, _ := newHandler(t) // no WithStore
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+	if _, err := client.OpenJournalFeed(context.Background(), 0); !errors.Is(err, hub.ErrTaskNotFound) {
+		t.Errorf("feed without store: err = %v, want ErrTaskNotFound (404)", err)
+	}
+	if _, err := client.FetchCheckpoint(context.Background()); !errors.Is(err, hub.ErrTaskNotFound) {
+		t.Errorf("checkpoint without store: err = %v, want ErrTaskNotFound (404)", err)
+	}
+}
+
+func TestFetchCheckpoint(t *testing.T) {
+	hd, srv, st := newLeader(t)
+	ctx := context.Background()
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+
+	if _, err := client.FetchCheckpoint(ctx); !errors.Is(err, store.ErrNoCheckpoint) {
+		t.Fatalf("empty store: err = %v, want ErrNoCheckpoint", err)
+	}
+
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	if err := srv.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(ctx, srv.ExportState(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := client.FetchCheckpoint(ctx)
+	if err != nil {
+		t.Fatalf("FetchCheckpoint: %v", err)
+	}
+	if cp.State == nil || cp.State.Iteration != 1 {
+		t.Errorf("unexpected checkpoint %+v", cp)
+	}
+}
+
+func TestReadOnlyReplicaRejectsWrites(t *testing.T) {
+	h := hub.New()
+	_, err := h.CreateTask(context.Background(), "alpha", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}, hub.AsReplicaOf("http://leader.example:8080"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := NewHandler(h)
+	hd.EnableEnrollment("secret")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+taskPath("alpha", "checkin"), strings.NewReader("{}"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("replica checkin status = %d, want 409", resp.StatusCode)
+	}
+	if got := resp.Header.Get(headerLeader); got != "http://leader.example:8080" {
+		t.Errorf("leader hint = %q", got)
+	}
+
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+taskPath("alpha", "register"),
+		strings.NewReader(`{"deviceId":"d1"}`))
+	req.Header.Set(headerEnrollKey, "secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("replica register status = %d, want 409", resp.StatusCode)
+	}
+
+	// The client maps the 409 onto the stand-down sentinel.
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+	if err := client.Checkin(context.Background(), "d", "t", checkinReq()); !errors.Is(err, core.ErrStopped) {
+		t.Errorf("client checkin err = %v, want ErrStopped", err)
+	}
+}
+
+func TestReplicaTaskRejectsStore(t *testing.T) {
+	h := hub.New()
+	_, err := h.CreateTask(context.Background(), "alpha", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}, hub.AsReplicaOf("http://leader"), hub.WithStore(store.NewMemStore()))
+	if err == nil {
+		t.Fatal("AsReplicaOf + WithStore should be rejected")
+	}
+}
+
+func TestAuthProbe(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithTask("alpha")
+	if err := client.AuthProbe(ctx, "d1", token); err != nil {
+		t.Errorf("valid credentials: %v", err)
+	}
+	if err := client.AuthProbe(ctx, "d1", "wrong"); !errors.Is(err, core.ErrAuth) {
+		t.Errorf("bad token: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestRetryRecoversFromTransient5xx(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	var calls atomic.Int32
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "backend overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		hd.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	if _, err := client.Checkout(context.Background(), "d1", token); err != nil {
+		t.Fatalf("Checkout with retry: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3 (2 failures + 1 success)", n)
+	}
+}
+
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	})
+	_, err := client.Tasks(context.Background())
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	// The final attempt's response is returned as-is (a non-2xx status),
+	// so the two earlier attempts were retried and the third surfaced.
+	if n := calls.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+}
+
+func TestRetryDoesNotRetryApplicationErrors(t *testing.T) {
+	hd, _ := newHandler(t)
+	var calls atomic.Int32
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hd.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond,
+	})
+	if _, err := client.Checkout(context.Background(), "ghost", "bad"); !errors.Is(err, core.ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("401 was retried: %d attempts", n)
+	}
+}
+
+func TestRetryRespectsContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Tasks(ctx)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ignored the context for %v", elapsed)
+	}
+}
+
+func TestHealthzLeader(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	if err := srv.Checkin(context.Background(), "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("leader healthz status = %d, want 200", resp.StatusCode)
+	}
+	hr, err := NewHTTPClient(ts.URL, nil).Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || len(hr.Tasks) != 1 {
+		t.Fatalf("unexpected health %+v", hr)
+	}
+	row := hr.Tasks[0]
+	if row.Role != "leader" || !row.Ready || row.Iteration != 1 {
+		t.Errorf("unexpected task row %+v", row)
+	}
+}
+
+// stubProbe feeds a fixed status into a replica task's health row.
+type stubProbe struct{ st hub.ReplicaStatus }
+
+func (p stubProbe) ReplicaStatus() hub.ReplicaStatus { return p.st }
+
+func TestHealthzFollower(t *testing.T) {
+	h := hub.New()
+	task, err := h.CreateTask(context.Background(), "alpha", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}, hub.AsReplicaOf("http://leader:8080"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(h))
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, nil)
+
+	// No probe bound yet: the follower is not ready.
+	hr, err := client.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "unavailable" || hr.Tasks[0].Ready {
+		t.Errorf("unbound follower should be unavailable, got %+v", hr)
+	}
+	resp, _ := http.Get(ts.URL + PathHealthz)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+
+	// A tailing probe flips it ready and reports lag.
+	task.BindReplicaProbe(stubProbe{st: hub.ReplicaStatus{
+		State: hub.ReplicaTailing, LeaderURL: "http://leader:8080", LeaderIteration: 7,
+	}})
+	hr, err = client.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := hr.Tasks[0]
+	if hr.Status != "ok" || !row.Ready || row.Role != "follower" {
+		t.Fatalf("tailing follower should be ready, got %+v", hr)
+	}
+	if row.ReplicationLag == nil || *row.ReplicationLag != 7 {
+		t.Errorf("lag = %v, want 7 (leader at 7, local at 0)", row.ReplicationLag)
+	}
+	if row.LeaderURL != "http://leader:8080" || row.ReplicaState != hub.ReplicaTailing {
+		t.Errorf("unexpected follower row %+v", row)
+	}
+}
+
+func TestStatsClient(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	if err := srv.Checkin(context.Background(), "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	stats, err := NewHTTPClient(ts.URL, nil).WithTask("alpha").Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.TaskID != "alpha" || stats.Iteration != 1 {
+		t.Errorf("unexpected stats %+v", stats)
+	}
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"github.com/crowdml/crowdml/internal/hub"
+)
+
+// PathHealthz is the readiness endpoint, served by both roles: a leader
+// reports per-task learning progress; a follower additionally reports
+// its replication state and lag. 200 means every hosted task is ready to
+// serve its role (a follower is ready once it is tailing the leader's
+// feed); 503 means at least one is not — a load balancer draining a
+// bootstrapping follower reads exactly this.
+const PathHealthz = "/v1/healthz"
+
+// HealthTask is one task's row in the healthz report.
+type HealthTask struct {
+	ID        string `json:"id"`
+	Role      string `json:"role"` // "leader" or "follower"
+	Iteration int    `json:"iteration"`
+	Stopped   bool   `json:"stopped"`
+	Ready     bool   `json:"ready"`
+	// Follower-only fields.
+	ReplicaState string `json:"replicaState,omitempty"`
+	LeaderURL    string `json:"leaderUrl,omitempty"`
+	// LeaderIteration is the leader's iteration counter as of the last
+	// completed feed exchange.
+	LeaderIteration int `json:"leaderIteration,omitempty"`
+	// ReplicationLag is how many iterations this replica trails the
+	// leader; nil when unknown (no feed exchange has completed yet).
+	ReplicationLag *int   `json:"replicationLag,omitempty"`
+	LastError      string `json:"lastError,omitempty"`
+}
+
+// HealthResponse is the healthz body: overall status ("ok" or
+// "unavailable", mirrored by the 200/503 response status) plus one row
+// per hosted task.
+type HealthResponse struct {
+	Status string       `json:"status"`
+	Tasks  []HealthTask `json:"tasks"`
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Tasks: make([]HealthTask, 0, h.hub.Len())}
+	ready := true
+	for _, t := range h.hub.Tasks() {
+		row := HealthTask{
+			ID:        t.ID(),
+			Role:      "leader",
+			Iteration: t.Server().Iteration(),
+			Stopped:   t.Server().Stopped(),
+			Ready:     true,
+		}
+		if t.ReadOnly() {
+			row.Role = "follower"
+			row.LeaderURL = t.LeaderURL()
+			// A follower is ready once its runtime reports it tailing the
+			// feed: bootstrapped, serving reads, trailing by a known lag. A
+			// replica between CreateTask and its runtime binding a probe, or
+			// one still bootstrapping, is not ready yet; one retrying a lost
+			// leader keeps serving its last-applied state and stays ready.
+			st, ok := t.ReplicaStatus()
+			if !ok {
+				row.Ready = false
+			} else {
+				row.ReplicaState = st.State
+				row.LeaderIteration = st.LeaderIteration
+				row.LastError = st.LastError
+				row.Ready = st.State == hub.ReplicaTailing || st.State == hub.ReplicaRetrying
+				if lag, ok := t.ReplicationLag(); ok {
+					row.ReplicationLag = &lag
+				}
+			}
+		}
+		if !row.Ready {
+			ready = false
+		}
+		resp.Tasks = append(resp.Tasks, row)
+	}
+	if !ready {
+		resp.Status = "unavailable"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, resp)
+}
+
+// Healthz fetches the server's readiness report. Unlike the other GETs
+// it is never retried and accepts the 503 a not-ready server answers
+// with — the report itself is the answer; err is non-nil only when no
+// report could be obtained at all.
+func (c *HTTPClient) Healthz(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+PathHealthz, nil)
+	if err != nil {
+		return nil, fmt.Errorf("transport: build healthz: %w", err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("transport: healthz returned %d", resp.StatusCode)
+	}
+	var out HealthResponse
+	if err := decodeJSON(resp.Body, &out); err != nil {
+		return nil, fmt.Errorf("transport: decode healthz: %w", err)
+	}
+	return &out, nil
+}

@@ -36,12 +36,19 @@ func taskPath(taskID, endpoint string) string {
 	return PathTasks + "/" + url.PathEscape(taskID) + "/" + endpoint
 }
 
-// statsResponse is the public progress view served at the stats
+// ErrReadOnlyReplica is returned (as a 409, with the leader's base URL
+// in the X-Crowdml-Leader header) when a write — checkin, register —
+// hits a follower replica. The replica's state is owned by the
+// replication runtime; clients should retry the write against the
+// hinted leader.
+var ErrReadOnlyReplica = errors.New("transport: task is a read-only replica; write to the leader")
+
+// StatsResponse is the public progress view served at the stats
 // endpoints — the differentially private statistics the paper's Web
 // portal displays (error rates and label distributions, Section V-A).
 // Every field is read lock-free from the server's atomic counters, so a
 // crowd polling its portal never slows the learning hot path down.
-type statsResponse struct {
+type StatsResponse struct {
 	TaskID        string    `json:"taskId"`
 	Iteration     int       `json:"iteration"`
 	Stopped       bool      `json:"stopped"`
@@ -89,6 +96,9 @@ func NewHandler(h *hub.Hub) *Handler {
 	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/checkout", hd.handleCheckout)
 	hd.mux.HandleFunc("POST "+PathTasks+"/{task}/checkin", hd.handleCheckin)
 	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/stats", hd.handleStats)
+	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/journal", hd.handleJournalFeed)
+	hd.mux.HandleFunc("GET "+PathTasks+"/{task}/checkpoint", hd.handleCheckpoint)
+	hd.mux.HandleFunc("GET "+PathHealthz, hd.handleHealthz)
 	hd.mux.HandleFunc("GET "+PathCheckout, hd.handleCheckout)
 	hd.mux.HandleFunc("POST "+PathCheckin, hd.handleCheckin)
 	hd.mux.HandleFunc("GET "+PathStats, hd.handleStats)
@@ -182,6 +192,9 @@ func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if rejectReadOnly(w, t) {
+		return
+	}
 	var req core.CheckinRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
 		writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
@@ -195,13 +208,25 @@ func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// rejectReadOnly writes the 409 + leader-hint rejection for writes
+// targeting a follower replica; it reports true when the request was
+// rejected and the caller must stop.
+func rejectReadOnly(w http.ResponseWriter, t *hub.Task) bool {
+	if !t.ReadOnly() {
+		return false
+	}
+	w.Header().Set(headerLeader, t.LeaderURL())
+	writeError(w, fmt.Errorf("task %q replicates %s: %w", t.ID(), t.LeaderURL(), ErrReadOnlyReplica))
+	return true
+}
+
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	t, ok := h.task(w, r)
 	if !ok {
 		return
 	}
 	s := t.Server()
-	resp := statsResponse{
+	resp := StatsResponse{
 		TaskID:    t.ID(),
 		Iteration: s.Iteration(),
 		Stopped:   s.Stopped(),
@@ -233,11 +258,11 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrAuth):
 		status = http.StatusUnauthorized
-	case errors.Is(err, core.ErrStopped):
+	case errors.Is(err, core.ErrStopped), errors.Is(err, ErrReadOnlyReplica):
 		status = http.StatusConflict
 	case errors.Is(err, core.ErrBadCheckin):
 		status = http.StatusBadRequest
-	case errors.Is(err, hub.ErrTaskNotFound):
+	case errors.Is(err, hub.ErrTaskNotFound), errors.Is(err, ErrNoFeed):
 		status = http.StatusNotFound
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusBadRequest
@@ -254,6 +279,8 @@ type HTTPClient struct {
 	baseURL string
 	taskID  string
 	client  *http.Client
+	retry   RetryPolicy
+	retryOn bool
 }
 
 var _ core.Transport = (*HTTPClient)(nil)
@@ -291,15 +318,13 @@ func (c *HTTPClient) endpoint(legacy string) string {
 	return c.baseURL + taskPath(c.taskID, strings.TrimPrefix(legacy, "/v1/"))
 }
 
-// Checkout implements core.Transport.
+// Checkout implements core.Transport. Checkout is idempotent, so a
+// client built WithRetry transparently retries transient failures.
 func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint(PathCheckout), nil)
-	if err != nil {
-		return nil, fmt.Errorf("transport: build checkout: %w", err)
-	}
-	req.Header.Set(headerDeviceID, deviceID)
-	req.Header.Set(headerToken, token)
-	resp, err := c.client.Do(req)
+	hdr := http.Header{}
+	hdr.Set(headerDeviceID, deviceID)
+	hdr.Set(headerToken, token)
+	resp, err := c.doGET(ctx, c.endpoint(PathCheckout), hdr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: checkout: %w", err)
 	}
@@ -308,7 +333,7 @@ func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*cor
 		return nil, err
 	}
 	var out core.CheckoutResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := decodeJSON(resp.Body, &out); err != nil {
 		return nil, fmt.Errorf("transport: decode checkout: %w", err)
 	}
 	return &out, nil
@@ -338,11 +363,7 @@ func (c *HTTPClient) Checkin(ctx context.Context, deviceID, token string, body *
 // Tasks fetches the server's task listing (GET /v1/tasks) — the
 // programmatic portal index a device browses before joining a task.
 func (c *HTTPClient) Tasks(ctx context.Context) ([]TaskSummary, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+PathTasks, nil)
-	if err != nil {
-		return nil, fmt.Errorf("transport: build task listing: %w", err)
-	}
-	resp, err := c.client.Do(req)
+	resp, err := c.doGET(ctx, c.baseURL+PathTasks, nil)
 	if err != nil {
 		return nil, fmt.Errorf("transport: task listing: %w", err)
 	}
@@ -351,10 +372,28 @@ func (c *HTTPClient) Tasks(ctx context.Context) ([]TaskSummary, error) {
 		return nil, err
 	}
 	var out []TaskSummary
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := decodeJSON(resp.Body, &out); err != nil {
 		return nil, fmt.Errorf("transport: decode task listing: %w", err)
 	}
 	return out, nil
+}
+
+// Stats fetches the task's public progress view (GET stats) — the
+// differentially private error and prior estimates a portal displays.
+func (c *HTTPClient) Stats(ctx context.Context) (*StatsResponse, error) {
+	resp, err := c.doGET(ctx, c.endpoint(PathStats), nil)
+	if err != nil {
+		return nil, fmt.Errorf("transport: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	var out StatsResponse
+	if err := decodeJSON(resp.Body, &out); err != nil {
+		return nil, fmt.Errorf("transport: decode stats: %w", err)
+	}
+	return &out, nil
 }
 
 // errorMessage extracts the message from a JSON error body, falling back

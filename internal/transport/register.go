@@ -47,6 +47,9 @@ func (h *Handler) EnableEnrollment(key string) {
 		if !ok {
 			return
 		}
+		if rejectReadOnly(w, t) {
+			return
+		}
 		var req registerRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 			writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
