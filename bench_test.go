@@ -35,6 +35,7 @@ import (
 	"github.com/crowdml/crowdml/internal/sim"
 	"github.com/crowdml/crowdml/internal/simnet"
 	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/telemetry"
 )
 
 // benchCfg is the reduced scale used by the figure benches.
@@ -246,6 +247,60 @@ func BenchmarkCheckinBatched(b *testing.B) {
 			if err := srv.Checkin(ctx, "bench", token, req); err != nil {
 				b.Error(err)
 				return
+			}
+		}
+	})
+}
+
+// BenchmarkCheckoutInstrumented is BenchmarkCheckoutParallel with the
+// operational telemetry registry wired in — the proof that the
+// lock-free checkout snapshot path stays within the benchgate envelope
+// with instrumentation enabled (one counter add plus one histogram
+// observation per checkout).
+func BenchmarkCheckoutInstrumented(b *testing.B) {
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	srv, err := core.NewServer(core.ServerConfig{
+		Model:   m,
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+		Metrics: core.NewServerMetrics(telemetry.NewRegistry(), "bench"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	token, err := srv.RegisterDevice(ctx, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Checkout(ctx, "bench", token); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkMetricsHotPath isolates the telemetry primitives themselves:
+// one counter increment plus one histogram observation per iteration
+// under parallel load — the exact per-request cost the instrumented
+// server paths add.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_ops_total", "Ops.", telemetry.L("task", "bench"))
+	h := reg.Histogram("bench_op_seconds", "Latency.", telemetry.DurationBuckets,
+		telemetry.L("task", "bench"))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0
+		for pb.Next() {
+			c.Inc()
+			h.Observe(v)
+			v += 1e-5
+			if v > 5 {
+				v = 0
 			}
 		}
 	})

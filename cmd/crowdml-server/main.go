@@ -13,6 +13,10 @@
 //     task: the streamed journal plus the latest bootstrap checkpoint;
 //   - /v1/healthz — per-task readiness, including follower replication
 //     state and lag;
+//   - /v1/metrics — operational telemetry in Prometheus text format
+//     (checkin/checkout throughput and latency, journal and checkpoint
+//     durability counters, per-route HTTP totals, replica lag);
+//     -metrics=false disables the instrumentation and the endpoint;
 //   - /v1/checkout, /v1/checkin, /v1/stats, /v1/register — legacy
 //     single-task aliases bound to the default task;
 //   - /portal/ — the public multi-task Web portal with live DP statistics.
@@ -206,6 +210,8 @@ func run() error {
 
 		follow     = flag.String("follow", "", "run as a follower replica of the leader at this base URL (per-task override: the tasks file's \"follow\" field)")
 		followPoll = flag.Duration("follow-poll", 250*time.Millisecond, "how often a caught-up follower re-polls the leader's journal feed")
+
+		metricsOn = flag.Bool("metrics", true, "instrument all layers and serve Prometheus telemetry on /v1/metrics")
 	)
 	flag.Parse()
 
@@ -240,6 +246,12 @@ func run() error {
 	}
 
 	h := crowdml.NewHub()
+	// One registry spans every task and layer; nil (with -metrics=false)
+	// switches all instrumentation off at a single-branch cost per op.
+	var reg *crowdml.MetricsRegistry
+	if *metricsOn {
+		reg = crowdml.NewMetricsRegistry()
+	}
 	var replicators []*crowdml.Replicator
 	// Follower shutdown: stop every replication loop before durability is
 	// flushed, whatever path run() exits through.
@@ -252,7 +264,7 @@ func run() error {
 		if spec.Follow == "" {
 			spec.Follow = *follow
 		}
-		r, err := createTask(ctx, h, spec, *stateDir, *saveEvery, *followPoll)
+		r, err := createTask(ctx, h, spec, *stateDir, *saveEvery, *followPoll, reg)
 		if err != nil {
 			flushHub(h)
 			return err
@@ -282,7 +294,11 @@ func run() error {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", crowdml.NewHTTPHandler(h, *enrollKey))
+	if reg != nil {
+		mux.Handle("/", crowdml.NewHTTPHandlerWithMetrics(h, *enrollKey, reg))
+	} else {
+		mux.Handle("/", crowdml.NewHTTPHandler(h, *enrollKey))
+	}
 	mux.Handle("/portal/", http.StripPrefix("/portal", crowdml.NewPortalIndex(h)))
 	mux.Handle("/portal", http.RedirectHandler("/portal/", http.StatusMovedPermanently))
 
@@ -340,8 +356,10 @@ func flushHub(h *crowdml.Hub) {
 // with a state directory the task is durable (write-ahead journal +
 // asynchronous checkpoints) and resumes any persisted state. A spec with
 // a Follow URL instead becomes a read-only follower replica; the
-// returned Replicator (nil for leader tasks) is ready to Start.
-func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery, followPoll time.Duration) (*crowdml.Replicator, error) {
+// returned Replicator (nil for leader tasks) is ready to Start. A
+// non-nil reg instruments the task (core hot paths, durability, and —
+// for followers — the replication loop) into the shared registry.
+func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery, followPoll time.Duration, reg *crowdml.MetricsRegistry) (*crowdml.Replicator, error) {
 	// Validate the ID before it is used as an on-disk directory name —
 	// hub.CreateTask would reject it too, but only after the state dir
 	// had been created at a possibly escaped path.
@@ -402,6 +420,9 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	if spec.Default {
 		opts = append(opts, crowdml.AsDefaultTask())
 	}
+	if reg != nil {
+		opts = append(opts, crowdml.WithMetrics(reg))
+	}
 	if spec.Follow != "" {
 		// Follower replica: no local store (re-bootstrap covers a dead
 		// follower), leader-vouched auth for devices checking out here,
@@ -423,6 +444,7 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 			Feed:         feed,
 			PollInterval: followPoll,
 			Logf:         log.Printf,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return nil, err

@@ -13,6 +13,7 @@ import (
 	"github.com/crowdml/crowdml/internal/privacy"
 	"github.com/crowdml/crowdml/internal/replica"
 	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/telemetry"
 	"github.com/crowdml/crowdml/internal/transport"
 )
 
@@ -276,6 +277,58 @@ func NewHTTPHandler(h *Hub, enrollKey string) http.Handler {
 	hd := transport.NewHandler(h)
 	hd.EnableEnrollment(enrollKey)
 	return hd
+}
+
+// NewHTTPHandlerWithMetrics is NewHTTPHandler plus operational
+// telemetry: GET /v1/metrics serves reg's Prometheus text exposition
+// (on leaders and followers alike), and every request through the
+// handler is counted by matched route pattern and status class. Pass
+// the same registry to WithMetrics / ReplicaConfig.Metrics so the
+// core, durability and replica series surface on the same endpoint.
+// A nil registry serves an empty exposition and skips request counting.
+func NewHTTPHandlerWithMetrics(h *Hub, enrollKey string, reg *MetricsRegistry) http.Handler {
+	hd := transport.NewHandler(h)
+	hd.EnableEnrollment(enrollKey)
+	hd.EnableMetrics(reg)
+	return hd
+}
+
+// MetricsRegistry is the operational telemetry registry: a namespace of
+// atomic counters, gauges and fixed-bucket histograms with lock-free
+// recording and a Prometheus text-exposition writer. Distinct from the
+// paper's ML-evaluation metrics (internal/metrics): this one answers
+// operator questions — checkin rates, fsync latency, replica lag. A nil
+// *MetricsRegistry is valid everywhere one is accepted and disables
+// telemetry.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry returns an empty operational telemetry registry.
+// Wire it into the HTTP layer with NewHTTPHandlerWithMetrics, into
+// tasks with WithMetrics, and into followers via
+// ReplicaConfig.Metrics; see docs/OPERATIONS.md "Monitoring" for the
+// metric name table.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// WithMetrics instruments the created task in reg: the core hot-path
+// series (checkouts, checkins, latency histograms, batch sizes,
+// rejections) and — together with WithStore — the durability series
+// (journal appends, fsync latency, checkpoint saves, rotations,
+// retention prunes, fail-stops, live segment gauge), all labeled with
+// the task ID. Recording is lock-free atomic adds on pre-bound handles;
+// the benchgate-enforced contract is that instrumentation keeps the
+// checkout/checkin hot paths within the regression envelope.
+func WithMetrics(reg *MetricsRegistry) TaskOption { return hub.WithMetrics(reg) }
+
+// ServerMetrics is the pre-bound handle set a standalone Server (one
+// built with NewServer rather than hosted on a hub) records into via
+// ServerConfig.Metrics. Hub-hosted tasks should use WithMetrics, which
+// binds this automatically under the task's ID.
+type ServerMetrics = core.ServerMetrics
+
+// NewServerMetrics binds the core-layer series for one task name in
+// reg; nil reg yields nil (telemetry disabled).
+func NewServerMetrics(reg *MetricsRegistry, task string) *ServerMetrics {
+	return core.NewServerMetrics(reg, task)
 }
 
 // NormalizeL1 scales x in place to unit L1 norm — the feature

@@ -183,6 +183,7 @@ func (s *Server) drainInto(batch []*pendingCheckin) []*pendingCheckin {
 // batch — a write-ahead journal hook that missed an acknowledged
 // iteration would leave an unrecoverable gap in the log.
 func (s *Server) applyBatch(batch []*pendingCheckin) []error {
+	s.cfg.Metrics.observeBatch(len(batch))
 	results := make([]error, len(batch))
 	applied := 0 // items whose apply step completed; their result is authoritative
 	hooked := 0  // items whose OnCheckin hook has run

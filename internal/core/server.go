@@ -100,6 +100,11 @@ type ServerConfig struct {
 	// wait on a timer, because every pending checkin has a caller ready to
 	// become the next leader.
 	CheckinFlushInterval time.Duration
+	// Metrics, if non-nil, receives operational telemetry from the
+	// device-facing hot paths (see NewServerMetrics for the series).
+	// Recording is lock-free atomic adds on pre-bound handles; nil
+	// disables telemetry at the cost of one branch per request.
+	Metrics *ServerMetrics
 }
 
 // DeviceStats are the server's per-device progress counters from
@@ -299,10 +304,16 @@ func (s *Server) Checkout(ctx context.Context, deviceID, token string) (*Checkou
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var start time.Time
+	if s.cfg.Metrics != nil {
+		start = time.Now()
+	}
 	if err := s.authenticate(ctx, deviceID, token); err != nil {
+		s.cfg.Metrics.observeCheckout(start, err)
 		return nil, err
 	}
 	snap := s.refreshSnapshot()
+	s.cfg.Metrics.observeCheckout(start, nil)
 	return &CheckoutResponse{
 		Params:  linalg.Copy(snap.params), // callers own the returned slice
 		Version: snap.version,
@@ -320,6 +331,18 @@ func (s *Server) Checkin(ctx context.Context, deviceID, token string, req *Check
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	var start time.Time
+	if s.cfg.Metrics != nil {
+		start = time.Now()
+	}
+	err := s.checkin(ctx, deviceID, token, req)
+	s.cfg.Metrics.observeCheckin(start, err)
+	return err
+}
+
+// checkin is Checkin's classification-free body; the wrapper times it
+// and feeds the outcome to the telemetry layer.
+func (s *Server) checkin(ctx context.Context, deviceID, token string, req *CheckinRequest) error {
 	if err := s.authenticate(ctx, deviceID, token); err != nil {
 		return err
 	}

@@ -157,6 +157,7 @@ type durability struct {
 	policy    CheckpointPolicy
 	sync      SyncPolicy
 	retention RetentionPolicy
+	m         *durMetrics   // nil disables durability telemetry
 	dirty     atomic.Int64  // checkins journaled since the last snapshot
 	kick      chan struct{} // AfterN trigger (capacity 1, coalescing)
 	stopCh    chan struct{}
@@ -249,10 +250,21 @@ func (d *durability) journalCheckin(ctx context.Context, deviceID string, iterat
 	// The checkin is already applied to the model; the record must be
 	// written even if the device's request context has been cancelled.
 	if err := d.journal.Append(context.WithoutCancel(ctx), entry); err != nil {
+		if d.m != nil {
+			d.m.appendFailures.Inc()
+		}
 		d.failStop(fmt.Errorf("journal append at iteration %d failed; task stopped: %w", iteration, err))
-	} else if d.sync == SyncEvery {
-		if err := d.journal.Sync(context.WithoutCancel(ctx)); err != nil {
-			d.failStop(fmt.Errorf("journal sync at iteration %d failed; task stopped: %w", iteration, err))
+	} else {
+		if d.m != nil {
+			d.m.appends.Inc()
+		}
+		if d.sync == SyncEvery {
+			done := d.m.observeSync()
+			err := d.journal.Sync(context.WithoutCancel(ctx))
+			done()
+			if err != nil {
+				d.failStop(fmt.Errorf("journal sync at iteration %d failed; task stopped: %w", iteration, err))
+			}
 		}
 	}
 	n := d.dirty.Add(1)
@@ -281,6 +293,9 @@ func (d *durability) failStop(err error) {
 	d.preFailStopped.Store(d.srv.Stopped())
 	d.failed.Store(true)
 	d.srv.Stop()
+	if d.m != nil {
+		d.m.failStops.Inc()
+	}
 	d.recordErr(err)
 }
 
@@ -306,7 +321,10 @@ func (d *durability) syncBatch() {
 	if d.failed.Load() || d.closing {
 		return
 	}
-	if err := d.journal.Sync(context.Background()); err != nil {
+	done := d.m.observeSync()
+	err := d.journal.Sync(context.Background())
+	done()
+	if err != nil {
 		d.failStop(fmt.Errorf("journal group-commit sync failed; task stopped: %w", err))
 	}
 }
@@ -354,8 +372,14 @@ func (d *durability) save(ctx context.Context) {
 		state.Stopped = d.preFailStopped.Load()
 	}
 	if err := d.st.Save(ctx, state, time.Now()); err != nil {
+		if d.m != nil {
+			d.m.checkpointFailures.Inc()
+		}
 		d.recordErr(fmt.Errorf("checkpoint: %w", err))
 		return
+	}
+	if d.m != nil {
+		d.m.checkpointSaves.Inc()
 	}
 	// Checkins that raced in between the Load and the export are covered
 	// by the snapshot too; counting them as still-dirty only means one
@@ -387,6 +411,10 @@ func (d *durability) rotate(ctx context.Context) bool {
 		d.recordErr(fmt.Errorf("rotate journal: %w", err))
 		return false
 	}
+	if d.m != nil {
+		d.m.rotations.Inc()
+		d.m.updateSegmentGauge(ctx, d.st)
+	}
 	return true
 }
 
@@ -407,8 +435,15 @@ func (d *durability) retain(ctx context.Context, coveredIteration int) {
 	if !ok {
 		return // CreateTask validated this; a wrapper store may still hide it
 	}
-	if _, err := retainer.PruneSegments(ctx, coveredIteration, d.retention.dir); err != nil {
+	pruned, err := retainer.PruneSegments(ctx, coveredIteration, d.retention.dir)
+	if err != nil {
 		d.recordErr(fmt.Errorf("segment retention: %w", err))
+	}
+	// An interrupted prune still removed the segments it reports; count
+	// them and refresh the gauge regardless of the error.
+	if d.m != nil {
+		d.m.prunedSegments.Add(uint64(len(pruned)))
+		d.m.updateSegmentGauge(ctx, d.st)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"github.com/crowdml/crowdml/internal/core"
 	"github.com/crowdml/crowdml/internal/privacy"
 	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/telemetry"
 )
 
 // NumShards is the number of independently locked registry shards.
@@ -132,6 +133,7 @@ type createOptions struct {
 	sync      SyncPolicy
 	retention RetentionPolicy
 	replicaOf string
+	metrics   *telemetry.Registry
 }
 
 // WithInfo attaches portal metadata to the task. When the info has no
@@ -234,6 +236,9 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 	if o.info.Name == "" {
 		o.info.Name = taskID
 	}
+	if o.metrics != nil && cfg.Metrics == nil {
+		cfg.Metrics = core.NewServerMetrics(o.metrics, taskID)
+	}
 	// Reserve the ID before any side effects: opening the store's journal
 	// repairs (truncates) its tail and the restore replays it, neither of
 	// which may ever touch a store whose task is already live — a racing
@@ -293,6 +298,8 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 			return nil, fmt.Errorf("task %q: open journal: %w", taskID, err)
 		}
 		dur = newDurability(o.store, journal, o.policy, o.sync, o.retention, cfg.OnCheckin, cfg.OnBatchCommit)
+		dur.m = newDurMetrics(o.metrics, taskID)
+		dur.m.updateSegmentGauge(ctx, o.store)
 		cfg.OnCheckin = dur.onCheckin
 		if o.sync == SyncBatch {
 			// Group commit rides the batch leader's per-batch hook: one

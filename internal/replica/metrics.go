@@ -1,0 +1,55 @@
+package replica
+
+import (
+	"github.com/crowdml/crowdml/internal/telemetry"
+)
+
+// replicaMetrics holds the pre-bound telemetry handles for one
+// replicator. A nil *replicaMetrics (Config.Metrics unset) disables all
+// of them; every handle is nil-safe.
+//
+// Metric names (all carry a task label):
+//
+//	crowdml_replica_entries_replayed_total  counter  journal entries applied locally
+//	crowdml_replica_bootstraps_total        counter  checkpoint bootstraps (incl. gap-driven)
+//	crowdml_replica_retries_total           counter  backoff retries after failures
+//	crowdml_replica_lag_iterations          gauge    leader iteration minus local (mirrors healthz)
+type replicaMetrics struct {
+	entriesReplayed *telemetry.Counter
+	bootstraps      *telemetry.Counter
+	retries         *telemetry.Counter
+	lag             *telemetry.Gauge
+}
+
+// newReplicaMetrics binds the replica series for one task; nil registry
+// yields nil.
+func newReplicaMetrics(reg *telemetry.Registry, task string) *replicaMetrics {
+	if reg == nil {
+		return nil
+	}
+	t := telemetry.L("task", task)
+	return &replicaMetrics{
+		entriesReplayed: reg.Counter("crowdml_replica_entries_replayed_total",
+			"Leader journal entries replayed into the local replica.", t),
+		bootstraps: reg.Counter("crowdml_replica_bootstraps_total",
+			"Checkpoint bootstraps, including gap-driven re-bootstraps.", t),
+		retries: reg.Counter("crowdml_replica_retries_total",
+			"Backoff retries after replication failures.", t),
+		lag: reg.Gauge("crowdml_replica_lag_iterations",
+			"Replication lag: leader iteration minus local iteration at the last complete exchange (mirrors /v1/healthz).", t),
+	}
+}
+
+// setLag records the lag after a complete exchange, clamped at zero the
+// same way hub.Task.ReplicationLag clamps it (the leader counter in the
+// EOS frame was sampled before our last applied entries).
+func (m *replicaMetrics) setLag(leaderIteration, localIteration int) {
+	if m == nil {
+		return
+	}
+	lag := leaderIteration - localIteration
+	if lag < 0 {
+		lag = 0
+	}
+	m.lag.Set(float64(lag))
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/crowdml/crowdml/internal/core"
 	"github.com/crowdml/crowdml/internal/hub"
 	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/telemetry"
 	"github.com/crowdml/crowdml/internal/transport"
 )
 
@@ -52,6 +53,9 @@ type Config struct {
 	// Logf, when set, receives one line per state transition and failure
 	// (log.Printf-shaped). Nil discards.
 	Logf func(format string, args ...any)
+	// Metrics, if non-nil, receives the replica telemetry series
+	// (entries replayed, bootstraps, retries, lag) under the task's ID.
+	Metrics *telemetry.Registry
 }
 
 // Replicator drives one follower task: Start launches the
@@ -62,6 +66,7 @@ type Replicator struct {
 	cfg  Config
 	srv  *core.Server
 	logf func(string, ...any)
+	m    *replicaMetrics // nil disables replica telemetry
 
 	status chan hub.ReplicaStatus // 1-buffered mailbox holding current telemetry
 
@@ -102,6 +107,7 @@ func New(cfg Config) (*Replicator, error) {
 		cfg:    cfg,
 		srv:    cfg.Task.Server(),
 		logf:   cfg.Logf,
+		m:      newReplicaMetrics(cfg.Metrics, cfg.Task.ID()),
 		status: make(chan hub.ReplicaStatus, 1),
 	}
 	if r.logf == nil {
@@ -164,6 +170,9 @@ func (r *Replicator) Run(ctx context.Context) {
 				continue
 			}
 			needBootstrap = false
+			if r.m != nil {
+				r.m.bootstraps.Inc()
+			}
 			r.logf("replica[%s]: bootstrapped at iteration %d", r.cfg.Task.ID(), r.srv.Iteration())
 		}
 		err := r.tailOnce(ctx)
@@ -237,10 +246,17 @@ func (r *Replicator) tailOnce(ctx context.Context) error {
 		if !e.Replayable() {
 			continue // v1 audit-only entry; the checkpoint covered it
 		}
-		if err := r.apply(e); err != nil {
+		n, err := r.apply(e)
+		if err != nil {
 			return err
 		}
 		applied++
+		if r.m != nil && n > 0 {
+			// Count entries Replay actually applied, not everything the
+			// feed shipped: a segment-granular feed re-streams entries the
+			// replica already holds, and Replay skips those silently.
+			r.m.entriesReplayed.Inc()
+		}
 	}
 	// A clean exchange that shipped nothing while the leader sits ahead
 	// of us is a gap the stream itself cannot reveal: retention pruned
@@ -253,6 +269,7 @@ func (r *Replicator) tailOnce(ctx context.Context) error {
 			fmt.Errorf("feed ended empty at leader iteration %d with replica at %d: %w",
 				feed.LeaderIteration(), r.srv.Iteration(), core.ErrReplayGap))
 	}
+	r.m.setLag(feed.LeaderIteration(), r.srv.Iteration())
 	r.update(func(st *hub.ReplicaStatus) {
 		st.State = hub.ReplicaTailing
 		st.LeaderIteration = feed.LeaderIteration()
@@ -261,13 +278,14 @@ func (r *Replicator) tailOnce(ctx context.Context) error {
 	return nil
 }
 
-// apply replays one shipped journal entry into the local server. Each
-// entry is its own Replay call: the parameter lock is held per entry,
-// not per stream, so local checkouts interleave freely with a live tail
-// — and the feed's network reads never happen under the lock (Replay's
-// source must not block).
-func (r *Replicator) apply(e store.JournalEntry) error {
-	_, err := r.srv.Replay(core.ReplaySlice([]core.ReplayRecord{{
+// apply replays one shipped journal entry into the local server,
+// returning how many records Replay applied (0 when the entry was
+// already covered locally). Each entry is its own Replay call: the
+// parameter lock is held per entry, not per stream, so local checkouts
+// interleave freely with a live tail — and the feed's network reads
+// never happen under the lock (Replay's source must not block).
+func (r *Replicator) apply(e store.JournalEntry) (int, error) {
+	n, err := r.srv.Replay(core.ReplaySlice([]core.ReplayRecord{{
 		DeviceID:  e.DeviceID,
 		Iteration: e.Iteration,
 		Req: &core.CheckinRequest{
@@ -279,12 +297,12 @@ func (r *Replicator) apply(e store.JournalEntry) error {
 		},
 	}}))
 	if errors.Is(err, core.ErrReplayGap) {
-		return errOf(CategoryGap, "apply", err)
+		return n, errOf(CategoryGap, "apply", err)
 	}
 	if err != nil {
-		return errOf(CategoryState, "apply", err)
+		return n, errOf(CategoryState, "apply", err)
 	}
-	return nil
+	return n, nil
 }
 
 // idle waits PollInterval (or cancellation) between caught-up polls.
@@ -300,6 +318,9 @@ func (r *Replicator) idle(ctx context.Context) {
 // failWait records a failure, sleeps the jittered backoff, and returns
 // the next (doubled, capped) backoff.
 func (r *Replicator) failWait(ctx context.Context, err error, backoff time.Duration) time.Duration {
+	if r.m != nil {
+		r.m.retries.Inc()
+	}
 	r.update(func(st *hub.ReplicaStatus) {
 		st.State = hub.ReplicaRetrying
 		st.LastError = err.Error()

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a HELP string per the Prometheus text format:
+// backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double-quote, and
+// newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// labelPairs renders {a="x",b="y"} from parallel name/value slices; the
+// extra pair (used for histogram le) is appended last when its name is
+// non-empty. Returns "" when there are no pairs at all.
+func labelPairs(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// decodeSeriesKey recovers the label values from a series map key (the
+// inverse of seriesKey's length-prefixed encoding).
+func decodeSeriesKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	var out []string
+	for len(key) > 0 {
+		colon := strings.IndexByte(key, ':')
+		n, _ := strconv.Atoi(key[:colon])
+		out = append(out, key[colon+1:colon+1+n])
+		key = key[colon+1+n+1:] // skip value and trailing comma
+	}
+	return out
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// # HELP and # TYPE line each, then the series sorted by label values.
+// Histogram families expand into cumulative _bucket series (ending in
+// le="+Inf"), _sum, and _count; because per-bucket counts are summed at
+// scrape time, the cumulative sequence is monotone and _count equals
+// the +Inf bucket even while other goroutines are recording. A nil
+// registry writes nothing. The first write error aborts the walk and is
+// returned.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, kindName(f.kind))
+		for i, k := range keys {
+			values := decodeSeriesKey(k)
+			switch m := series[i].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name,
+					labelPairs(f.labelNames, values, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name,
+					labelPairs(f.labelNames, values, "", ""), formatValue(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for bi := range m.counts {
+					cum += m.counts[bi].Load()
+					le := "+Inf"
+					if bi < len(m.bounds) {
+						le = formatValue(m.bounds[bi])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelPairs(f.labelNames, values, "le", le), cum)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name,
+					labelPairs(f.labelNames, values, "", ""), formatValue(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name,
+					labelPairs(f.labelNames, values, "", ""), cum)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ContentType is the Content-Type of the Prometheus text exposition
+// format emitted by WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry in
+// Prometheus text format. A nil registry serves an empty (valid)
+// exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestExposeCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total", "Last family.").Add(7)
+	r.Counter("alpha_total", "First family.", L("task", "t1")).Add(3)
+	r.Gauge("mid_gauge", "A gauge.").Set(2.5)
+
+	got := expose(t, r)
+	want := "# HELP alpha_total First family.\n" +
+		"# TYPE alpha_total counter\n" +
+		"alpha_total{task=\"t1\"} 3\n" +
+		"# HELP mid_gauge A gauge.\n" +
+		"# TYPE mid_gauge gauge\n" +
+		"mid_gauge 2.5\n" +
+		"# HELP zeta_total Last family.\n" +
+		"# TYPE zeta_total counter\n" +
+		"zeta_total 7\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExposeHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(9)
+
+	got := expose(t, r)
+	want := "# HELP lat_seconds Latency.\n" +
+		"# TYPE lat_seconds histogram\n" +
+		"lat_seconds_bucket{le=\"0.5\"} 1\n" +
+		"lat_seconds_bucket{le=\"1\"} 2\n" +
+		"lat_seconds_bucket{le=\"+Inf\"} 3\n" +
+		"lat_seconds_sum 9.9\n" +
+		"lat_seconds_count 3\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// A histogram that was registered but never observed must still expose
+// a complete, well-formed family: all-zero buckets, zero sum and count.
+func TestExposeZeroObservationHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "Never touched.", []float64{1, 2})
+
+	got := expose(t, r)
+	want := "# HELP idle_seconds Never touched.\n" +
+		"# TYPE idle_seconds histogram\n" +
+		"idle_seconds_bucket{le=\"1\"} 0\n" +
+		"idle_seconds_bucket{le=\"2\"} 0\n" +
+		"idle_seconds_bucket{le=\"+Inf\"} 0\n" +
+		"idle_seconds_sum 0\n" +
+		"idle_seconds_count 0\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExposeLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "x", L("path", `C:\dir`+"\n"+`"quoted"`)).Inc()
+
+	got := expose(t, r)
+	wantSample := `m_total{path="C:\\dir\n\"quoted\""} 1` + "\n"
+	if !strings.Contains(got, wantSample) {
+		t.Fatalf("escaped sample %q not found in:\n%s", wantSample, got)
+	}
+}
+
+func TestExposeHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "line one\nline \\two").Inc()
+	got := expose(t, r)
+	want := "# HELP m_total line one\\nline \\\\two\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("escaped help %q not found in:\n%s", want, got)
+	}
+}
+
+func TestExposeSpecialFloatValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf_gauge", "x").Set(math.Inf(1))
+	r.Gauge("neg_inf_gauge", "x").Set(math.Inf(-1))
+	got := expose(t, r)
+	if !strings.Contains(got, "inf_gauge +Inf\n") {
+		t.Fatalf("+Inf not rendered:\n%s", got)
+	}
+	if !strings.Contains(got, "neg_inf_gauge -Inf\n") {
+		t.Fatalf("-Inf not rendered:\n%s", got)
+	}
+}
+
+func TestExposeSeriesSortedByLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "x", L("task", "b")).Inc()
+	r.Counter("m_total", "x", L("task", "a")).Inc()
+	got := expose(t, r)
+	ia := strings.Index(got, `task="a"`)
+	ib := strings.Index(got, `task="b"`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("series not sorted by label value:\n%s", got)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "Hits.").Add(2)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 2\n") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	// A nil registry still serves a valid (empty) exposition.
+	rec = httptest.NewRecorder()
+	(*Registry)(nil).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestConcurrentScrapeWhileRecording scrapes the registry continuously
+// while goroutines hammer a histogram and register new series, and
+// asserts every scrape is internally consistent: cumulative buckets
+// monotone, _count equal to the +Inf bucket. Run under -race in CI this
+// is the scrape-vs-record soundness proof.
+func TestConcurrentScrapeWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("busy_seconds", "x", []float64{1, 2, 3})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; !stop.Load(); j++ {
+				h.Observe(float64((seed + j) % 5))
+				if j%100 == 0 {
+					r.Counter("churn_total", "x", L("i", strconv.Itoa(j%7))).Inc()
+				}
+			}
+		}(i)
+	}
+
+	for scrape := 0; scrape < 50; scrape++ {
+		out := expose(t, r)
+		var prev uint64
+		var infCount, sampleCount uint64
+		for _, line := range strings.Split(out, "\n") {
+			switch {
+			case strings.HasPrefix(line, "busy_seconds_bucket"):
+				v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+				if err != nil {
+					t.Fatalf("bad bucket line %q: %v", line, err)
+				}
+				if v < prev {
+					t.Fatalf("bucket counts not monotone in scrape:\n%s", out)
+				}
+				prev = v
+				if strings.Contains(line, `le="+Inf"`) {
+					infCount = v
+				}
+			case strings.HasPrefix(line, "busy_seconds_count"):
+				sampleCount, _ = strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			}
+		}
+		if sampleCount != infCount {
+			t.Fatalf("_count %d != +Inf bucket %d:\n%s", sampleCount, infCount, out)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestDecodeSeriesKeyRoundTrip(t *testing.T) {
+	labels := []Label{L("a", ""), L("b", `x:y,z`), L("c", "plain")}
+	got := decodeSeriesKey(seriesKey(labels))
+	want := []string{"", "x:y,z", "plain"}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

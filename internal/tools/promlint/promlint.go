@@ -1,0 +1,331 @@
+// Package promlint validates Prometheus text exposition (version
+// 0.0.4) the way CI needs it validated: structurally, so a malformed
+// metric rename or a broken histogram fails the build by name instead
+// of silently producing an unscrapable endpoint. It checks that
+//
+//   - every sample's family declares a # TYPE line before the first
+//     sample, and no family is declared twice (unique metric names);
+//   - sample lines parse (name, optional labels, float value) and no
+//     exact series repeats;
+//   - histogram families expose only _bucket/_sum/_count samples, each
+//     bucket series has exactly one le label, cumulative bucket counts
+//     are monotone non-decreasing, the last bucket is le="+Inf", and
+//     _count equals it.
+//
+// It is deliberately a library, not a command: the follower e2e test
+// scrapes a live /v1/metrics response and feeds it straight to Lint,
+// so the CI step exercises the real HTTP surface.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Problem is one finding, anchored to a 1-based line of the input.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// sample is one parsed sample line.
+type sample struct {
+	line   int
+	name   string
+	labels []label // in appearance order
+	value  float64
+}
+
+type label struct{ name, value string }
+
+// le returns the sample's le label value and whether exactly one is
+// present.
+func (s *sample) le() (string, bool) {
+	found := ""
+	n := 0
+	for _, l := range s.labels {
+		if l.name == "le" {
+			found = l.value
+			n++
+		}
+	}
+	return found, n == 1
+}
+
+// seriesKeyAs identifies a series under the given name (the sample's
+// own name for exact-duplicate detection, the FAMILY name to group a
+// histogram's _bucket/_sum/_count samples together) plus its labels in
+// appearance order, optionally dropping le (so one bucket ladder is one
+// key).
+func (s *sample) seriesKeyAs(name string, dropLE bool) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range s.labels {
+		if dropLE && l.name == "le" {
+			continue
+		}
+		fmt.Fprintf(&b, "|%s=%d:%s", l.name, len(l.value), l.value)
+	}
+	return b.String()
+}
+
+// baseName strips a histogram sample suffix, returning the family name
+// it would belong to and the suffix found ("" when none).
+func baseName(name string) (string, string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+// Lint reads one exposition and returns its problems (nil when clean).
+// A read error is returned separately; problems found before it are
+// still reported.
+func Lint(r io.Reader) ([]Problem, error) {
+	var probs []Problem
+	addf := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	types := map[string]string{}      // family → declared type
+	typeLine := map[string]int{}      // family → its TYPE line
+	sampled := map[string]int{}       // family → first sample line
+	seen := map[string]int{}          // exact series (with le) → first line
+	buckets := map[string][]*sample{} // histogram series (sans le) → bucket samples in order
+	counts := map[string]*sample{}    // histogram series (sans le) → _count sample
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, kind := fields[2], ""
+				if len(fields) == 4 {
+					kind = fields[3]
+				}
+				if prev, dup := types[name]; dup {
+					addf(lineNo, "duplicate # TYPE for %q (first declared %s at line %d)", name, prev, typeLine[name])
+					continue
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "unknown type %q for %q", kind, name)
+				}
+				if first, ok := sampled[name]; ok {
+					addf(lineNo, "# TYPE for %q appears after its first sample (line %d)", name, first)
+				}
+				types[name] = kind
+				typeLine[name] = lineNo
+			}
+			continue // HELP and other comments are free-form
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			addf(lineNo, "unparseable sample: %v", err)
+			continue
+		}
+		s.line = lineNo
+
+		// Resolve the family: histogram suffixes attach to the base family
+		// when (and only when) that family is a declared histogram.
+		family := s.name
+		base, suffix := baseName(s.name)
+		if suffix != "" && types[base] == "histogram" {
+			family = base
+		}
+		kind, declared := types[family]
+		if !declared {
+			addf(lineNo, "sample %q has no preceding # TYPE line", s.name)
+		}
+		if _, ok := sampled[family]; !ok {
+			sampled[family] = lineNo
+		}
+
+		key := s.seriesKeyAs(s.name, false)
+		if first, dup := seen[key]; dup {
+			addf(lineNo, "duplicate series %q (first at line %d)", s.name, first)
+			continue
+		}
+		seen[key] = lineNo
+
+		if kind == "histogram" {
+			switch {
+			case family == s.name:
+				addf(lineNo, "histogram %q exposes a bare sample (want _bucket/_sum/_count)", family)
+			case suffix == "_bucket":
+				if _, ok := s.le(); !ok {
+					addf(lineNo, "histogram bucket %q needs exactly one le label", s.name)
+					continue
+				}
+				k := s.seriesKeyAs(family, true)
+				buckets[k] = append(buckets[k], s)
+			case suffix == "_count":
+				counts[s.seriesKeyAs(family, true)] = s
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return probs, fmt.Errorf("promlint: read: %w", err)
+	}
+
+	// Per-series histogram shape checks, in input order of first bucket.
+	for key, bs := range buckets {
+		prevCount := -1.0
+		prevLE := ""
+		for i, b := range bs {
+			le, _ := b.le()
+			if b.value < prevCount {
+				addf(b.line, "histogram %q: bucket le=%q count %v below preceding le=%q count %v (not cumulative)",
+					b.name, le, b.value, prevLE, prevCount)
+			}
+			prevCount, prevLE = b.value, le
+			if i == len(bs)-1 && le != "+Inf" {
+				addf(b.line, "histogram %q: last bucket is le=%q, want le=\"+Inf\"", b.name, le)
+			}
+		}
+		last := bs[len(bs)-1]
+		if le, _ := last.le(); le == "+Inf" {
+			if c, ok := counts[key]; !ok {
+				addf(last.line, "histogram %q: no matching _count sample", last.name)
+			} else if c.value != last.value {
+				addf(c.line, "histogram %q: _count %v != +Inf bucket %v", c.name, c.value, last.value)
+			}
+		}
+	}
+	return probs, nil
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (*sample, error) {
+	s := &sample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.name = rest[:brace]
+		var err error
+		rest, err = parseLabels(rest[brace:], s)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if sp < 0 {
+			return nil, fmt.Errorf("no value")
+		}
+		s.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validMetricName(s.name) {
+		return nil, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("want `value [timestamp]` after the name, got %q", strings.TrimSpace(rest))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block (handling \\, \" and
+// \n escapes) and returns the remainder of the line.
+func parseLabels(rest string, s *sample) (string, error) {
+	rest = rest[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " ,")
+		if rest == "" {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		name := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("label %q: unquoted value", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return "", fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch rest[1] {
+				case '\\', '"':
+					val.WriteByte(rest[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %q: bad escape \\%c", name, rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		s.labels = append(s.labels, label{name: name, value: val.String()})
+	}
+}
+
+// parseValue accepts Go floats plus the Prometheus spellings.
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		v = "Inf"
+	case "-Inf":
+		v = "-Inf"
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", v)
+	}
+	return f, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/telemetry"
+)
+
+func lint(t *testing.T, in string) []Problem {
+	t.Helper()
+	probs, err := Lint(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return probs
+}
+
+func wantClean(t *testing.T, in string) {
+	t.Helper()
+	if probs := lint(t, in); len(probs) != 0 {
+		t.Fatalf("want clean, got %v", probs)
+	}
+}
+
+func wantProblem(t *testing.T, in, substr string) {
+	t.Helper()
+	probs := lint(t, in)
+	for _, p := range probs {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem containing %q in %v", substr, probs)
+}
+
+func TestCleanExposition(t *testing.T) {
+	wantClean(t, `# HELP a_total Things.
+# TYPE a_total counter
+a_total 3
+# TYPE b gauge
+b{task="x"} 2.5
+b{task="y"} -1
+# TYPE h histogram
+h_bucket{le="0.5"} 1
+h_bucket{le="+Inf"} 3
+h_sum 4.2
+h_count 3
+`)
+}
+
+func TestDuplicateTypeLine(t *testing.T) {
+	wantProblem(t, "# TYPE a counter\na 1\n# TYPE a counter\n", "duplicate # TYPE")
+}
+
+func TestSampleBeforeType(t *testing.T) {
+	wantProblem(t, "a 1\n# TYPE a counter\n", "appears after its first sample")
+}
+
+func TestSampleWithoutType(t *testing.T) {
+	wantProblem(t, "orphan_total 1\n", "no preceding # TYPE")
+}
+
+func TestDuplicateSeries(t *testing.T) {
+	wantProblem(t, "# TYPE a counter\na{task=\"x\"} 1\na{task=\"x\"} 2\n", "duplicate series")
+}
+
+func TestHistogramNotCumulative(t *testing.T) {
+	wantProblem(t, `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`, "not cumulative")
+}
+
+func TestHistogramMissingInf(t *testing.T) {
+	wantProblem(t, `# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="2"} 2
+h_sum 1
+h_count 2
+`, `want le="+Inf"`)
+}
+
+func TestHistogramCountMismatch(t *testing.T) {
+	wantProblem(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 4
+`, "_count 4 != +Inf bucket 3")
+}
+
+func TestHistogramMissingCount(t *testing.T) {
+	wantProblem(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 1
+`, "no matching _count")
+}
+
+func TestHistogramBucketWithoutLE(t *testing.T) {
+	wantProblem(t, `# TYPE h histogram
+h_bucket 3
+h_sum 1
+h_count 3
+`, "exactly one le label")
+}
+
+func TestHistogramPerSeriesBuckets(t *testing.T) {
+	// Two label-disjoint series of one histogram family are checked
+	// independently — x's +Inf below y's counts is fine.
+	wantClean(t, `# TYPE h histogram
+h_bucket{task="x",le="1"} 1
+h_bucket{task="x",le="+Inf"} 2
+h_bucket{task="y",le="1"} 7
+h_bucket{task="y",le="+Inf"} 9
+h_sum{task="x"} 1
+h_count{task="x"} 2
+h_sum{task="y"} 3
+h_count{task="y"} 9
+`)
+}
+
+func TestUnparseableSample(t *testing.T) {
+	wantProblem(t, "# TYPE a counter\na one\n", "bad value")
+	wantProblem(t, "# TYPE a counter\na{task=\"x} 1\n", "unterminated")
+	wantProblem(t, "# TYPE a counter\n{} 1\n", "invalid metric name")
+}
+
+func TestEscapedLabelValues(t *testing.T) {
+	wantClean(t, `# TYPE a counter
+a{path="C:\\dir\n\"q\""} 1
+`)
+}
+
+func TestSpecialValues(t *testing.T) {
+	wantClean(t, "# TYPE g gauge\ng{v=\"a\"} +Inf\ng{v=\"b\"} -Inf\ng{v=\"c\"} NaN\n")
+}
+
+// TestLintsLiveTelemetryOutput closes the loop with the real writer:
+// whatever internal/telemetry emits must be clean under this linter —
+// the same pairing the follower e2e CI step enforces over HTTP.
+func TestLintsLiveTelemetryOutput(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("crowdml_checkouts_total", "Checkouts.", telemetry.L("task", "t1")).Add(4)
+	reg.Gauge("crowdml_replica_lag_iterations", "Lag.", telemetry.L("task", "t1")).Set(2)
+	h := reg.Histogram("crowdml_checkout_seconds", "Latency.", telemetry.DurationBuckets, telemetry.L("task", "t1"))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	reg.Histogram("crowdml_idle_seconds", "Zero observations.", []float64{1, 2})
+	reg.Counter("escape_total", "x", telemetry.L("p", "a\\b\"c\nd")).Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if probs := lint(t, b.String()); len(probs) != 0 {
+		t.Fatalf("live telemetry output failed lint: %v\n%s", probs, b.String())
+	}
+}

@@ -63,6 +63,7 @@ func (h *Handler) handleJournalFeed(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
 	fw := store.NewFeedWriter(w)
+	streamed := h.feedEntriesCounter(t.ID())
 	for {
 		e, err := cur.Next()
 		if errors.Is(err, io.EOF) || errors.Is(err, store.ErrJournalTruncated) {
@@ -76,6 +77,7 @@ func (h *Handler) handleJournalFeed(w http.ResponseWriter, r *http.Request) {
 		if fw.WriteEntry(e) != nil {
 			return // client gone
 		}
+		streamed.Inc()
 		if rc.Flush() != nil {
 			return
 		}

@@ -85,6 +85,9 @@ type errorResponse struct {
 type Handler struct {
 	hub *hub.Hub
 	mux *http.ServeMux
+	// metrics is the transport-layer instrumentation installed by
+	// EnableMetrics; nil means requests are not counted.
+	metrics *httpMetrics
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -105,9 +108,18 @@ func NewHandler(h *hub.Hub) *Handler {
 	return hd
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With EnableMetrics installed it
+// counts every request by matched route pattern and status class; the
+// ServeMux stamps the matched pattern onto the request in place, so it
+// is readable here after dispatch without touching the route table.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	if h.metrics == nil {
+		h.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	h.mux.ServeHTTP(sw, r)
+	h.metrics.observe(r.Pattern, sw.status())
 }
 
 // task resolves the request's target task: the {task} path segment when
