@@ -54,6 +54,16 @@
 // unknown device credentials against the leader once, then caching them
 // — and rejects writes with 409 plus an X-Crowdml-Leader hint.
 //
+// With -shards N (or a per-task "shards" field), a task is split across
+// N member leader tasks ("{id}.shard-{k}", each durable in its own
+// per-member store under -state-dir) behind a routing front-end mounted
+// at the logical ID: writes go to the member owning the device (stable
+// hash of the device ID), merged checkouts and stats serve a
+// periodically rebuilt checkin-count-weighted average ("mergeEveryMs" /
+// -merge-every tunes the cadence). Devices use the same
+// /v1/tasks/{id}/ routes either way; /v1/healthz reports one aggregated
+// row with per-shard sub-rows. See docs/SHARDING.md.
+//
 // Example: a 3-class activity-recognition task over 64-bin FFT features,
 // plus a read replica on another host:
 //
@@ -137,10 +147,21 @@ type taskSpec struct {
 	// are never durable locally (a dead follower re-bootstraps from its
 	// leader), so -state-dir is ignored for them.
 	Follow string `json:"follow"`
-	// checkinFlush carries the -checkin-flush flag at full resolution for
-	// the single-task path (unexported: the JSON path uses the
-	// millisecond field above).
+	// Shards splits the task across this many member leader tasks
+	// ("{id}.shard-{k}", each with its own WAL/checkpoint lineage under
+	// -state-dir) behind a routing front-end: writes go to the member
+	// owning the device, merged reads are served from a periodically
+	// rebuilt weighted average. 0 (the default) hosts a plain
+	// single-leader task. Incompatible with "follow".
+	Shards int `json:"shards"`
+	// MergeEveryMs sets a sharded task's merger cadence in milliseconds
+	// (0 = the library default).
+	MergeEveryMs int `json:"mergeEveryMs"`
+	// checkinFlush and mergeEvery carry the -checkin-flush and
+	// -merge-every flags at full resolution for the single-task path
+	// (unexported: the JSON path uses the millisecond fields above).
 	checkinFlush time.Duration
+	mergeEvery   time.Duration
 }
 
 // parseSyncPolicy maps the -sync flag / syncPolicy JSON field onto a
@@ -182,6 +203,15 @@ func (s taskSpec) flushInterval() time.Duration {
 	return time.Duration(s.CheckinFlushMs) * time.Millisecond
 }
 
+// mergeInterval resolves the sharded merger cadence the same way (0
+// lets the library default apply).
+func (s taskSpec) mergeInterval() time.Duration {
+	if s.mergeEvery > 0 {
+		return s.mergeEvery
+	}
+	return time.Duration(s.MergeEveryMs) * time.Millisecond
+}
+
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
@@ -211,6 +241,9 @@ func run() error {
 		follow     = flag.String("follow", "", "run as a follower replica of the leader at this base URL (per-task override: the tasks file's \"follow\" field)")
 		followPoll = flag.Duration("follow-poll", 250*time.Millisecond, "how often a caught-up follower re-polls the leader's journal feed")
 
+		shards     = flag.Int("shards", 0, "split the single-task-flags task across this many member leaders behind a routing front-end (0 = plain task; per-task: the tasks file's \"shards\" field)")
+		mergeEvery = flag.Duration("merge-every", 0, "sharded merger cadence (0 = library default; per-task: \"mergeEveryMs\")")
+
 		metricsOn = flag.Bool("metrics", true, "instrument all layers and serve Prometheus telemetry on /v1/metrics")
 	)
 	flag.Parse()
@@ -225,6 +258,7 @@ func run() error {
 		CheckinBatch: *checkinBatch, CheckinQueue: *checkinQueue,
 		checkinFlush: *checkinFlush, SyncPolicy: *syncMode,
 		Retention: *retention, ArchiveDir: *archiveDir,
+		Shards: *shards, mergeEvery: *mergeEvery,
 	}}
 	if *taskLabels != "" {
 		specs[0].Labels = strings.Split(*taskLabels, ",")
@@ -260,9 +294,35 @@ func run() error {
 			r.Stop()
 		}
 	}()
+	var (
+		groups []*crowdml.ShardedTask
+		// defaultGroup is the sharded task that the "default" spec named,
+		// so -preregister can enroll through its router (a sharded logical
+		// task is not a hub task and cannot be the hub default).
+		defaultGroup *crowdml.ShardedTask
+	)
+	// Sharded shutdown: stop every merger goroutine; the members flush
+	// like any durable task when the hub closes.
+	defer func() {
+		for _, g := range groups {
+			g.Stop()
+		}
+	}()
 	for _, spec := range specs {
 		if spec.Follow == "" {
 			spec.Follow = *follow
+		}
+		if spec.Shards > 0 {
+			g, err := createShardedTask(ctx, h, spec, *stateDir, *saveEvery, reg)
+			if err != nil {
+				flushHub(h)
+				return err
+			}
+			groups = append(groups, g)
+			if spec.Default {
+				defaultGroup = g
+			}
+			continue
 		}
 		r, err := createTask(ctx, h, spec, *stateDir, *saveEvery, *followPoll, reg)
 		if err != nil {
@@ -281,11 +341,21 @@ func run() error {
 	defer flushHub(h)
 
 	for i := 0; i < *devices; i++ {
+		id := fmt.Sprintf("device-%03d", i)
+		if defaultGroup != nil {
+			// The router places the credential on the device's owning shard.
+			token, err := defaultGroup.Register(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stdout, "registered %s token=%s on task %s (shard %s)\n",
+				id, token, defaultGroup.LogicalID(), defaultGroup.RouteDevice(id))
+			continue
+		}
 		task, ok := h.DefaultTask()
 		if !ok {
 			return errors.New("-preregister needs a default task")
 		}
-		id := fmt.Sprintf("device-%03d", i)
 		token, err := task.Server().RegisterDevice(ctx, id)
 		if err != nil {
 			return err
@@ -352,25 +422,22 @@ func flushHub(h *crowdml.Hub) {
 	log.Printf("durability flush: %v", err)
 }
 
-// createTask builds one task from its spec and registers it on the hub;
-// with a state directory the task is durable (write-ahead journal +
-// asynchronous checkpoints) and resumes any persisted state. A spec with
-// a Follow URL instead becomes a read-only follower replica; the
-// returned Replicator (nil for leader tasks) is ready to Start. A
-// non-nil reg instruments the task (core hot paths, durability, and —
-// for followers — the replication loop) into the shared registry.
-func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery, followPoll time.Duration, reg *crowdml.MetricsRegistry) (*crowdml.Replicator, error) {
+// specConfig builds one task's server configuration and portal info
+// from its spec. Every call returns a FRESH config — updaters are
+// stateful, so the sharded path calls this once per member.
+func specConfig(spec taskSpec) (crowdml.ServerConfig, crowdml.TaskInfo, error) {
+	var info crowdml.TaskInfo
 	// Validate the ID before it is used as an on-disk directory name —
 	// hub.CreateTask would reject it too, but only after the state dir
 	// had been created at a possibly escaped path.
 	if !crowdml.ValidTaskID(spec.ID) {
-		return nil, fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
+		return crowdml.ServerConfig{}, info, fmt.Errorf("task %q: %w", spec.ID, crowdml.ErrBadTaskID)
 	}
 	if spec.Rate == 0 {
 		spec.Rate = 10
 	}
 	if spec.Classes < 2 || spec.Dim < 1 {
-		return nil, fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
+		return crowdml.ServerConfig{}, info, fmt.Errorf("task %s: invalid shape classes=%d dim=%d (want classes ≥ 2, dim ≥ 1)",
 			spec.ID, spec.Classes, spec.Dim)
 	}
 	var m crowdml.Model
@@ -380,7 +447,7 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	case "svm":
 		m = crowdml.NewLinearSVM(spec.Classes, spec.Dim)
 	default:
-		return nil, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
+		return crowdml.ServerConfig{}, info, fmt.Errorf("task %s: unknown model %q (want logreg or svm)", spec.ID, spec.Model)
 	}
 	cfg := crowdml.ServerConfig{
 		Model:                m,
@@ -410,13 +477,112 @@ func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir str
 	if sensorData == "" {
 		sensorData = "Device-local features; only noise-sanitized gradients and counters ever leave a device."
 	}
-	opts := []crowdml.TaskOption{crowdml.WithTaskInfo(crowdml.TaskInfo{
+	info = crowdml.TaskInfo{
 		Name:       name,
 		Objective:  objective,
 		SensorData: sensorData,
 		Labels:     labels,
 		Algorithm:  fmt.Sprintf("%s via privacy-preserving distributed SGD (η(t)=%g/√t)", m.Name(), spec.Rate),
-	})}
+	}
+	return cfg, info, nil
+}
+
+// createShardedTask builds one sharded logical task: N member leaders
+// ("{id}.shard-{k}") behind a routing front-end mounted under the
+// spec's ID. With a state directory every member is durable in its own
+// per-member store, so a restarted server resumes each shard's lineage.
+func createShardedTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery time.Duration, reg *crowdml.MetricsRegistry) (*crowdml.ShardedTask, error) {
+	if spec.Follow != "" {
+		return nil, fmt.Errorf("task %s: a sharded task cannot follow a leader (replicate per member instead)", spec.ID)
+	}
+	// Validates the spec (and yields the shared portal info) before any
+	// member exists.
+	_, info, err := specConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := []crowdml.ShardOption{
+		crowdml.WithShards(spec.Shards),
+		crowdml.WithShardInfo(info),
+	}
+	if d := spec.mergeInterval(); d > 0 {
+		opts = append(opts, crowdml.WithShardMergeInterval(d))
+	}
+	if reg != nil {
+		opts = append(opts, crowdml.WithShardMetrics(reg))
+	}
+	if stateDir != "" {
+		sync, err := parseSyncPolicy(spec.SyncPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("task %s: %w", spec.ID, err)
+		}
+		root, err := crowdml.NewFileRoot(stateDir)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts,
+			crowdml.WithShardStores(root),
+			crowdml.WithShardTaskOptions(
+				crowdml.WithCheckpointPolicy(crowdml.CheckpointPolicy{
+					Every:  saveEvery,
+					AfterN: spec.CheckpointAfterN,
+				}),
+				crowdml.WithSyncPolicy(sync)))
+		// Retention resolves per member: each archive destination lives
+		// inside that member's own store directory.
+		retSpec := spec
+		opts = append(opts, crowdml.WithShardMemberTaskOptions(
+			func(k int, memberID string) []crowdml.TaskOption {
+				adir := retSpec.ArchiveDir
+				if adir == "" {
+					adir = filepath.Join(stateDir, memberID, "archive")
+				} else {
+					adir = filepath.Join(retSpec.ArchiveDir, memberID)
+				}
+				ret, err := parseRetention(retSpec.Retention, adir)
+				if err != nil {
+					// Surfaced below: an invalid mode fails the throwaway
+					// parse too.
+					ret = crowdml.KeepAll
+				}
+				return []crowdml.TaskOption{crowdml.WithRetention(ret)}
+			}))
+		if _, err := parseRetention(spec.Retention, ""); err != nil {
+			return nil, fmt.Errorf("task %s: %w", spec.ID, err)
+		}
+	}
+	g, err := crowdml.NewShardedTask(ctx, h, spec.ID, func(int) crowdml.ServerConfig {
+		cfg, _, _ := specConfig(spec)
+		return cfg
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	resumed := 0
+	for _, mt := range g.Members() {
+		resumed += mt.Server().Iteration()
+	}
+	if stateDir != "" && resumed > 0 {
+		log.Printf("task %s: %d shards resumed at merged iteration %d", spec.ID, spec.Shards, resumed)
+	} else {
+		log.Printf("task %s: sharded across %d member leaders (map v%d)", spec.ID, spec.Shards, g.MapVersion())
+	}
+	return g, nil
+}
+
+// createTask builds one task from its spec and registers it on the hub;
+// with a state directory the task is durable (write-ahead journal +
+// asynchronous checkpoints) and resumes any persisted state. A spec with
+// a Follow URL instead becomes a read-only follower replica; the
+// returned Replicator (nil for leader tasks) is ready to Start. A
+// non-nil reg instruments the task (core hot paths, durability, and —
+// for followers — the replication loop) into the shared registry.
+func createTask(ctx context.Context, h *crowdml.Hub, spec taskSpec, stateDir string, saveEvery, followPoll time.Duration, reg *crowdml.MetricsRegistry) (*crowdml.Replicator, error) {
+	cfg, info, err := specConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := []crowdml.TaskOption{crowdml.WithTaskInfo(info)}
 	if spec.Default {
 		opts = append(opts, crowdml.AsDefaultTask())
 	}

@@ -164,6 +164,10 @@ type shard struct {
 type Hub struct {
 	shards [NumShards]shard
 
+	// sharded indexes the mounted ShardRouters fronting sharded logical
+	// tasks (see sharded.go).
+	sharded shardIndex
+
 	defaultMu sync.RWMutex
 	defaultID string
 	// defaultClosed records that the default slot is empty because its
@@ -228,6 +232,11 @@ func (h *Hub) CreateTask(ctx context.Context, taskID string, cfg core.ServerConf
 	}
 	if !ValidTaskID(taskID) {
 		return nil, fmt.Errorf("%q: %w", taskID, ErrBadTaskID)
+	}
+	if h.shardRouterExists(taskID) {
+		// A mounted router owns the logical ID's whole URL namespace; a
+		// plain task underneath it would be unreachable.
+		return nil, fmt.Errorf("%q: a sharded logical task uses this ID: %w", taskID, ErrTaskExists)
 	}
 	var o createOptions
 	for _, opt := range opts {

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/telemetry"
+)
+
+// groupMetrics is the router-layer telemetry of one sharded logical
+// task. All handles are pre-bound at Group construction (per shard and
+// per operation for the routing counters), so the hot paths record with
+// lock-free atomic adds and never touch the registry again. A nil
+// *groupMetrics disables recording at one branch per call — the same
+// nil-safety contract the rest of the telemetry layer follows.
+type groupMetrics struct {
+	// routed[k] counts requests routed to (or served for) shard k, one
+	// counter per operation: checkout, checkin, register.
+	routed []routedOps
+	// mergeSeconds observes merger-cycle latency; merges counts cycles.
+	mergeSeconds *telemetry.Histogram
+	merges       *telemetry.Counter
+	// staleness gauges how many iterations the member tier advanced
+	// between consecutive merges — the iteration-staleness bound on what
+	// merged checkouts served during the last cycle.
+	staleness *telemetry.Gauge
+}
+
+type routedOps struct {
+	checkout, checkin, register *telemetry.Counter
+}
+
+// newGroupMetrics binds the sharding series for a logical task; nil reg
+// returns nil (telemetry off).
+func newGroupMetrics(reg *telemetry.Registry, taskID string, shards int) *groupMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &groupMetrics{
+		routed: make([]routedOps, shards),
+		mergeSeconds: reg.Histogram("crowdml_shard_merge_seconds",
+			"Latency of one merged-view build across all shards.",
+			telemetry.DurationBuckets, telemetry.L("task", taskID)),
+		merges: reg.Counter("crowdml_shard_merges_total",
+			"Merged-view builds published by the shard router.",
+			telemetry.L("task", taskID)),
+		staleness: reg.Gauge("crowdml_shard_merge_staleness_iterations",
+			"Iterations the shard tier advanced between the last two merges (staleness bound of served merged checkouts).",
+			telemetry.L("task", taskID)),
+	}
+	for k := range m.routed {
+		ls := func(op string) []telemetry.Label {
+			return []telemetry.Label{
+				telemetry.L("task", taskID),
+				telemetry.L("shard", strconv.Itoa(k)),
+				telemetry.L("op", op),
+			}
+		}
+		const help = "Device-protocol requests routed through the shard router, per owning shard and operation."
+		m.routed[k] = routedOps{
+			checkout: reg.Counter("crowdml_shard_routed_requests_total", help, ls("checkout")...),
+			checkin:  reg.Counter("crowdml_shard_routed_requests_total", help, ls("checkin")...),
+			register: reg.Counter("crowdml_shard_routed_requests_total", help, ls("register")...),
+		}
+	}
+	return m
+}
+
+func (m *groupMetrics) routedCheckout(k int) {
+	if m != nil {
+		m.routed[k].checkout.Inc()
+	}
+}
+
+func (m *groupMetrics) routedCheckin(k int) {
+	if m != nil {
+		m.routed[k].checkin.Inc()
+	}
+}
+
+func (m *groupMetrics) routedRegister(k int) {
+	if m != nil {
+		m.routed[k].register.Inc()
+	}
+}
+
+// observeMerge records one merger cycle: its latency and the iterations
+// the tier advanced since the previous published view.
+func (m *groupMetrics) observeMerge(start time.Time, advanced int) {
+	if m == nil {
+		return
+	}
+	m.mergeSeconds.ObserveSince(start)
+	m.merges.Inc()
+	m.staleness.Set(float64(advanced))
+}

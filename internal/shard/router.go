@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/linalg"
+)
+
+// mergedView is one published combination of the member snapshots.
+// Immutable after publication; readers load it with a single atomic
+// pointer read (the same copy-on-write discipline core.Server uses for
+// its own checkout snapshot).
+type mergedView struct {
+	// params is the checkin-count-weighted average of the member
+	// parameter vectors (uniform before any checkin).
+	params []float64
+	// iteration is Σ member snapshot versions — the logical task's
+	// iteration counter. Monotone: each component is monotone.
+	iteration int
+	// componentIter[k] is the iteration member k contributed, for
+	// per-shard merge-lag reporting.
+	componentIter []int
+	// done reports that EVERY member has met its stopping criteria.
+	done bool
+	// Summed raw crowd counters across members (Eq. 14 numerators and
+	// denominator), so ratio estimates compose exactly.
+	totalNs, totalNe int64
+	totalNky         []int64
+}
+
+// LogicalID implements hub.ShardRouter.
+func (g *Group) LogicalID() string { return g.id }
+
+// Info implements hub.ShardRouter: the logical task's portal metadata.
+func (g *Group) Info() hub.TaskInfo { return g.info }
+
+// MemberIDs implements hub.ShardRouter: member task IDs in shard order.
+func (g *Group) MemberIDs() []string {
+	out := make([]string, len(g.members))
+	for k, t := range g.members {
+		out[k] = t.ID()
+	}
+	return out
+}
+
+// MapVersion implements hub.ShardRouter.
+func (g *Group) MapVersion() int { return g.smap.Version() }
+
+// RouteDevice implements hub.ShardRouter: the member task ID owning the
+// device. Pure placement — no counters move; the operation methods
+// below count what they serve.
+func (g *Group) RouteDevice(deviceID string) string {
+	return g.members[g.smap.Shard(deviceID)].ID()
+}
+
+// Checkout implements hub.ShardRouter (and the device-side
+// core.Transport): authenticate against the device's owning member —
+// the shard that holds its credentials — then serve the merged model.
+// The read is lock-free: one atomic load of the published view plus the
+// per-caller copy every checkout pays.
+func (g *Group) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	k := g.smap.Shard(deviceID)
+	if err := g.members[k].Server().Authenticate(ctx, deviceID, token); err != nil {
+		return nil, err
+	}
+	g.m.routedCheckout(k)
+	mv := g.merged.Load()
+	return &core.CheckoutResponse{
+		Params:  linalg.Copy(mv.params), // callers own the returned slice
+		Version: mv.iteration,
+		Done:    mv.done,
+	}, nil
+}
+
+// Checkin implements hub.ShardRouter (and core.Transport): apply the
+// delta on the device's owning member. The echoed Version is a merged
+// iteration (Σ shards) while the member's staleness accounting is
+// shard-local, so a Version ahead of the member's own counter is
+// clamped to it — staleness then measures the member's queue delay
+// instead of going negative. The clamp happens before the member
+// journals the request, so crash replay reapplies the identical entry.
+func (g *Group) Checkin(ctx context.Context, deviceID, token string, req *core.CheckinRequest) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	k := g.smap.Shard(deviceID)
+	t := g.members[k]
+	if t.ReadOnly() {
+		// A tier built over follower-role members (a sharded read replica)
+		// rejects writes exactly like a single follower does; the HTTP
+		// layer translates this to 409 + the member's leader hint.
+		return fmt.Errorf("shard %q replicates %s: %w", t.ID(), t.LeaderURL(), core.ErrStopped)
+	}
+	srv := t.Server()
+	if local := srv.Iteration(); req.Version > local {
+		req.Version = local
+	}
+	g.m.routedCheckin(k)
+	return srv.Checkin(ctx, deviceID, token, req)
+}
+
+// Register implements hub.ShardRouter: enroll the device on its owning
+// member, which from then on holds its credential and counters.
+func (g *Group) Register(ctx context.Context, deviceID string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	k := g.smap.Shard(deviceID)
+	t := g.members[k]
+	if t.ReadOnly() {
+		return "", fmt.Errorf("shard %q replicates %s: %w", t.ID(), t.LeaderURL(), core.ErrStopped)
+	}
+	g.m.routedRegister(k)
+	return t.Server().RegisterDevice(ctx, deviceID)
+}
+
+// MergedStats implements hub.ShardRouter: the logical task's progress
+// view, derived from the published merged view's summed raw counters.
+func (g *Group) MergedStats() hub.ShardedStats {
+	mv := g.merged.Load()
+	classes, dim := g.members[0].Server().ModelShape()
+	s := hub.ShardedStats{
+		Iteration:  mv.iteration,
+		Stopped:    mv.done,
+		Classes:    classes,
+		Dim:        dim,
+		Shards:     g.smap.N(),
+		MapVersion: g.smap.Version(),
+	}
+	if mv.totalNs > 0 {
+		s.ErrorEstimate = float64(mv.totalNe) / float64(mv.totalNs)
+		s.HasError = true
+		s.PriorEstimate = make([]float64, len(mv.totalNky))
+		for k, n := range mv.totalNky {
+			s.PriorEstimate[k] = float64(n) / float64(mv.totalNs)
+		}
+	}
+	return s
+}
+
+// ShardRows implements hub.ShardRouter: one live health row per member.
+func (g *Group) ShardRows() []hub.ShardHealthRow {
+	mv := g.merged.Load()
+	rows := make([]hub.ShardHealthRow, len(g.members))
+	for k, t := range g.members {
+		srv := t.Server()
+		row := hub.ShardHealthRow{
+			ID:        t.ID(),
+			Iteration: srv.Iteration(),
+			Stopped:   srv.Stopped(),
+			Ready:     true,
+		}
+		if lag := row.Iteration - mv.componentIter[k]; lag > 0 {
+			row.MergeLag = lag
+		}
+		if t.ReadOnly() {
+			// Follower-role member: same readiness rule as a standalone
+			// follower (ready while tailing or retrying with served state).
+			st, ok := t.ReplicaStatus()
+			if !ok {
+				row.Ready = false
+			} else {
+				row.ReplicaState = st.State
+				row.Ready = st.State == hub.ReplicaTailing || st.State == hub.ReplicaRetrying
+			}
+		}
+		rows[k] = row
+	}
+	return rows
+}
+
+// merge rebuilds and publishes the merged view: pull every member's
+// zero-copy snapshot, average the parameter vectors weighted by each
+// shard's checkin count (its snapshot version — paper-style model
+// averaging over unevenly loaded shards), and sum the raw crowd
+// counters. Called by the merger goroutine, once synchronously from
+// New, and by explicit Merge callers; mergeMu serializes builds so the
+// published iteration never moves backwards.
+func (g *Group) merge() {
+	g.mergeMu.Lock()
+	defer g.mergeMu.Unlock()
+	start := time.Now()
+	n := len(g.members)
+	views := make([]core.ParamView, n)
+	weights := make([]float64, n)
+	mv := &mergedView{componentIter: make([]int, n), done: true}
+	for k, t := range g.members {
+		srv := t.Server()
+		v := srv.ParamView()
+		views[k] = v
+		weights[k] = float64(v.Version)
+		mv.componentIter[k] = v.Version
+		mv.iteration += v.Version
+		if !srv.Stopped() {
+			mv.done = false
+		}
+		ns, ne, nky := srv.CrowdTotals()
+		mv.totalNs += ns
+		mv.totalNe += ne
+		if mv.totalNky == nil {
+			mv.totalNky = make([]int64, len(nky))
+		}
+		for i, c := range nky {
+			mv.totalNky[i] += c
+		}
+	}
+	params, err := core.MergeParamViews(views, weights)
+	if err != nil {
+		// Shapes are validated at New and snapshots never change shape;
+		// reaching this means a programming error. Keep serving the last
+		// good view rather than publishing garbage.
+		return
+	}
+	mv.params = params
+	prev := g.merged.Load()
+	advanced := 0
+	if prev != nil {
+		advanced = mv.iteration - prev.iteration
+	}
+	g.merged.Store(mv)
+	g.m.observeMerge(start, advanced)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"github.com/crowdml/crowdml/internal/hub"
 )
@@ -33,6 +34,23 @@ type HealthTask struct {
 	// leader; nil when unknown (no feed exchange has completed yet).
 	ReplicationLag *int   `json:"replicationLag,omitempty"`
 	LastError      string `json:"lastError,omitempty"`
+	// Shards holds the per-member rows of a sharded logical task (Role
+	// "sharded"); the row itself is ready iff every shard is.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one member's row inside a sharded task's health entry.
+type ShardHealth struct {
+	ID        string `json:"id"`
+	Iteration int    `json:"iteration"`
+	Stopped   bool   `json:"stopped"`
+	Ready     bool   `json:"ready"`
+	// MergeLag is how many iterations this shard has advanced past the
+	// published merged view — the staleness of what merged checkouts
+	// currently serve for this shard's contribution.
+	MergeLag int `json:"mergeLag"`
+	// ReplicaState is set when the member is itself a follower replica.
+	ReplicaState string `json:"replicaState,omitempty"`
 }
 
 // HealthResponse is the healthz body: overall status ("ok" or
@@ -48,6 +66,10 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok", Tasks: make([]HealthTask, 0, h.hub.Len())}
 	ready := true
 	for _, t := range h.hub.Tasks() {
+		if _, member := h.hub.ShardMemberOf(t.ID()); member {
+			// Reported inside the logical task's sharded row below.
+			continue
+		}
 		row := HealthTask{
 			ID:        t.ID(),
 			Role:      "leader",
@@ -81,6 +103,14 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Tasks = append(resp.Tasks, row)
 	}
+	for _, rt := range h.hub.ShardRouters() {
+		row := shardedHealthRow(rt)
+		if !row.Ready {
+			ready = false
+		}
+		resp.Tasks = append(resp.Tasks, row)
+	}
+	sort.Slice(resp.Tasks, func(i, j int) bool { return resp.Tasks[i].ID < resp.Tasks[j].ID })
 	if !ready {
 		resp.Status = "unavailable"
 		w.Header().Set("Content-Type", "application/json")

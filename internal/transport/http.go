@@ -54,6 +54,9 @@ type StatsResponse struct {
 	Stopped       bool      `json:"stopped"`
 	ErrorEstimate *float64  `json:"errorEstimate,omitempty"`
 	PriorEstimate []float64 `json:"priorEstimate,omitempty"`
+	// Shards is the shard count of a sharded logical task (0 for a
+	// plain task); its Iteration is then the merged Σ over shards.
+	Shards int `json:"shards,omitempty"`
 }
 
 // TaskSummary is one row of the GET /v1/tasks listing — the programmatic
@@ -69,6 +72,9 @@ type TaskSummary struct {
 	Stopped       bool     `json:"stopped"`
 	ErrorEstimate *float64 `json:"errorEstimate,omitempty"`
 	Default       bool     `json:"default,omitempty"`
+	// Shards is the shard count of a sharded logical task; plain tasks
+	// omit it. Member tasks never appear in the listing.
+	Shards int `json:"shards,omitempty"`
 }
 
 // errorResponse is the JSON error body every endpoint emits via
@@ -144,7 +150,14 @@ func (h *Handler) task(w http.ResponseWriter, r *http.Request) (*hub.Task, bool)
 			return nil, false
 		}
 	} else if t, ok = h.hub.Task(id); !ok {
-		if h.hub.Closed(id) {
+		if rt, sharded := h.hub.ShardRouterFor(id); sharded {
+			// A sharded logical task has no single server behind it. The
+			// device-protocol handlers route through the router before ever
+			// resolving here, so this is a lineage endpoint (journal,
+			// checkpoint): those are per shard — address a member directly.
+			writeError(w, fmt.Errorf("task %q is sharded; per-shard state lives on its members %v: %w",
+				id, rt.MemberIDs(), ErrNoFeed))
+		} else if h.hub.Closed(id) {
 			writeError(w, fmt.Errorf("task %q has been closed: %w", id, core.ErrStopped))
 		} else {
 			writeError(w, fmt.Errorf("%q: %w", id, hub.ErrTaskNotFound))
@@ -161,6 +174,11 @@ func (h *Handler) handleListTasks(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]TaskSummary, 0, h.hub.Len())
 	for _, t := range h.hub.Tasks() {
+		if _, member := h.hub.ShardMemberOf(t.ID()); member {
+			// Shard members are an implementation detail; the logical
+			// task's row (appended below) represents them.
+			continue
+		}
 		info := t.Info()
 		classes, dim := t.Server().ModelShape()
 		s := TaskSummary{
@@ -179,13 +197,17 @@ func (h *Handler) handleListTasks(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, s)
 	}
-	writeJSON(w, out)
+	writeJSON(w, h.shardedSummaries(out))
 }
 
 // handleCheckout serves the parameter checkout. The underlying
 // core.Server read is lock-free (immutable snapshot + sharded auth), so
 // this endpoint scales with whatever concurrency net/http throws at it.
 func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	if rt, ok := h.router(r); ok {
+		h.shardedCheckout(w, r, rt)
+		return
+	}
 	t, ok := h.task(w, r)
 	if !ok {
 		return
@@ -200,6 +222,10 @@ func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if rt, ok := h.router(r); ok {
+		h.shardedCheckin(w, r, rt)
+		return
+	}
 	t, ok := h.task(w, r)
 	if !ok {
 		return
@@ -233,6 +259,10 @@ func rejectReadOnly(w http.ResponseWriter, t *hub.Task) bool {
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if rt, ok := h.router(r); ok {
+		h.shardedStats(w, rt)
+		return
+	}
 	t, ok := h.task(w, r)
 	if !ok {
 		return
@@ -437,6 +467,13 @@ func checkStatus(resp *http.Response) error {
 	case resp.StatusCode == http.StatusUnauthorized:
 		return core.ErrAuth
 	case resp.StatusCode == http.StatusConflict:
+		// A 409 carrying a leader hint is a follower rejecting a write;
+		// surface the hint so callers can redirect (LeaderHint). It still
+		// unwraps to core.ErrStopped, so plain device loops stand down.
+		if leader := resp.Header.Get(headerLeader); leader != "" {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			return &LeaderHintError{Leader: leader, msg: errorMessage(body)}
+		}
 		return core.ErrStopped
 	case resp.StatusCode == http.StatusNotFound:
 		// Only our handlers emit the JSON error envelope; a plain-text

@@ -43,13 +43,8 @@ func (h *Handler) EnableEnrollment(key string) {
 			writeError(w, fmt.Errorf("bad enrollment key: %w", core.ErrAuth))
 			return
 		}
-		t, ok := h.task(w, r)
-		if !ok {
-			return
-		}
-		if rejectReadOnly(w, t) {
-			return
-		}
+		// Decode before resolving the target: a sharded task routes the
+		// enrollment by the device ID in the body.
 		var req registerRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 			writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
@@ -57,6 +52,25 @@ func (h *Handler) EnableEnrollment(key string) {
 		}
 		if strings.TrimSpace(req.DeviceID) == "" {
 			writeError(w, fmt.Errorf("deviceId is required: %w", core.ErrBadCheckin))
+			return
+		}
+		if rt, ok := h.router(r); ok {
+			if h.rejectShardReadOnly(w, rt, req.DeviceID) {
+				return
+			}
+			token, err := rt.Register(r.Context(), req.DeviceID)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, registerResponse{Token: token})
+			return
+		}
+		t, ok := h.task(w, r)
+		if !ok {
+			return
+		}
+		if rejectReadOnly(w, t) {
 			return
 		}
 		token, err := t.Server().RegisterDevice(r.Context(), req.DeviceID)

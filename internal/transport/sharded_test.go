@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/shard"
+)
+
+// newShardedHandler hosts the sharded logical task "act" (2 shards)
+// plus the plain task "solo" on one hub. The merge interval is long, so
+// tests drive merges explicitly through the returned group.
+func newShardedHandler(t *testing.T, memberOpts ...shard.Option) (*Handler, *shard.Group) {
+	t.Helper()
+	h := hub.New()
+	configure := func(int) core.ServerConfig {
+		return core.ServerConfig{
+			Model:   model.NewLogisticRegression(2, 2),
+			Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+		}
+	}
+	opts := append([]shard.Option{shard.WithShards(2), shard.WithMergeInterval(time.Hour)}, memberOpts...)
+	g, err := shard.New(context.Background(), h, "act", configure, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Stop)
+	if _, err := h.CreateTask(context.Background(), "solo", core.ServerConfig{
+		Model:   model.NewLogisticRegression(2, 2),
+		Updater: &optimizer.SGD{Schedule: optimizer.Constant{C: 0.1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return NewHandler(h), g
+}
+
+// TestShardedDeviceProtocolOverHTTP drives the full device loop against
+// a sharded logical task: the paths are identical to a plain task's,
+// writes land on each device's owning member only, and checkouts serve
+// the merged view.
+func TestShardedDeviceProtocolOverHTTP(t *testing.T) {
+	hd, g := newShardedHandler(t)
+	hd.EnableEnrollment("k")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	ctx := context.Background()
+	cl := NewHTTPClient(ts.URL, nil).WithTask("act")
+
+	// device-002 hashes to shard 0, device-001 to shard 1 (golden map).
+	tok0, err := cl.Register(ctx, "device-002", "k")
+	if err != nil {
+		t.Fatalf("register device-002: %v", err)
+	}
+	tok1, err := cl.Register(ctx, "device-001", "k")
+	if err != nil {
+		t.Fatalf("register device-001: %v", err)
+	}
+	if err := cl.Checkin(ctx, "device-002", tok0, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cl.Checkin(ctx, "device-001", tok1, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := g.Members()
+	if i0, i1 := members[0].Server().Iteration(), members[1].Server().Iteration(); i0 != 1 || i1 != 2 {
+		t.Fatalf("member iterations = (%d,%d), want (1,2)", i0, i1)
+	}
+
+	g.Merge()
+	resp, err := cl.Checkout(ctx, "device-002", tok0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 3 {
+		t.Errorf("merged checkout Version = %d, want 3", resp.Version)
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TaskID != "act" || st.Iteration != 3 || st.Shards != 2 {
+		t.Errorf("sharded stats = %+v", st)
+	}
+	if st.ErrorEstimate == nil {
+		t.Error("sharded stats missing merged error estimate")
+	}
+
+	// A token is shard-local: the wrong device/token pair fails auth even
+	// though both devices are enrolled in the logical task.
+	if _, err := cl.Checkout(ctx, "device-002", tok1); !errors.Is(err, core.ErrAuth) {
+		t.Errorf("cross-shard token err = %v, want ErrAuth", err)
+	}
+}
+
+// TestShardedListingHidesMembers: the crowd-facing index shows the
+// logical task (with its shard count) and plain tasks, never the
+// "{task}.shard-{k}" members.
+func TestShardedListingHidesMembers(t *testing.T) {
+	hd, _ := newShardedHandler(t)
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	tasks, err := NewHTTPClient(ts.URL, nil).Tasks(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 || tasks[0].ID != "act" || tasks[1].ID != "solo" {
+		t.Fatalf("listing = %+v, want [act solo]", tasks)
+	}
+	if tasks[0].Shards != 2 || tasks[1].Shards != 0 {
+		t.Errorf("shard counts = (%d,%d), want (2,0)", tasks[0].Shards, tasks[1].Shards)
+	}
+	if tasks[0].Classes != 2 || tasks[0].Dim != 2 {
+		t.Errorf("sharded summary shape = (%d,%d)", tasks[0].Classes, tasks[0].Dim)
+	}
+}
+
+// TestShardedHealthz: the logical task reports one aggregated row with
+// per-shard sub-rows; members do not get standalone rows.
+func TestShardedHealthz(t *testing.T) {
+	hd, g := newShardedHandler(t)
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	ctx := context.Background()
+
+	// One unmerged checkin on shard 1 ⇒ its row shows merge lag.
+	tok, err := g.Register(ctx, "device-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Checkin(ctx, "device-001", tok, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+
+	hr, err := NewHTTPClient(ts.URL, nil).Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || len(hr.Tasks) != 2 {
+		t.Fatalf("healthz = %+v, want ok with rows [act solo]", hr)
+	}
+	row := hr.Tasks[0]
+	if row.ID != "act" || row.Role != "sharded" || !row.Ready {
+		t.Fatalf("sharded row = %+v", row)
+	}
+	if len(row.Shards) != 2 {
+		t.Fatalf("sharded row has %d shard sub-rows", len(row.Shards))
+	}
+	if row.Shards[0].ID != "act.shard-0" || row.Shards[1].ID != "act.shard-1" {
+		t.Errorf("shard sub-row IDs = %q, %q", row.Shards[0].ID, row.Shards[1].ID)
+	}
+	if row.Shards[1].MergeLag != 1 {
+		t.Errorf("shard 1 merge lag = %d, want 1 (one unmerged checkin)", row.Shards[1].MergeLag)
+	}
+	if hr.Tasks[1].ID != "solo" || hr.Tasks[1].Role != "leader" {
+		t.Errorf("plain row = %+v", hr.Tasks[1])
+	}
+}
+
+// TestShardedFollowerMemberWritesGet409WithHint pins satellite behavior:
+// a write routed to a follower-role member answers 409 with the owning
+// shard's leader URL in X-Crowdml-Leader, and the client surfaces it as
+// a LeaderHintError that still unwraps to the stand-down sentinels.
+func TestShardedFollowerMemberWritesGet409WithHint(t *testing.T) {
+	const leaderURL = "http://leader.example:8080"
+	// Shard 0 is a follower replica; shard 1 a normal leader member.
+	hd, g := newShardedHandler(t, shard.WithMemberTaskOptions(
+		func(k int, memberID string) []hub.TaskOption {
+			if k == 0 {
+				return []hub.TaskOption{hub.AsReplicaOf(leaderURL)}
+			}
+			return nil
+		}))
+	hd.EnableEnrollment("k")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	ctx := context.Background()
+	cl := NewHTTPClient(ts.URL, nil).WithTask("act")
+
+	// device-002 routes to shard 0 (the follower): rejected with a hint.
+	_, err := cl.Register(ctx, "device-002", "k")
+	if err == nil {
+		t.Fatal("register on follower shard succeeded")
+	}
+	if !errors.Is(err, ErrReadOnlyReplica) || !errors.Is(err, core.ErrStopped) {
+		t.Errorf("err = %v, want both ErrReadOnlyReplica and ErrStopped", err)
+	}
+	if hint, ok := LeaderHint(err); !ok || hint != leaderURL {
+		t.Errorf("LeaderHint = %q, %v, want %q", hint, ok, leaderURL)
+	}
+
+	// device-001 routes to shard 1 (a leader): full write path works, and
+	// its checkin answers normally too.
+	tok, err := cl.Register(ctx, "device-001", "k")
+	if err != nil {
+		t.Fatalf("register on leader shard: %v", err)
+	}
+	if err := cl.Checkin(ctx, "device-001", tok, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+}
+
+// TestShardedLineageEndpointsName404Members: journal/checkpoint are per
+// shard — the logical ID answers 404 naming the member IDs to use.
+func TestShardedLineageEndpointsName404Members(t *testing.T) {
+	hd, _ := newShardedHandler(t)
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/tasks/act/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("journal on logical ID = %d, want 404", resp.StatusCode)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "act.shard-0") {
+		t.Errorf("404 body %q does not name the member IDs", er.Error)
+	}
+}
