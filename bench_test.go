@@ -34,6 +34,7 @@ import (
 	"github.com/crowdml/crowdml/internal/optimizer"
 	"github.com/crowdml/crowdml/internal/privacy"
 	"github.com/crowdml/crowdml/internal/rng"
+	"github.com/crowdml/crowdml/internal/scenario"
 	"github.com/crowdml/crowdml/internal/sim"
 	"github.com/crowdml/crowdml/internal/simnet"
 	"github.com/crowdml/crowdml/internal/store"
@@ -828,4 +829,32 @@ func BenchmarkAblationStale(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkScenarioThroughput measures one scenario-harness flush cycle
+// — real HTTP checkout, local gradient + DP sanitization, real HTTP
+// checkin — against a single-leader stack, i.e. checkins/sec of the
+// deterministic harness's hot path with the virtual clock factored out.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	bench, err := scenario.NewBench(scenario.Spec{
+		Name: "bench", Topology: scenario.TopologySingle,
+		Devices: 64, Samples: 1, Classes: 3, Dim: 10,
+		TrainSize: 640, TestSize: 64,
+		LearningRate: 8, Seed: 42,
+		Privacy: scenario.PrivacySpec{GradientEpsInv: 0.05, CountEpsInv: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bench.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Step(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	checkins := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(checkins, "checkins/sec")
 }

@@ -143,6 +143,47 @@ const (
 	PoisonSignFlip
 )
 
+// ParseStrategy maps a strategy's wire name ("large-gradient",
+// "sign-flip") to its PoisonStrategy — the inverse of String, for
+// scenario files and CLI flags.
+func ParseStrategy(name string) (PoisonStrategy, error) {
+	switch name {
+	case "large-gradient":
+		return PoisonLargeGradient, nil
+	case "sign-flip":
+		return PoisonSignFlip, nil
+	}
+	return 0, fmt.Errorf("attack: unknown strategy %q", name)
+}
+
+// String returns the strategy's wire name.
+func (s PoisonStrategy) String() string {
+	switch s {
+	case PoisonLargeGradient:
+		return "large-gradient"
+	case PoisonSignFlip:
+		return "sign-flip"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Corrupt replaces the honest gradient g in place with the strategy's
+// adversarial version — the single poisoning implementation shared by
+// RunPoisoning and the scenario harness's byzantine cohorts, so the two
+// can never drift. r drives PoisonLargeGradient's random coordinates;
+// unknown strategies leave g untouched.
+func Corrupt(g *linalg.Matrix, strategy PoisonStrategy, magnitude float64, r *rng.RNG) {
+	switch strategy {
+	case PoisonLargeGradient:
+		data := g.Data()
+		for i := range data {
+			data[i] = magnitude * (r.Float64() - 0.5)
+		}
+	case PoisonSignFlip:
+		g.Scale(-magnitude)
+	}
+}
+
 // PoisonConfig sets up the model-poisoning experiment.
 type PoisonConfig struct {
 	// Model is the shared classifier; required.
@@ -216,14 +257,7 @@ func RunPoisoning(cfg PoisonConfig) (*PoisonResult, error) {
 		g := optimizer.AverageGradient(cfg.Model, w, []model.Sample{s}, 0)
 		if malicious[dev] {
 			badCheckins++
-			switch cfg.Strategy {
-			case PoisonLargeGradient:
-				for i := range g.Data() {
-					g.Data()[i] = cfg.Magnitude * (r.Float64() - 0.5)
-				}
-			case PoisonSignFlip:
-				g.Scale(-cfg.Magnitude)
-			}
+			Corrupt(g, cfg.Strategy, cfg.Magnitude, r)
 		}
 		cfg.Updater.Update(w, g, t)
 	}

@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"github.com/crowdml/crowdml/internal/dataset"
+	"github.com/crowdml/crowdml/internal/linalg"
 	"github.com/crowdml/crowdml/internal/model"
 	"github.com/crowdml/crowdml/internal/optimizer"
 	"github.com/crowdml/crowdml/internal/privacy"
+	"github.com/crowdml/crowdml/internal/rng"
 )
 
 func TestDistinguishRespectsDPBound(t *testing.T) {
@@ -208,5 +210,65 @@ func TestClipNeutralizesPoisoning(t *testing.T) {
 	}
 	if res.TestError > 0.2 {
 		t.Errorf("clipped server still poisoned: test error %v", res.TestError)
+	}
+}
+
+// TestParseStrategyRoundTrip pins the wire names used by scenario files
+// and CLI flags to their strategies, both directions.
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range []PoisonStrategy{PoisonLargeGradient, PoisonSignFlip} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v, want %v", s.String(), got, err, s)
+		}
+	}
+	if _, err := ParseStrategy("gradient-ascent"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+// TestCorrupt checks the shared poisoning primitive: sign-flip is an
+// exact scaled negation, large-gradient replaces every coordinate within
+// the magnitude envelope, and an unknown strategy is a no-op.
+func TestCorrupt(t *testing.T) {
+	mk := func() *linalg.Matrix {
+		g, err := linalg.NewMatrixFrom(1, 4, []float64{0.5, -0.25, 1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	r := rng.New(9)
+
+	g := mk()
+	Corrupt(g, PoisonSignFlip, 10, r)
+	want := []float64{-5, 2.5, -10, 0}
+	for i, v := range g.Data() {
+		if v != want[i] {
+			t.Fatalf("sign-flip[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+
+	g = mk()
+	Corrupt(g, PoisonLargeGradient, 100, r)
+	changed := false
+	for i, v := range g.Data() {
+		if v != mk().Data()[i] {
+			changed = true
+		}
+		if v < -50 || v > 50 {
+			t.Fatalf("large-gradient[%d] = %v outside ±magnitude/2", i, v)
+		}
+	}
+	if !changed {
+		t.Error("large-gradient left the gradient untouched")
+	}
+
+	g = mk()
+	Corrupt(g, PoisonStrategy(99), 10, r)
+	for i, v := range g.Data() {
+		if v != mk().Data()[i] {
+			t.Fatalf("unknown strategy modified the gradient at [%d]", i)
+		}
 	}
 }

@@ -1,0 +1,276 @@
+// Package scenario is the deterministic large-scale harness of the
+// ROADMAP's "million-device scenario harness" item: it drives crowds of
+// virtual devices through the REAL transport/hub/core stack — the same
+// HTTP handler, routing, batching and registry code production runs —
+// rather than the in-process loop of internal/sim, and composes the
+// orthogonal stressors the paper's Section V studies one at a time:
+//
+//   - device churn: join/leave mid-training with credential
+//     re-registration (token rotation, in-flight old-token rejects);
+//   - stragglers: a cohort whose request/checkout/checkin legs are
+//     delayed by simnet's Δ = τ·M·F_s model, delivering stale gradients;
+//   - byzantine cohorts: internal/attack's poisoning strategies checked
+//     in through the real write path;
+//   - device-local DP noise: internal/privacy's Eq. (10)–(12)
+//     sanitization at the configured budget.
+//
+// Time is virtual, in global-sample units exactly like internal/sim: a
+// min-heap of events keyed on (at, seq) advances one sample per tick, and
+// every piece of randomness (assignment, arrival order, cohort selection,
+// churn schedule, delays, noise) flows through dedicated internal/rng
+// split streams. With Workers == 1 (the default) the harness performs one
+// HTTP request at a time, so a fixed seed reproduces the same schedule of
+// joins, drops, delays, attacks AND the same server-side state evolution
+// bit for bit — the determinism contract Report.CanonicalJSON captures.
+// Workers > 1 keeps the schedule deterministic but races request
+// interleaving for throughput (see docs/SCENARIOS.md).
+//
+// Scale: devices are multiplexed virtual endpoints (a struct plus a
+// pooled HTTP connection), not goroutines, so crowds are bounded by
+// memory, not threads — tens of thousands in tests, scalable toward
+// millions with the same engine.
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology selects which real server arrangement the crowd drives.
+type Topology string
+
+const (
+	// TopologySingle is one leader task on one hub behind one HTTP server.
+	TopologySingle Topology = "single"
+	// TopologyFollower is a leader plus a read-only follower replica fed
+	// by WAL shipping; devices contact the follower first and follow the
+	// 409 leader hint (exactly one redirect hop per registration).
+	TopologyFollower Topology = "follower"
+	// TopologySharded is a sharded logical task: Shards member leaders
+	// behind the routing front-end, merged reads, device-hash writes.
+	TopologySharded Topology = "sharded"
+)
+
+// ChurnSpec schedules mid-training departures and re-registrations.
+type ChurnSpec struct {
+	// Every departs one joined device every this many global samples
+	// (0 disables churn).
+	Every int `json:"every"`
+	// RejoinAfter re-registers the departed device (fresh credentials —
+	// the server rotates its token) this many global samples later.
+	// 0 means departed devices never return.
+	RejoinAfter float64 `json:"rejoinAfter"`
+}
+
+// StragglerSpec delays a cohort's communication legs, making them deliver
+// stale gradients — the paper's Δ = τ·M·F_s delay model over real HTTP.
+type StragglerSpec struct {
+	// Fraction of devices that straggle, F_s in [0, 1].
+	Fraction float64 `json:"fraction"`
+	// Tau is τ: each of the three legs (request, checkout, checkin) draws
+	// uniformly from [0, τ] in global-sample units.
+	Tau float64 `json:"tau"`
+}
+
+// ByzantineSpec makes a cohort check in poisoned gradients through the
+// real write path, using internal/attack's strategies.
+type ByzantineSpec struct {
+	// Fraction of devices that are malignant, in [0, 1).
+	Fraction float64 `json:"fraction"`
+	// Strategy is "large-gradient" or "sign-flip" (attack.ParseStrategy).
+	Strategy string `json:"strategy"`
+	// Magnitude scales the adversarial gradients (default 10).
+	Magnitude float64 `json:"magnitude"`
+}
+
+// PrivacySpec sets the device-local DP budget in the paper's ε⁻¹
+// plotting convention (0 disables noise).
+type PrivacySpec struct {
+	// GradientEpsInv is ε⁻¹ for the Eq. (10) gradient mechanism.
+	GradientEpsInv float64 `json:"gradientEpsInv"`
+	// CountEpsInv is ε⁻¹ for the Eq. (11)–(12) count mechanisms.
+	CountEpsInv float64 `json:"countEpsInv"`
+}
+
+// Spec is one scenario: a topology, a crowd, and composed stressors.
+// The zero value is not runnable; see Builtin for ready-made scenarios
+// and Validate for the required fields.
+type Spec struct {
+	// Name labels the run in reports and file names.
+	Name string `json:"name"`
+	// Topology is single, follower or sharded.
+	Topology Topology `json:"topology"`
+	// Shards is the member count for TopologySharded (default 4).
+	Shards int `json:"shards,omitempty"`
+	// Devices is the crowd size M.
+	Devices int `json:"devices"`
+	// Samples is the virtual-run length in global samples (ticks).
+	Samples int `json:"samples"`
+	// Minibatch is the device buffer size b before a flush (default 1).
+	Minibatch int `json:"minibatch,omitempty"`
+	// Classes and Dim shape the logistic-regression task.
+	Classes int `json:"classes"`
+	Dim     int `json:"dim"`
+	// TrainSize and TestSize size the generated mixture dataset.
+	TrainSize int `json:"trainSize"`
+	TestSize  int `json:"testSize"`
+	// LearningRate is c in the InvSqrt schedule η(t) = c/√t.
+	LearningRate float64 `json:"learningRate"`
+	// Updater is "sgd" (default) or "adagrad" (Remark 3's robust rule;
+	// LearningRate is its Eta).
+	Updater string `json:"updater,omitempty"`
+	// Seed drives every random choice; same seed, same report
+	// (modulo wall-clock fields) when Workers <= 1.
+	Seed uint64 `json:"seed"`
+	// Stressors; zero values disable each.
+	Churn     ChurnSpec     `json:"churn,omitempty"`
+	Straggler StragglerSpec `json:"straggler,omitempty"`
+	Byzantine ByzantineSpec `json:"byzantine,omitempty"`
+	Privacy   PrivacySpec   `json:"privacy,omitempty"`
+	// EvalEvery measures test error every this many global samples
+	// (default Samples/25).
+	EvalEvery int `json:"evalEvery,omitempty"`
+	// EvalSubset caps test samples per evaluation (0 = all).
+	EvalSubset int `json:"evalSubset,omitempty"`
+	// Workers bounds concurrent HTTP requests per event wave. 1 (the
+	// default) is the determinism contract; larger values trade
+	// bit-reproducibility of the report for wall-clock speed.
+	Workers int `json:"workers,omitempty"`
+	// MergeEvery only applies to TopologySharded: the harness calls the
+	// router's merge deterministically from the event loop every tick, so
+	// this is the wall-clock fallback cadence handed to the router
+	// (default 1h, i.e. effectively never).
+	MergeEvery time.Duration `json:"-"`
+}
+
+// withDefaults returns a copy with optional fields defaulted.
+func (s Spec) withDefaults() Spec {
+	if s.Minibatch < 1 {
+		s.Minibatch = 1
+	}
+	if s.Shards < 1 {
+		s.Shards = 4
+	}
+	if s.EvalEvery <= 0 {
+		s.EvalEvery = s.Samples / 25
+		if s.EvalEvery == 0 {
+			s.EvalEvery = 1
+		}
+	}
+	if s.Workers < 1 {
+		s.Workers = 1
+	}
+	if s.Updater == "" {
+		s.Updater = "sgd"
+	}
+	if s.Byzantine.Fraction > 0 && s.Byzantine.Magnitude <= 0 {
+		s.Byzantine.Magnitude = 10
+	}
+	if s.MergeEvery <= 0 {
+		s.MergeEvery = time.Hour
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	switch s.Topology {
+	case TopologySingle, TopologyFollower, TopologySharded:
+	default:
+		return fmt.Errorf("scenario: unknown topology %q", s.Topology)
+	}
+	if s.Devices < 1 {
+		return fmt.Errorf("scenario: Devices must be >= 1")
+	}
+	if s.Samples < 1 {
+		return fmt.Errorf("scenario: Samples must be >= 1")
+	}
+	if s.Classes < 2 || s.Dim < 1 {
+		return fmt.Errorf("scenario: invalid task shape C=%d D=%d", s.Classes, s.Dim)
+	}
+	if s.TrainSize < 1 {
+		return fmt.Errorf("scenario: TrainSize must be >= 1")
+	}
+	if s.LearningRate <= 0 {
+		return fmt.Errorf("scenario: LearningRate must be > 0")
+	}
+	switch s.Updater {
+	case "", "sgd", "adagrad":
+	default:
+		return fmt.Errorf("scenario: unknown updater %q", s.Updater)
+	}
+	if f := s.Straggler.Fraction; f < 0 || f > 1 {
+		return fmt.Errorf("scenario: straggler fraction %v outside [0, 1]", f)
+	}
+	if f := s.Byzantine.Fraction; f < 0 || f >= 1 {
+		return fmt.Errorf("scenario: byzantine fraction %v outside [0, 1)", f)
+	}
+	if s.Byzantine.Fraction > 0 {
+		if _, err := parseStrategy(s.Byzantine.Strategy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Builtin returns one of the named ready-made scenarios (the ones the CI
+// smoke step and the acceptance tests run), or false.
+func Builtin(name string) (Spec, bool) {
+	for _, s := range builtins {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BuiltinNames lists the built-in scenario names, in declaration order.
+func BuiltinNames() []string {
+	names := make([]string, len(builtins))
+	for i, s := range builtins {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// builtins are the named scenarios: the ~2k-device smoke set that doubles
+// as tier-1 tests, each under a minute single-threaded. churn-straggler-2k
+// is the single-leader control the 4-shard variant is pinned against.
+var builtins = []Spec{
+	{
+		Name:     "churn-straggler-2k",
+		Topology: TopologySingle,
+		Devices:  2000, Samples: 6000, Minibatch: 1,
+		Classes: 3, Dim: 10, TrainSize: 3000, TestSize: 600,
+		LearningRate: 8, Seed: 42,
+		Churn:     ChurnSpec{Every: 50, RejoinAfter: 120},
+		Straggler: StragglerSpec{Fraction: 0.2, Tau: 200},
+		Privacy:   PrivacySpec{GradientEpsInv: 0.05, CountEpsInv: 1},
+	},
+	{
+		Name:     "churn-straggler-2k-4shard",
+		Topology: TopologySharded, Shards: 4,
+		Devices: 2000, Samples: 6000, Minibatch: 1,
+		Classes: 3, Dim: 10, TrainSize: 3000, TestSize: 600,
+		LearningRate: 8, Seed: 42,
+		Churn:     ChurnSpec{Every: 50, RejoinAfter: 120},
+		Straggler: StragglerSpec{Fraction: 0.2, Tau: 200},
+		Privacy:   PrivacySpec{GradientEpsInv: 0.05, CountEpsInv: 1},
+	},
+	{
+		Name:     "byzantine-2k",
+		Topology: TopologySingle,
+		Devices:  2000, Samples: 6000, Minibatch: 1,
+		Classes: 3, Dim: 10, TrainSize: 3000, TestSize: 600,
+		LearningRate: 8, Seed: 42,
+		Byzantine: ByzantineSpec{Fraction: 0.3, Strategy: "sign-flip", Magnitude: 10},
+	},
+	{
+		Name:     "follower-hint-1k",
+		Topology: TopologyFollower,
+		Devices:  1000, Samples: 3000, Minibatch: 1,
+		Classes: 3, Dim: 10, TrainSize: 2000, TestSize: 400,
+		LearningRate: 8, Seed: 42,
+		Straggler: StragglerSpec{Fraction: 0.1, Tau: 100},
+	},
+}

@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeReport drops a run's full JSON into SCENARIO_REPORT_DIR when set,
+// so the CI smoke step can upload the reports as an artifact.
+func writeReport(t *testing.T, rep *Report, name string) {
+	t.Helper()
+	dir := os.Getenv("SCENARIO_REPORT_DIR")
+	if dir == "" {
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("render report: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write report: %v", err)
+	}
+}
+
+func mustRun(t *testing.T, spec Spec) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("scenario %s: %v", spec.Name, err)
+	}
+	return rep
+}
+
+func mustBuiltin(t *testing.T, name string) Spec {
+	t.Helper()
+	spec, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("missing builtin %q", name)
+	}
+	return spec
+}
+
+// checkAccounting verifies the sample conservation law: with Minibatch 1
+// every global sample either lands as an accepted checkin, is rejected at
+// checkout or checkin, or arrives at a departed device.
+func checkAccounting(t *testing.T, rep *Report) {
+	t.Helper()
+	got := rep.Checkins + rep.RejectedAuth + rep.RejectedOther + rep.LostSamples
+	if got != rep.GlobalSamples {
+		t.Errorf("sample accounting: checkins %d + rejectedAuth %d + rejectedOther %d + lost %d = %d, want %d",
+			rep.Checkins, rep.RejectedAuth, rep.RejectedOther, rep.LostSamples, got, rep.GlobalSamples)
+	}
+}
+
+// TestScenarioSameSeedReportsIdentical is the determinism acceptance
+// gate: two Workers=1 runs of the same spec must agree on every report
+// byte outside the wall-clock section — schedule, convergence curve,
+// churn effects, rejects AND the scraped server-side metric deltas.
+func TestScenarioSameSeedReportsIdentical(t *testing.T) {
+	spec := mustBuiltin(t, "churn-straggler-2k")
+	rep1 := mustRun(t, spec)
+	rep2 := mustRun(t, spec)
+	writeReport(t, rep1, spec.Name)
+
+	j1, err := rep1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rep2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same-seed reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", j1, j2)
+	}
+
+	// The stressors must actually have fired, or determinism is vacuous.
+	checkAccounting(t, rep1)
+	if want := spec.Samples / spec.Churn.Every; rep1.Churn.Leaves != want {
+		t.Errorf("Leaves = %d, want %d", rep1.Churn.Leaves, want)
+	}
+	if rep1.Churn.Rejoins != rep1.Churn.Leaves {
+		t.Errorf("Rejoins = %d, want %d (every departure rejoins)", rep1.Churn.Rejoins, rep1.Churn.Leaves)
+	}
+	// Joins = initial crowd + probe + every rejoin.
+	if want := spec.Devices + 1 + rep1.Churn.Rejoins; rep1.Churn.Joins != want {
+		t.Errorf("Joins = %d, want %d", rep1.Churn.Joins, want)
+	}
+	if rep1.StragglerDevices == 0 || rep1.Checkins == 0 || len(rep1.Curve) == 0 {
+		t.Errorf("degenerate report: stragglers %d, checkins %d, curve %d points",
+			rep1.StragglerDevices, rep1.Checkins, len(rep1.Curve))
+	}
+	if len(rep1.MetricsDeltas) == 0 {
+		t.Error("no metrics deltas scraped")
+	}
+	// A seed change must produce a different schedule.
+	spec.Seed++
+	rep3 := mustRun(t, spec)
+	j3, err := rep3.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(j1, j3) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestScenarioShardedChurnWithinControlEnvelope pins the 4-shard
+// churn+straggler scenario's final test error to the single-leader
+// control's: sharding the write path must not change what the crowd
+// learns beyond a small envelope.
+func TestScenarioShardedChurnWithinControlEnvelope(t *testing.T) {
+	control := mustRun(t, mustBuiltin(t, "churn-straggler-2k"))
+	sharded := mustRun(t, mustBuiltin(t, "churn-straggler-2k-4shard"))
+	writeReport(t, sharded, "churn-straggler-2k-4shard")
+	checkAccounting(t, sharded)
+
+	const envelope = 0.10
+	if d := math.Abs(sharded.FinalTestError - control.FinalTestError); d > envelope {
+		t.Errorf("4-shard final error %v vs control %v: |Δ| = %v exceeds envelope %v",
+			sharded.FinalTestError, control.FinalTestError, d, envelope)
+	}
+	if control.FinalTestError > 0.10 {
+		t.Errorf("control failed to converge: final error %v", control.FinalTestError)
+	}
+	if sharded.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", sharded.Shards)
+	}
+	// The router must actually have split the crowd across members.
+	shardsSeen := 0
+	for _, series := range []string{"0", "1", "2", "3"} {
+		key := `crowdml_shard_routed_requests_total{task="scenario",shard="` + series + `",op="checkin"}`
+		if sharded.MetricsDeltas[key] > 0 {
+			shardsSeen++
+		}
+	}
+	if shardsSeen != 4 {
+		t.Errorf("checkins routed to %d shards, want 4 (deltas: %v)", shardsSeen, sharded.MetricsDeltas)
+	}
+}
+
+// TestScenarioByzantineDegradesConvergence runs the byzantine builtin
+// against its attack-free twin: the poisoned crowd's final error must be
+// measurably worse, and the damage must be visible in the report.
+func TestScenarioByzantineDegradesConvergence(t *testing.T) {
+	spec := mustBuiltin(t, "byzantine-2k")
+	poisoned := mustRun(t, spec)
+	writeReport(t, poisoned, spec.Name)
+	checkAccounting(t, poisoned)
+
+	clean := spec
+	clean.Name = "byzantine-2k-control"
+	clean.Byzantine = ByzantineSpec{}
+	honest := mustRun(t, clean)
+
+	if poisoned.ByzantineDevices == 0 || poisoned.ByzantineCheckins == 0 {
+		t.Fatalf("attack never fired: %d byzantine devices, %d poisoned checkins",
+			poisoned.ByzantineDevices, poisoned.ByzantineCheckins)
+	}
+	const margin = 0.10
+	if poisoned.FinalTestError < honest.FinalTestError+margin {
+		t.Errorf("poisoning not visible: byzantine final error %v vs honest %v (want ≥ %v worse)",
+			poisoned.FinalTestError, honest.FinalTestError, margin)
+	}
+	if honest.FinalTestError > 0.10 {
+		t.Errorf("honest control failed to converge: final error %v", honest.FinalTestError)
+	}
+}
+
+// TestScenarioFollowerHintRedirectAndConsistency drives the crowd at the
+// follower: every registration must follow exactly one 409 leader hint,
+// and at the end the follower's replicated learning state must match the
+// leader's bit for bit.
+func TestScenarioFollowerHintRedirectAndConsistency(t *testing.T) {
+	spec := mustBuiltin(t, "follower-hint-1k")
+	rep := mustRun(t, spec)
+	writeReport(t, rep, spec.Name)
+	checkAccounting(t, rep)
+
+	// One redirect hop per registration: the crowd plus the eval probe.
+	if want := spec.Devices + 1; rep.Retries != want {
+		t.Errorf("Retries = %d, want %d (one leader-hint hop per registration)", rep.Retries, want)
+	}
+	if rep.FollowerConsistent == nil || !*rep.FollowerConsistent {
+		t.Errorf("FollowerConsistent = %v, want true", rep.FollowerConsistent)
+	}
+	if rep.Checkins == 0 || rep.RejectedOther != 0 {
+		t.Errorf("checkins %d, rejectedOther %d", rep.Checkins, rep.RejectedOther)
+	}
+	if rep.FinalTestError > 0.10 {
+		t.Errorf("failed to converge through the redirected write path: final error %v", rep.FinalTestError)
+	}
+}
+
+// TestScenarioParallelWorkers exercises the bounded worker pool
+// (Workers > 1 trades bit-reproducibility for throughput; the schedule
+// and per-device event order stay fixed). Run under -race this is the
+// harness's concurrency gate.
+func TestScenarioParallelWorkers(t *testing.T) {
+	spec := mustBuiltin(t, "churn-straggler-2k")
+	spec.Name = "churn-straggler-2k-workers4"
+	spec.Devices = 400
+	spec.Samples = 1500
+	spec.Workers = 4
+	rep := mustRun(t, spec)
+	checkAccounting(t, rep)
+	if rep.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", rep.Workers)
+	}
+	if rep.Checkins == 0 || len(rep.Curve) == 0 {
+		t.Errorf("degenerate parallel run: checkins %d, curve %d", rep.Checkins, len(rep.Curve))
+	}
+}
+
+// TestScenarioValidate covers spec validation and defaulting edges.
+func TestScenarioValidate(t *testing.T) {
+	base := mustBuiltin(t, "churn-straggler-2k")
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unknown topology", func(s *Spec) { s.Topology = "ring" }},
+		{"no devices", func(s *Spec) { s.Devices = 0 }},
+		{"no samples", func(s *Spec) { s.Samples = 0 }},
+		{"bad shape", func(s *Spec) { s.Classes = 1 }},
+		{"bad updater", func(s *Spec) { s.Updater = "adam" }},
+		{"bad straggler fraction", func(s *Spec) { s.Straggler.Fraction = 1.5 }},
+		{"bad byzantine fraction", func(s *Spec) { s.Byzantine.Fraction = 1 }},
+		{"bad byzantine strategy", func(s *Spec) { s.Byzantine = ByzantineSpec{Fraction: 0.1, Strategy: "nope"} }},
+		{"no learning rate", func(s *Spec) { s.LearningRate = 0 }},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mutate(&spec)
+		if err := spec.withDefaults().Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", tc.name)
+		}
+	}
+	if err := base.withDefaults().Validate(); err != nil {
+		t.Errorf("builtin spec invalid: %v", err)
+	}
+	for _, name := range BuiltinNames() {
+		spec := mustBuiltin(t, name)
+		if err := spec.withDefaults().Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"time"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/hub"
+	"github.com/crowdml/crowdml/internal/model"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/replica"
+	"github.com/crowdml/crowdml/internal/shard"
+	"github.com/crowdml/crowdml/internal/store"
+	"github.com/crowdml/crowdml/internal/telemetry"
+	"github.com/crowdml/crowdml/internal/transport"
+)
+
+// taskID is the logical task every scenario crowd addresses.
+const taskID = "scenario"
+
+// joinKey is the enrollment key the harness's virtual devices present.
+const joinKey = "scenario-join"
+
+// stack is one running topology: real hubs behind real HTTP servers,
+// plus the hooks the engine needs to keep runs deterministic.
+type stack struct {
+	// entryURL is the base URL devices contact first. In the follower
+	// topology this is the follower, whose 409 leader hints redirect
+	// every device's writes — exactly the production join flow.
+	entryURL string
+	// metricsURL is the exposition endpoint the report scrapes (the
+	// leader's, where all deterministic counters live).
+	metricsURL string
+	// sync deterministically publishes pending server-side state to the
+	// read path (the sharded router's merge). Nil when reads are always
+	// current. Called from the single-threaded event loop only.
+	sync func()
+	// finish runs end-of-run topology checks (the follower catch-up and
+	// bit-exact comparison) and records them on the report.
+	finish func(rep *Report) error
+	// close tears the whole stack down.
+	close func()
+
+	// clients caches one task-bound HTTP client per base URL, shared by
+	// every virtual device pointed at that URL.
+	mu      sync.Mutex
+	clients map[string]*transport.HTTPClient
+}
+
+// clientFor returns the shared task-bound client for a base URL.
+func (st *stack) clientFor(baseURL string) *transport.HTTPClient {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.clients[baseURL]
+	if !ok {
+		c = transport.NewHTTPClient(baseURL, nil).WithTask(taskID)
+		st.clients[baseURL] = c
+	}
+	return c
+}
+
+// serverConfig builds one member/leader ServerConfig. Called once per
+// server — updaters are stateful and must never be shared.
+func (s Spec) serverConfig(m model.Model) core.ServerConfig {
+	var up optimizer.Updater
+	if s.Updater == "adagrad" {
+		up = &optimizer.AdaGrad{Eta: s.LearningRate}
+	} else {
+		up = &optimizer.SGD{Schedule: optimizer.InvSqrt{C: s.LearningRate}}
+	}
+	return core.ServerConfig{Model: m, Updater: up}
+}
+
+// buildStack assembles the spec's topology from the real layers: hub
+// tasks (sharded members, follower replicas), the transport handler with
+// enrollment and telemetry enabled, and httptest servers carrying real
+// TCP traffic.
+func buildStack(ctx context.Context, spec Spec, m model.Model) (*stack, error) {
+	switch spec.Topology {
+	case TopologySingle:
+		return buildSingle(ctx, spec, m)
+	case TopologySharded:
+		return buildSharded(ctx, spec, m)
+	case TopologyFollower:
+		return buildFollower(ctx, spec, m)
+	}
+	return nil, fmt.Errorf("scenario: unknown topology %q", spec.Topology)
+}
+
+// newHandler wires a hub behind the real HTTP handler with enrollment
+// and metrics enabled, exactly as cmd/crowdml-server does.
+func newHandler(h *hub.Hub, reg *telemetry.Registry) *transport.Handler {
+	hd := transport.NewHandler(h)
+	hd.EnableEnrollment(joinKey)
+	hd.EnableMetrics(reg)
+	return hd
+}
+
+func buildSingle(ctx context.Context, spec Spec, m model.Model) (*stack, error) {
+	reg := telemetry.NewRegistry()
+	h := hub.New()
+	if _, err := h.CreateTask(ctx, taskID, spec.serverConfig(m), hub.WithMetrics(reg)); err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(newHandler(h, reg))
+	return &stack{
+		entryURL:   srv.URL,
+		metricsURL: srv.URL,
+		clients:    make(map[string]*transport.HTTPClient),
+		close: func() {
+			srv.Close()
+			_ = h.Close(context.Background())
+		},
+	}, nil
+}
+
+func buildSharded(ctx context.Context, spec Spec, m model.Model) (*stack, error) {
+	reg := telemetry.NewRegistry()
+	h := hub.New()
+	// The router's wall-clock merger is parked on a huge interval; the
+	// engine calls Merge from the event loop instead, so the merged view
+	// advances at deterministic points of virtual time.
+	g, err := shard.New(ctx, h, taskID,
+		func(int) core.ServerConfig { return spec.serverConfig(m) },
+		shard.WithShards(spec.Shards),
+		shard.WithMergeInterval(spec.MergeEvery),
+		shard.WithMetrics(reg))
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(newHandler(h, reg))
+	return &stack{
+		entryURL:   srv.URL,
+		metricsURL: srv.URL,
+		sync:       g.Merge,
+		clients:    make(map[string]*transport.HTTPClient),
+		close: func() {
+			srv.Close()
+			_ = g.Close(context.Background())
+			_ = h.Close(context.Background())
+		},
+	}, nil
+}
+
+// dropSilent removes device entries that never checked in.
+func dropSilent(st *core.ServerState) {
+	for id, e := range st.Devices {
+		if e.Checkins == 0 {
+			delete(st.Devices, id)
+		}
+	}
+}
+
+func buildFollower(ctx context.Context, spec Spec, m model.Model) (*stack, error) {
+	reg := telemetry.NewRegistry()
+	leaderHub := hub.New()
+	leaderTask, err := leaderHub.CreateTask(ctx, taskID, spec.serverConfig(m),
+		hub.WithMetrics(reg), hub.WithStore(store.NewMemStore()))
+	if err != nil {
+		return nil, err
+	}
+	leaderSrv := httptest.NewServer(newHandler(leaderHub, reg))
+
+	feed := transport.NewHTTPClient(leaderSrv.URL, nil).WithTask(taskID)
+	followerCfg := spec.serverConfig(m)
+	followerCfg.AuthFallback = feed.AuthProbe
+	followerHub := hub.New()
+	followerTask, err := followerHub.CreateTask(ctx, taskID, followerCfg,
+		hub.AsReplicaOf(leaderSrv.URL))
+	if err != nil {
+		leaderSrv.Close()
+		_ = leaderHub.Close(context.Background())
+		return nil, err
+	}
+	followerSrv := httptest.NewServer(newHandler(followerHub, nil))
+	rep, err := replica.New(replica.Config{
+		Task:         followerTask,
+		Feed:         feed,
+		PollInterval: 2 * time.Millisecond,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+	})
+	if err != nil {
+		followerSrv.Close()
+		leaderSrv.Close()
+		_ = followerHub.Close(context.Background())
+		_ = leaderHub.Close(context.Background())
+		return nil, err
+	}
+	repCtx, cancel := context.WithCancel(context.Background())
+	rep.Start(repCtx)
+
+	return &stack{
+		entryURL:   followerSrv.URL,
+		metricsURL: leaderSrv.URL,
+		clients:    make(map[string]*transport.HTTPClient),
+		finish: func(r *Report) error {
+			leader := leaderTask.Server()
+			deadline := time.Now().Add(30 * time.Second)
+			for time.Now().Before(deadline) {
+				lag, ok := followerTask.ReplicationLag()
+				if ok && lag == 0 && followerTask.Server().Iteration() == leader.Iteration() {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Registrations are not journaled (credentials never leave the
+			// leader), so enrolled-but-silent devices — the probe, and any
+			// device the arrival schedule never picked — exist only in the
+			// leader's registry. The replicated learning state is everything
+			// else: compare bit for bit with zero-checkin entries dropped.
+			ls, fs := leader.ExportState(), followerTask.Server().ExportState()
+			dropSilent(ls)
+			dropSilent(fs)
+			consistent := reflect.DeepEqual(ls, fs)
+			r.FollowerConsistent = &consistent
+			if !consistent {
+				return fmt.Errorf("scenario: follower state diverged from leader")
+			}
+			return nil
+		},
+		close: func() {
+			cancel()
+			rep.Stop()
+			followerSrv.Close()
+			leaderSrv.Close()
+			_ = followerHub.Close(context.Background())
+			_ = leaderHub.Close(context.Background())
+		},
+	}, nil
+}

@@ -64,17 +64,23 @@ func RunDecentral(cfg DecentralConfig) (metrics.Series, error) {
 			cfg.EvalEvery = 1
 		}
 	}
-	r := rng.New(cfg.Seed)
-	shards := dataset.Assign(cfg.Train, cfg.Devices, r)
+	// Split streams per consumer, same discipline as RunCrowd: eval
+	// sub-sampling knobs must not perturb the arrival schedule.
+	root := rng.New(cfg.Seed)
+	assignRNG := root.Split()
+	evalRNG := root.Split()
+	arrivalRNG := root.Split()
+
+	shards := dataset.Assign(cfg.Train, cfg.Devices, assignRNG)
 	evalSet := cfg.Test
 	if cfg.EvalSubset > 0 && cfg.EvalSubset < len(evalSet) {
-		evalSet = dataset.Shuffled(evalSet, r)[:cfg.EvalSubset]
+		evalSet = dataset.Shuffled(evalSet, evalRNG)[:cfg.EvalSubset]
 	}
 	evalDevs := cfg.Devices
 	if cfg.EvalDevices > 0 && cfg.EvalDevices < evalDevs {
 		evalDevs = cfg.EvalDevices
 	}
-	evalIdx := r.Perm(cfg.Devices)[:evalDevs]
+	evalIdx := evalRNG.Perm(cfg.Devices)[:evalDevs]
 
 	type deviceState struct {
 		w   *linalg.Matrix
@@ -89,7 +95,7 @@ func RunDecentral(cfg DecentralConfig) (metrics.Series, error) {
 
 	curve := metrics.Series{Name: "decentralized"}
 	for n := 1; n <= total; n++ {
-		m := r.Intn(cfg.Devices)
+		m := arrivalRNG.Intn(cfg.Devices)
 		d := &devs[m]
 		shard := shards[m]
 		if len(shard) == 0 {

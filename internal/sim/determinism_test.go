@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/linalg"
+	"github.com/crowdml/crowdml/internal/optimizer"
+	"github.com/crowdml/crowdml/internal/simnet"
+)
+
+// paramsBits compares two parameter matrices at the bit level — the
+// strongest possible "same trajectory" check.
+func paramsBits(t *testing.T, a, b *linalg.Matrix, what string) {
+	t.Helper()
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		t.Fatalf("%s: parameter lengths differ: %d vs %d", what, len(da), len(db))
+	}
+	for i := range da {
+		if math.Float64bits(da[i]) != math.Float64bits(db[i]) {
+			t.Fatalf("%s: params diverge at [%d]: %v vs %v", what, i, da[i], db[i])
+		}
+	}
+}
+
+// TestRunCrowdBitIdenticalSameSeed pins the full determinism contract:
+// two same-seed runs agree on every observable bit for bit, not just on
+// the rounded curve.
+func TestRunCrowdBitIdenticalSameSeed(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	cfg.Delay = simnet.Uniform{Max: 40}
+	a, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramsBits(t, a.FinalParams, b.FinalParams, "same seed")
+	if a.Checkins != b.Checkins || a.MeanStaleness != b.MeanStaleness || a.DroppedStale != b.DroppedStale {
+		t.Errorf("counters diverged: (%d, %v, %d) vs (%d, %v, %d)",
+			a.Checkins, a.MeanStaleness, a.DroppedStale, b.Checkins, b.MeanStaleness, b.DroppedStale)
+	}
+	if a.Curve.Len() != b.Curve.Len() {
+		t.Fatalf("curve lengths differ: %d vs %d", a.Curve.Len(), b.Curve.Len())
+	}
+	for i := range a.Curve.Y {
+		if a.Curve.X[i] != b.Curve.X[i] || a.Curve.Y[i] != b.Curve.Y[i] {
+			t.Fatalf("curves diverge at point %d", i)
+		}
+	}
+}
+
+// TestRunCrowdEvalSubsetStreamIsolation is the regression test for the
+// shared-stream seed leak: evaluation sub-sampling draws from its own
+// stream, so changing EvalSubset must not perturb the data assignment,
+// arrival schedule or noise — the final parameters must be bit-identical.
+// (Before stream isolation, the eval shuffle consumed draws from the one
+// shared generator and silently reshuffled the whole run.)
+func TestRunCrowdEvalSubsetStreamIsolation(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	full := cfg
+	full.EvalSubset = 0
+	sub := cfg
+	sub.EvalSubset = 100
+	a, err := RunCrowd(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrowd(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramsBits(t, a.FinalParams, b.FinalParams, "EvalSubset change")
+	if a.Checkins != b.Checkins {
+		t.Errorf("EvalSubset change altered the schedule: %d vs %d checkins", a.Checkins, b.Checkins)
+	}
+}
+
+// TestRunCrowdDelayStreamIsolation checks the delay model draws from a
+// dedicated stream: switching NoDelay (which consumes no draws) for a
+// vanishingly small uniform delay (which consumes three per flush) keeps
+// event ordering — and therefore the learning trajectory — bit-identical.
+// Only the delay stream's consumption changes; nothing else may notice.
+func TestRunCrowdDelayStreamIsolation(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := baseCfg(ds, m)
+	none := cfg
+	none.Delay = simnet.NoDelay{}
+	tiny := cfg
+	tiny.Delay = simnet.Uniform{Max: 1e-12}
+	a, err := RunCrowd(none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrowd(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramsBits(t, a.FinalParams, b.FinalParams, "tiny-delay swap")
+	if a.Checkins != b.Checkins || a.MeanStaleness != b.MeanStaleness {
+		t.Errorf("tiny delays changed the schedule: (%d, %v) vs (%d, %v)",
+			a.Checkins, a.MeanStaleness, b.Checkins, b.MeanStaleness)
+	}
+}
+
+// TestRunDecentralBitIdenticalSameSeed pins the decentralized baseline's
+// determinism at full precision.
+func TestRunDecentralBitIdenticalSameSeed(t *testing.T) {
+	ds, m := smallTask(t)
+	cfg := DecentralConfig{
+		Model: m, Train: ds.Train, Test: ds.Test,
+		Devices: 40, Schedule: optimizer.InvSqrt{C: 50}, Passes: 1,
+		EvalDevices: 10, EvalSubset: 200, Seed: 11,
+	}
+	a, err := RunDecentral(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDecentral(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("curve lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Y {
+		if math.Float64bits(a.Y[i]) != math.Float64bits(b.Y[i]) {
+			t.Fatalf("same-seed decentral curves diverge at point %d", i)
+		}
+	}
+}

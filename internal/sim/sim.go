@@ -178,11 +178,24 @@ func RunCrowd(cfg CrowdConfig) (*Result, error) {
 		}
 	}
 
-	r := rng.New(cfg.Seed)
-	shards := dataset.Assign(cfg.Train, cfg.Devices, r)
+	// Every randomness consumer draws from its own split stream, in a
+	// fixed order: a config change that alters how many values one
+	// consumer draws (a different eval subset, a delay model that skips
+	// draws) must not shift any other consumer's sequence and silently
+	// change the schedule. Same-seed runs are bit-identical, and
+	// same-seed runs that differ only in one knob differ only through
+	// that knob's effect.
+	root := rng.New(cfg.Seed)
+	assignRNG := root.Split()
+	evalRNG := root.Split()
+	arrivalRNG := root.Split()
+	delayRNG := root.Split()
+	noiseRoot := root.Split()
+
+	shards := dataset.Assign(cfg.Train, cfg.Devices, assignRNG)
 	evalSet := cfg.Test
 	if cfg.EvalSubset > 0 && cfg.EvalSubset < len(evalSet) {
-		evalSet = dataset.Shuffled(evalSet, r)[:cfg.EvalSubset]
+		evalSet = dataset.Shuffled(evalSet, evalRNG)[:cfg.EvalSubset]
 	}
 
 	// Per-device state.
@@ -193,7 +206,7 @@ func RunCrowd(cfg CrowdConfig) (*Result, error) {
 	}
 	devs := make([]deviceState, cfg.Devices)
 	for i := range devs {
-		devs[i].noise = r.Split()
+		devs[i].noise = noiseRoot.Split()
 		devs[i].buffer = make([]model.Sample, 0, cfg.Minibatch)
 	}
 
@@ -233,7 +246,7 @@ func RunCrowd(cfg CrowdConfig) (*Result, error) {
 					cfg.Budget.Gradient, devs[e.device].noise)
 			}
 			push(&event{
-				at:     e.at + delay.Draw(r), // check-in leg
+				at:     e.at + delay.Draw(delayRNG), // check-in leg
 				kind:   evApply,
 				device: e.device,
 				grad:   g,
@@ -257,7 +270,7 @@ func RunCrowd(cfg CrowdConfig) (*Result, error) {
 			process(heap.Pop(&queue).(*event))
 		}
 		// One sample arrives at a random device.
-		m := r.Intn(cfg.Devices)
+		m := arrivalRNG.Intn(cfg.Devices)
 		d := &devs[m]
 		shard := shards[m]
 		if len(shard) == 0 {
@@ -271,7 +284,7 @@ func RunCrowd(cfg CrowdConfig) (*Result, error) {
 			d.buffer = d.buffer[:0]
 			// Request + checkout legs delay when the server reads w.
 			push(&event{
-				at:     now + delay.Draw(r) + delay.Draw(r),
+				at:     now + delay.Draw(delayRNG) + delay.Draw(delayRNG),
 				kind:   evCheckout,
 				device: m,
 				batch:  batch,
