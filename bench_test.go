@@ -39,6 +39,7 @@ import (
 	"github.com/crowdml/crowdml/internal/simnet"
 	"github.com/crowdml/crowdml/internal/store"
 	"github.com/crowdml/crowdml/internal/telemetry"
+	"github.com/crowdml/crowdml/internal/wirecodec"
 )
 
 // benchCfg is the reduced scale used by the figure benches.
@@ -217,6 +218,117 @@ func BenchmarkCheckoutParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// newCheckoutBenchServer builds the mnist-shaped server every checkout
+// micro-bench reads from, with one registered device.
+func newCheckoutBenchServer(b *testing.B) (*core.Server, string) {
+	b.Helper()
+	m := model.NewLogisticRegression(mnistClasses, mnistDim)
+	srv, err := core.NewServer(core.ServerConfig{
+		Model:   m,
+		Updater: &optimizer.SGD{Schedule: optimizer.InvSqrt{C: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	token, err := srv.RegisterDevice(context.Background(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, token
+}
+
+// BenchmarkCheckoutBinary measures the binary full-frame checkout path:
+// CheckoutDelta's zero-copy snapshot view encoded into a reused frame
+// buffer — the per-request server cost behind "Accept: binary" without a
+// delta base. Against BenchmarkCheckoutParallel's per-call parameter
+// copy, the steady-state allocation drops to the response-struct noise.
+func BenchmarkCheckoutBinary(b *testing.B) {
+	srv, token := newCheckoutBenchServer(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var buf []byte
+		for pb.Next() {
+			d, err := srv.CheckoutDelta(ctx, "bench", token, -1)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf = wirecodec.AppendCheckout(buf[:0], d.Params, d.Version, d.Done, d.Since, d.Indices, d.Values, false)
+		}
+	})
+}
+
+// BenchmarkCheckoutDelta measures the steady-state delta poll — the wire
+// protocol's headline: a device that already holds the current iteration
+// asks ?since=current and is answered with an empty ~40-byte delta frame
+// instead of the full C·D float64 vector. Benchgate pins this B/op at a
+// fraction of BenchmarkCheckoutParallel's full-copy cost.
+func BenchmarkCheckoutDelta(b *testing.B) {
+	srv, token := newCheckoutBenchServer(b)
+	ctx := context.Background()
+	// Advance the model a few iterations so the poll runs against a
+	// populated ring, like a live leader's.
+	req := &core.CheckinRequest{
+		Grad:        make([]float64, mnistClasses*mnistDim),
+		NumSamples:  20,
+		LabelCounts: make([]int, mnistClasses),
+	}
+	for i := range req.Grad {
+		req.Grad[i] = 0.01
+	}
+	for i := 0; i < 8; i++ {
+		if err := srv.Checkin(ctx, "bench", token, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	since := srv.Iteration()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var buf []byte
+		for pb.Next() {
+			d, err := srv.CheckoutDelta(ctx, "bench", token, since)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf = wirecodec.AppendCheckout(buf[:0], d.Params, d.Version, d.Done, d.Since, d.Indices, d.Values, false)
+		}
+	})
+}
+
+// BenchmarkCheckinBinary measures the binary checkin ingest: decoding
+// one pre-encoded gradient frame plus the batched server apply — the
+// server-side twin of a device POSTing Content-Type binary.
+func BenchmarkCheckinBinary(b *testing.B) {
+	srv, token := newCheckoutBenchServer(b)
+	ctx := context.Background()
+	grad := make([]float64, mnistClasses*mnistDim)
+	for i := range grad {
+		grad[i] = 0.01
+	}
+	frame := wirecodec.AppendCheckin(nil, grad, 0, 20, 0, make([]int, mnistClasses), false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := wirecodec.Decode(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := &core.CheckinRequest{
+			Grad:        fr.Values,
+			NumSamples:  fr.NumSamples,
+			ErrCount:    fr.ErrCount,
+			LabelCounts: fr.LabelCounts,
+		}
+		if err := srv.Checkin(ctx, "bench", token, req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCheckinBatched measures concurrent checkin throughput against a

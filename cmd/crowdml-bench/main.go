@@ -59,14 +59,20 @@ func run() error {
 		samples    = flag.Int("samples", 200, "samples per device in the load bench")
 		minibatch  = flag.Int("minibatch", 5, "minibatch size b in the load bench")
 		checkouts  = flag.Int("checkouts", 0, "after the checkin run, also measure this many checkouts per device (the portal-scale read path; 0 skips)")
+		wire       = flag.String("wire", "json", "wire format for the load bench's checkout/checkin traffic: json, binary or binary-delta")
 	)
 	flag.Parse()
+
+	wireFormat, err := crowdml.ParseWireFormat(*wire)
+	if err != nil {
+		return err
+	}
 
 	if *durability {
 		return durabilityBench(*devices, *samples, *minibatch)
 	}
 	if *serverURL != "" {
-		return loadBench(*serverURL, *taskID, *enrollKey, *devices, *samples, *minibatch, *checkouts)
+		return loadBench(*serverURL, *taskID, *enrollKey, *devices, *samples, *minibatch, *checkouts, wireFormat)
 	}
 
 	cfg := experiments.Config{
@@ -121,11 +127,23 @@ func run() error {
 // read from the /v1/tasks listing, so any hosted task can be benched
 // (activity-shaped tasks get the realistic accelerometer stream, others
 // a synthetic one).
-func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch, checkouts int) error {
+func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch, checkouts int, wire crowdml.WireFormat) error {
 	if enrollKey == "" {
 		return fmt.Errorf("the load bench needs -enroll-key to enroll its devices")
 	}
 	ctx := context.Background()
+	// benchClient builds one device's task-bound client speaking the
+	// selected wire format.
+	benchClient := func() *crowdml.HTTPClient {
+		client := crowdml.NewHTTPClient(serverURL, nil)
+		if taskID != "" {
+			client = client.WithTask(taskID)
+		}
+		if wire != crowdml.WireJSON {
+			client = client.WithWire(wire)
+		}
+		return client
+	}
 	listing, err := crowdml.NewHTTPClient(serverURL, nil).Tasks(ctx)
 	if err != nil {
 		return fmt.Errorf("fetch task listing: %w", err)
@@ -144,8 +162,8 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 	// device model of the right shape can bench any task.
 	m := crowdml.NewLogisticRegression(summary.Classes, summary.Dim)
 	activityShaped := summary.Classes == activity.NumClasses && summary.Dim == activity.FeatureDim
-	fmt.Printf("load bench: %d devices × %d samples (b=%d) against %s task %s (C=%d D=%d)\n",
-		devices, samples, minibatch, serverURL, summary.ID, summary.Classes, summary.Dim)
+	fmt.Printf("load bench: %d devices × %d samples (b=%d, wire=%s) against %s task %s (C=%d D=%d)\n",
+		devices, samples, minibatch, wire, serverURL, summary.ID, summary.Classes, summary.Dim)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*devices)
@@ -156,10 +174,7 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			client := crowdml.NewHTTPClient(serverURL, nil)
-			if taskID != "" {
-				client = client.WithTask(taskID)
-			}
+			client := benchClient()
 			id := fmt.Sprintf("bench-%03d", i)
 			token, err := client.Register(ctx, id, enrollKey)
 			if err != nil {
@@ -215,10 +230,7 @@ func loadBench(serverURL, taskID, enrollKey string, devices, samples, minibatch,
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				client := crowdml.NewHTTPClient(serverURL, nil)
-				if taskID != "" {
-					client = client.WithTask(taskID)
-				}
+				client := benchClient()
 				id := fmt.Sprintf("bench-%03d", i)
 				for n := 0; n < checkouts; n++ {
 					if _, err := client.Checkout(ctx, id, tokens[i]); err != nil {

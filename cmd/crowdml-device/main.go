@@ -49,8 +49,14 @@ func run() error {
 		epsInv    = flag.Float64("eps-inv", 0, "privacy level ε⁻¹ for gradients (0 = off)")
 		interval  = flag.Duration("interval", 0, "delay between samples (0 = as fast as possible)")
 		seed      = flag.Uint64("seed", 0, "sensor-simulation seed (default: derived from id)")
+		wire      = flag.String("wire", "json", "wire format for checkout/checkin: json, binary or binary-delta")
 	)
 	flag.Parse()
+
+	wireFormat, err := crowdml.ParseWireFormat(*wire)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -58,6 +64,9 @@ func run() error {
 	client := crowdml.NewHTTPClient(*serverURL, nil)
 	if *taskID != "" {
 		client = client.WithTask(*taskID)
+	}
+	if wireFormat != crowdml.WireJSON {
+		client = client.WithWire(wireFormat)
 	}
 	authToken := *token
 	if authToken == "" {

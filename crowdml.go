@@ -541,6 +541,27 @@ type ReplicaConfig = replica.Config
 // the follower task's health probe.
 func NewReplicator(cfg ReplicaConfig) (*Replicator, error) { return replica.New(cfg) }
 
+// WireFormat selects an HTTPClient's encoding for the device hot path
+// (checkout/checkin); everything else — registration, stats, the journal
+// feed — always speaks JSON. Pick one with HTTPClient.WithWire, parse a
+// -wire flag with ParseWireFormat.
+type WireFormat = transport.WireFormat
+
+// Wire formats. WireJSON is the default and the compatibility baseline;
+// WireBinary negotiates the framed little-endian binary protocol
+// (docs/WIRE.md); WireBinaryDelta additionally requests sparse deltas
+// against the client's last checkout, shrinking steady-state polls to a
+// few dozen bytes.
+const (
+	WireJSON        = transport.WireJSON
+	WireBinary      = transport.WireBinary
+	WireBinaryDelta = transport.WireBinaryDelta
+)
+
+// ParseWireFormat parses the -wire flag spelling: "json" (or empty),
+// "binary", "binary-delta".
+func ParseWireFormat(s string) (WireFormat, error) { return transport.ParseWireFormat(s) }
+
 // RetryPolicy configures transparent capped-exponential-backoff retries
 // (with full jitter) for an HTTPClient's idempotent GET requests —
 // checkout, stats, task listing, checkpoint fetch, journal feed open.

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// checkinN applies n distinct checkins and forces snapshot publication
+// after each (ParamDelta needs every intermediate version in the ring,
+// which lazy publication provides on the next read).
+func checkinN(t *testing.T, s *Server, id, token string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		req := validCheckin(s.Iteration())
+		req.Grad[i%len(req.Grad)] = 1
+		if err := s.Checkin(ctx, id, token, req); err != nil {
+			t.Fatalf("checkin %d: %v", i, err)
+		}
+		s.ParamView() // publish
+	}
+}
+
+func TestParamDeltaEmptyWhenCurrent(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	token := register(t, s, "d1")
+	checkinN(t, s, "d1", token, 3)
+
+	cur := s.SnapshotVersion()
+	d := s.ParamDelta(cur)
+	if d.Since != cur || d.Version != cur {
+		t.Fatalf("want empty delta at %d, got since=%d version=%d", cur, d.Since, d.Version)
+	}
+	if len(d.Indices) != 0 || len(d.Values) != 0 {
+		t.Fatalf("current base produced %d changes", len(d.Indices))
+	}
+	if d.Params == nil {
+		t.Fatal("Params fallback missing")
+	}
+}
+
+func TestParamDeltaRingHit(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	token := register(t, s, "d1")
+
+	base := s.ParamView() // version 0
+	checkinN(t, s, "d1", token, 2)
+
+	d := s.ParamDelta(base.Version)
+	if d.Since != base.Version {
+		t.Fatalf("ring miss for version %d (since=%d)", base.Version, d.Since)
+	}
+	if len(d.Indices) == 0 {
+		t.Fatal("two applied checkins produced no changed coordinates")
+	}
+	// Applying the delta to the base must reproduce the current snapshot
+	// bit for bit.
+	got := append([]float64(nil), base.Params...)
+	for i, idx := range d.Indices {
+		got[idx] = d.Values[i]
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(d.Params[i]) {
+			t.Fatalf("coordinate %d: applied %v, snapshot %v", i, got[i], d.Params[i])
+		}
+	}
+}
+
+func TestParamDeltaFallbacks(t *testing.T) {
+	s := newTestServer(t, ServerConfig{DeltaHistory: 2})
+	token := register(t, s, "d1")
+	checkinN(t, s, "d1", token, 5)
+
+	cur := s.SnapshotVersion()
+	for name, since := range map[string]int{
+		"ahead of the counter": cur + 10,
+		"negative":             -1,
+		"older than the ring":  0, // history 2 over 5 versions evicted it
+	} {
+		d := s.ParamDelta(since)
+		if d.Since != -1 {
+			t.Errorf("%s (since=%d): want full fallback, got delta since=%d", name, since, d.Since)
+		}
+		if d.Version != cur || len(d.Params) == 0 {
+			t.Errorf("%s: fallback lost the full frame (version=%d)", name, d.Version)
+		}
+	}
+}
+
+func TestParamDeltaRingBounded(t *testing.T) {
+	s := newTestServer(t, ServerConfig{DeltaHistory: 3})
+	token := register(t, s, "d1")
+	checkinN(t, s, "d1", token, 10)
+
+	s.ringMu.Lock()
+	n := len(s.ring)
+	s.ringMu.Unlock()
+	if n > 3 {
+		t.Fatalf("ring grew to %d entries with DeltaHistory=3", n)
+	}
+	// The most recent retained base must still produce a delta.
+	if d := s.ParamDelta(s.SnapshotVersion() - 1); d.Since == -1 {
+		t.Fatal("most recent ring entry not served")
+	}
+}
+
+func TestImportStateInvalidatesRing(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	token := register(t, s, "d1")
+	checkinN(t, s, "d1", token, 3)
+	base := s.SnapshotVersion() - 1
+
+	if d := s.ParamDelta(base); d.Since != base {
+		t.Fatalf("precondition: base %d not in ring", base)
+	}
+	st := s.ExportState()
+	if err := s.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	// Post-restore the ring holds only the re-published current
+	// snapshot; the older base must fall back to a full frame.
+	if d := s.ParamDelta(base); d.Since != -1 {
+		t.Fatalf("stale base %d survived a state import (since=%d)", base, d.Since)
+	}
+	if d := s.ParamDelta(s.SnapshotVersion()); d.Since == -1 {
+		t.Fatal("current-version empty delta unavailable after import")
+	}
+}
+
+func TestCheckoutDeltaAuth(t *testing.T) {
+	s := newTestServer(t, ServerConfig{})
+	token := register(t, s, "d1")
+
+	if _, err := s.CheckoutDelta(ctx, "d1", "wrong", 0); err != ErrAuth {
+		t.Fatalf("want ErrAuth, got %v", err)
+	}
+	d, err := s.CheckoutDelta(ctx, "d1", token, -1)
+	if err != nil {
+		t.Fatalf("CheckoutDelta: %v", err)
+	}
+	if d.Since != -1 || d.Version != 0 {
+		t.Fatalf("unexpected delta %+v", d)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.CheckoutDelta(cancelled, "d1", token, -1); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func TestDiffParams(t *testing.T) {
+	base := []float64{1, 2, 3, 0}
+	cur := []float64{1, 5, 3, math.Copysign(0, -1)}
+	idx, vals := DiffParams(base, cur)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("indices %v", idx)
+	}
+	if vals[0] != 5 || math.Float64bits(vals[1]) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("values %v (−0 must survive bitwise)", vals)
+	}
+	if idx, _ := DiffParams(cur, cur); len(idx) != 0 {
+		t.Fatal("identical vectors produced changes")
+	}
+}

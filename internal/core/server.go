@@ -105,6 +105,13 @@ type ServerConfig struct {
 	// Recording is lock-free atomic adds on pre-bound handles; nil
 	// disables telemetry at the cost of one branch per request.
 	Metrics *ServerMetrics
+	// DeltaHistory is how many recently published parameter snapshots
+	// the server retains to answer delta checkouts (ParamDelta; the
+	// binary wire's ?since=N). The ring holds pointers to snapshots
+	// published anyway, so the cost is retained memory, never extra
+	// copies. A base older than the ring falls back to a full checkout.
+	// Defaults to DefaultDeltaHistory; values < 1 use the default.
+	DeltaHistory int
 }
 
 // DeviceStats are the server's per-device progress counters from
@@ -172,6 +179,13 @@ type Server struct {
 
 	devices *deviceRegistry
 
+	// ring retains the last cfg.DeltaHistory published snapshots (by
+	// pointer) so ParamDelta can diff against a client's base iteration.
+	// ringMu is leaf-level: taken alone by readers, after wMu by the
+	// publication path, never the other way around.
+	ringMu sync.Mutex
+	ring   []*paramSnapshot
+
 	// queue and leaderSem implement the batched applier: pending checkins
 	// wait in queue; whoever holds the single leaderSem slot drains and
 	// applies them (see batch.go).
@@ -204,6 +218,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.CheckinQueueDepth > maxCheckinQueueHardLimit {
 		cfg.CheckinQueueDepth = maxCheckinQueueHardLimit
 	}
+	if cfg.DeltaHistory < 1 {
+		cfg.DeltaHistory = DefaultDeltaHistory
+	}
 	w := model.NewParams(cfg.Model)
 	if cfg.InitParams != nil {
 		if err := w.CopyFrom(cfg.InitParams); err != nil {
@@ -227,10 +244,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // not yet shared). Because t only advances under wMu, published versions
 // are monotonically non-decreasing.
 func (s *Server) publishSnapshotLocked() {
-	s.snap.Store(&paramSnapshot{
+	snap := &paramSnapshot{
 		params:  linalg.Copy(s.w.Data()),
 		version: int(s.t.Load()),
-	})
+	}
+	s.snap.Store(snap)
+	s.recordSnapshotLocked(snap)
 }
 
 // refreshSnapshot returns the current snapshot, republishing it first

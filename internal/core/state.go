@@ -173,6 +173,11 @@ func (s *Server) ImportState(st *ServerState) error {
 			StalenessSum: entry.StalenessSum,
 		})
 	}
+	// A restore can rewind the iteration counter, so version numbers in
+	// the retained delta ring would no longer identify the bases clients
+	// hold. Drop it before republishing: delta checkouts fall back to
+	// full frames until fresh snapshots accumulate.
+	s.invalidateDeltaRing()
 	s.publishSnapshotLocked()
 	return nil
 }

@@ -34,6 +34,8 @@ package scenario
 import (
 	"fmt"
 	"time"
+
+	"github.com/crowdml/crowdml/internal/transport"
 )
 
 // Topology selects which real server arrangement the crowd drives.
@@ -136,6 +138,11 @@ type Spec struct {
 	// default) is the determinism contract; larger values trade
 	// bit-reproducibility of the report for wall-clock speed.
 	Workers int `json:"workers,omitempty"`
+	// Wire selects the device wire format: "json" (default), "binary" or
+	// "binary-delta" (docs/WIRE.md). Both binary encodings are bit-exact
+	// for float64 parameters, so same-seed reports are identical across
+	// wire formats — the convergence-equivalence tier-1 test pins this.
+	Wire string `json:"wire,omitempty"`
 	// MergeEvery only applies to TopologySharded: the harness calls the
 	// router's merge deterministically from the event loop every tick, so
 	// this is the wall-clock fallback cadence handed to the router
@@ -162,6 +169,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Updater == "" {
 		s.Updater = "sgd"
+	}
+	if s.Wire == "" {
+		s.Wire = "json"
 	}
 	if s.Byzantine.Fraction > 0 && s.Byzantine.Magnitude <= 0 {
 		s.Byzantine.Magnitude = 10
@@ -198,6 +208,9 @@ func (s Spec) Validate() error {
 	case "", "sgd", "adagrad":
 	default:
 		return fmt.Errorf("scenario: unknown updater %q", s.Updater)
+	}
+	if _, err := transport.ParseWireFormat(s.Wire); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if f := s.Straggler.Fraction; f < 0 || f > 1 {
 		return fmt.Errorf("scenario: straggler fraction %v outside [0, 1]", f)

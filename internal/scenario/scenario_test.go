@@ -216,6 +216,44 @@ func TestScenarioParallelWorkers(t *testing.T) {
 	}
 }
 
+// TestScenarioWireEquivalence is the wire-protocol acceptance gate: the
+// binary and binary-delta encodings are bit-exact for float64 payloads,
+// so a same-seed run must produce a report byte-identical to the JSON
+// control — same convergence curve, same schedule, same metric deltas.
+// The stressors stay on so deltas are exercised across churn-driven
+// re-registrations and straggler-stale checkouts, not just the happy
+// path.
+func TestScenarioWireEquivalence(t *testing.T) {
+	spec := mustBuiltin(t, "churn-straggler-2k")
+	spec.Devices = 400
+	spec.Samples = 1500
+	spec.TrainSize = 1500
+	spec.TestSize = 300
+
+	control := mustRun(t, spec)
+	cj, err := control.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, control)
+	if control.Checkins == 0 || len(control.Curve) == 0 {
+		t.Fatalf("degenerate control: checkins %d, curve %d points", control.Checkins, len(control.Curve))
+	}
+	for _, wire := range []string{"binary", "binary-delta"} {
+		run := spec
+		run.Wire = wire
+		rep := mustRun(t, run)
+		j, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cj, j) {
+			t.Errorf("wire=%s report diverged from the JSON control:\n--- json ---\n%s\n--- %s ---\n%s",
+				wire, cj, wire, j)
+		}
+	}
+}
+
 // TestScenarioValidate covers spec validation and defaulting edges.
 func TestScenarioValidate(t *testing.T) {
 	base := mustBuiltin(t, "churn-straggler-2k")
@@ -232,6 +270,7 @@ func TestScenarioValidate(t *testing.T) {
 		{"bad byzantine fraction", func(s *Spec) { s.Byzantine.Fraction = 1 }},
 		{"bad byzantine strategy", func(s *Spec) { s.Byzantine = ByzantineSpec{Fraction: 0.1, Strategy: "nope"} }},
 		{"no learning rate", func(s *Spec) { s.LearningRate = 0 }},
+		{"bad wire", func(s *Spec) { s.Wire = "protobuf" }},
 	}
 	for _, tc := range cases {
 		spec := base

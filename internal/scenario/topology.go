@@ -45,6 +45,10 @@ type stack struct {
 	// close tears the whole stack down.
 	close func()
 
+	// wire is the device wire format (Spec.Wire): every cached client
+	// speaks it on checkout/checkin.
+	wire transport.WireFormat
+
 	// clients caches one task-bound HTTP client per base URL, shared by
 	// every virtual device pointed at that URL.
 	mu      sync.Mutex
@@ -58,6 +62,9 @@ func (st *stack) clientFor(baseURL string) *transport.HTTPClient {
 	c, ok := st.clients[baseURL]
 	if !ok {
 		c = transport.NewHTTPClient(baseURL, nil).WithTask(taskID)
+		if st.wire != transport.WireJSON {
+			c = c.WithWire(st.wire)
+		}
 		st.clients[baseURL] = c
 	}
 	return c
@@ -80,15 +87,25 @@ func (s Spec) serverConfig(m model.Model) core.ServerConfig {
 // enrollment and telemetry enabled, and httptest servers carrying real
 // TCP traffic.
 func buildStack(ctx context.Context, spec Spec, m model.Model) (*stack, error) {
+	var st *stack
+	var err error
 	switch spec.Topology {
 	case TopologySingle:
-		return buildSingle(ctx, spec, m)
+		st, err = buildSingle(ctx, spec, m)
 	case TopologySharded:
-		return buildSharded(ctx, spec, m)
+		st, err = buildSharded(ctx, spec, m)
 	case TopologyFollower:
-		return buildFollower(ctx, spec, m)
+		st, err = buildFollower(ctx, spec, m)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q", spec.Topology)
 	}
-	return nil, fmt.Errorf("scenario: unknown topology %q", spec.Topology)
+	if err != nil {
+		return nil, err
+	}
+	// The wire format is a pure encoding choice (Validate already vetted
+	// it); the replication feed and stats scrapes stay JSON regardless.
+	st.wire, _ = transport.ParseWireFormat(spec.Wire)
+	return st, nil
 }
 
 // newHandler wires a hub behind the real HTTP handler with enrollment

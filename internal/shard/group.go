@@ -104,7 +104,12 @@ type Group struct {
 	// mergeMu serializes merged-view builds: the periodic merger and any
 	// explicit Merge caller publish in a consistent order.
 	mergeMu sync.Mutex
-	m       *groupMetrics
+	// deltaMu guards deltaRing, the recent merged views retained for
+	// delta checkouts (see delta.go). Leaf lock, taken after mergeMu by
+	// the publisher and alone by readers.
+	deltaMu   sync.Mutex
+	deltaRing []*mergedView
+	m         *groupMetrics
 
 	stop     chan struct{}
 	stopOnce sync.Once

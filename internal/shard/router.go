@@ -225,5 +225,6 @@ func (g *Group) merge() {
 		advanced = mv.iteration - prev.iteration
 	}
 	g.merged.Store(mv)
+	g.recordMergedView(mv)
 	g.m.observeMerge(start, advanced)
 }

@@ -203,6 +203,9 @@ func (h *Handler) handleListTasks(w http.ResponseWriter, r *http.Request) {
 // handleCheckout serves the parameter checkout. The underlying
 // core.Server read is lock-free (immutable snapshot + sharded auth), so
 // this endpoint scales with whatever concurrency net/http throws at it.
+// Clients that sent "Accept: application/x-crowdml-bin" get binary
+// frames (with ?since=N delta support); everyone else gets the original
+// JSON body.
 func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	if rt, ok := h.router(r); ok {
 		h.shardedCheckout(w, r, rt)
@@ -210,6 +213,10 @@ func (h *Handler) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	}
 	t, ok := h.task(w, r)
 	if !ok {
+		return
+	}
+	if binary, compress := acceptsBinary(r); binary {
+		h.serveBinaryCheckout(w, r, t.Server(), compress)
 		return
 	}
 	resp, err := t.Server().Checkout(r.Context(),
@@ -233,13 +240,13 @@ func (h *Handler) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	if rejectReadOnly(w, t) {
 		return
 	}
-	var req core.CheckinRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
+	req, err := decodeCheckinBody(r)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	if err := t.Server().Checkin(r.Context(),
-		r.Header.Get(headerDeviceID), r.Header.Get(headerToken), &req); err != nil {
+		r.Header.Get(headerDeviceID), r.Header.Get(headerToken), req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -323,6 +330,14 @@ type HTTPClient struct {
 	client  *http.Client
 	retry   RetryPolicy
 	retryOn bool
+	// wire selects the hot-path encoding (WithWire); the default
+	// WireJSON preserves the original protocol byte for byte.
+	wire      WireFormat
+	wireFlate bool
+	// delta is the base cache for WireBinaryDelta checkouts. A pointer,
+	// so the value copies the With* combinators make share one cache;
+	// WithTask and WithWire install a fresh one.
+	delta *deltaCache
 }
 
 var _ core.Transport = (*HTTPClient)(nil)
@@ -344,6 +359,11 @@ func NewHTTPClient(baseURL string, client *http.Client) *HTTPClient {
 func (c *HTTPClient) WithTask(taskID string) *HTTPClient {
 	cp := *c
 	cp.taskID = taskID
+	if cp.delta != nil {
+		// A different task is a different model: never apply deltas
+		// against the old task's base.
+		cp.delta = &deltaCache{}
+	}
 	return &cp
 }
 
@@ -362,7 +382,13 @@ func (c *HTTPClient) endpoint(legacy string) string {
 
 // Checkout implements core.Transport. Checkout is idempotent, so a
 // client built WithRetry transparently retries transient failures.
+// With a binary wire format (WithWire) the request negotiates compact
+// frames — and delta downloads — via Accept; the JSON default is
+// byte-identical to the original protocol.
 func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*core.CheckoutResponse, error) {
+	if c.wire != WireJSON {
+		return c.checkoutBinary(ctx, deviceID, token)
+	}
 	hdr := http.Header{}
 	hdr.Set(headerDeviceID, deviceID)
 	hdr.Set(headerToken, token)
@@ -381,8 +407,12 @@ func (c *HTTPClient) Checkout(ctx context.Context, deviceID, token string) (*cor
 	return &out, nil
 }
 
-// Checkin implements core.Transport.
+// Checkin implements core.Transport. Binary wire formats POST one
+// wirecodec frame instead of the JSON body.
 func (c *HTTPClient) Checkin(ctx context.Context, deviceID, token string, body *core.CheckinRequest) error {
+	if c.wire != WireJSON {
+		return c.checkinBinary(ctx, deviceID, token, body)
+	}
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("transport: encode checkin: %w", err)

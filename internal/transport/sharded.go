@@ -1,10 +1,7 @@
 package transport
 
 import (
-	"encoding/json"
 	"errors"
-	"fmt"
-	"io"
 	"net/http"
 	"sort"
 
@@ -44,8 +41,30 @@ func (h *Handler) rejectShardReadOnly(w http.ResponseWriter, rt hub.ShardRouter,
 }
 
 // shardedCheckout proxies GET checkout through the router: authenticate
-// on the owning shard, serve the merged view.
+// on the owning shard, serve the merged view. Binary negotiation works
+// exactly like the plain-task path: delta-capable routers (shard.Group)
+// serve ?since=N from their merged-view ring; any other router degrades
+// to full binary frames.
 func (h *Handler) shardedCheckout(w http.ResponseWriter, r *http.Request, rt hub.ShardRouter) {
+	if binary, compress := acceptsBinary(r); binary {
+		if ds, ok := rt.(deltaCheckoutServer); ok {
+			h.serveBinaryCheckout(w, r, ds, compress)
+			return
+		}
+		resp, err := rt.Checkout(r.Context(),
+			r.Header.Get(headerDeviceID), r.Header.Get(headerToken))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeBinaryCheckout(w, &core.ParamDelta{
+			Version: resp.Version,
+			Done:    resp.Done,
+			Params:  resp.Params,
+			Since:   -1,
+		}, compress)
+		return
+	}
 	resp, err := rt.Checkout(r.Context(),
 		r.Header.Get(headerDeviceID), r.Header.Get(headerToken))
 	if err != nil {
@@ -61,12 +80,12 @@ func (h *Handler) shardedCheckin(w http.ResponseWriter, r *http.Request, rt hub.
 	if h.rejectShardReadOnly(w, rt, deviceID) {
 		return
 	}
-	var req core.CheckinRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad JSON: %v: %w", err, core.ErrBadCheckin))
+	req, err := decodeCheckinBody(r)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	if err := rt.Checkin(r.Context(), deviceID, r.Header.Get(headerToken), &req); err != nil {
+	if err := rt.Checkin(r.Context(), deviceID, r.Header.Get(headerToken), req); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -1,0 +1,444 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/crowdml/crowdml/internal/core"
+	"github.com/crowdml/crowdml/internal/wirecodec"
+)
+
+// rawCheckout performs one checkout round trip with explicit headers,
+// returning status, Content-Type and body.
+func rawCheckout(t *testing.T, url, deviceID, token, accept, query string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+PathCheckout+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(headerDeviceID, deviceID)
+	req.Header.Set(headerToken, token)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func sameParams(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("params length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("params[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBinaryCheckoutMatchesJSON: the binary wire serves bit-for-bit the
+// parameters the JSON wire serves, under the negotiated media type.
+func TestBinaryCheckoutMatchesJSON(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+
+	jsonCl := NewHTTPClient(ts.URL, nil)
+	for _, wire := range []WireFormat{WireBinary, WireBinaryDelta} {
+		binCl := jsonCl.WithWire(wire)
+		if err := jsonCl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+		want, err := jsonCl.Checkout(ctx, "d1", token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := binCl.Checkout(ctx, "d1", token)
+		if err != nil {
+			t.Fatalf("%v checkout: %v", wire, err)
+		}
+		if got.Version != want.Version || got.Done != want.Done {
+			t.Errorf("%v meta = (%d,%v), want (%d,%v)", wire, got.Version, got.Done, want.Version, want.Done)
+		}
+		sameParams(t, got.Params, want.Params)
+	}
+
+	// The response really is the binary media type.
+	status, ct, body := rawCheckout(t, ts.URL, "d1", token, ContentTypeBinary, "")
+	if status != http.StatusOK || !isBinaryContentType(ct) {
+		t.Fatalf("status=%d Content-Type=%q, want 200 binary", status, ct)
+	}
+	fr, err := wirecodec.Decode(body)
+	if err != nil {
+		t.Fatalf("decode served frame: %v", err)
+	}
+	if fr.Kind != wirecodec.KindFull {
+		t.Errorf("frame kind = %d, want full", fr.Kind)
+	}
+}
+
+// TestUnknownAcceptStaysJSON: anything but the exact media type — absent,
+// a wildcard, an unknown type, garbage — gets the original JSON body.
+func TestUnknownAcceptStaysJSON(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	for _, accept := range []string{"", "*/*", "application/json", "application/octet-stream", "not a media type"} {
+		status, ct, body := rawCheckout(t, ts.URL, "d1", token, accept, "")
+		if status != http.StatusOK {
+			t.Fatalf("Accept=%q status = %d", accept, status)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("Accept=%q Content-Type = %q, want JSON", accept, ct)
+		}
+		if !bytes.HasPrefix(bytes.TrimSpace(body), []byte("{")) {
+			t.Errorf("Accept=%q body is not JSON: %q", accept, body[:min(len(body), 32)])
+		}
+	}
+}
+
+// TestDeltaSequenceOverHTTP drives the full delta lifecycle: full frame,
+// then a sparse delta applied against the cached base, staying equal to
+// the JSON view at every step — and an up-to-date poll costs only an
+// empty delta.
+func TestDeltaSequenceOverHTTP(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	jsonCl := NewHTTPClient(ts.URL, nil)
+	deltaCl := jsonCl.WithWire(WireBinaryDelta)
+
+	// First checkout: no base, full frame.
+	first, err := deltaCl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Version != 0 {
+		t.Fatalf("first version = %d", first.Version)
+	}
+
+	// Advance the model, then check out again: served as a delta.
+	for i := 0; i < 3; i++ {
+		if err := jsonCl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+		want, err := jsonCl.Checkout(ctx, "d1", token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := deltaCl.Checkout(ctx, "d1", token)
+		if err != nil {
+			t.Fatalf("delta checkout %d: %v", i, err)
+		}
+		if got.Version != want.Version {
+			t.Fatalf("version = %d, want %d", got.Version, want.Version)
+		}
+		sameParams(t, got.Params, want.Params)
+	}
+
+	// On the wire, an up-to-date ?since really is a delta frame.
+	cur := srv.Iteration()
+	_, _, body := rawCheckout(t, ts.URL, "d1", token, ContentTypeBinary, "?since="+strconv.Itoa(cur))
+	fr, err := wirecodec.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kind != wirecodec.KindDelta || fr.Since != cur {
+		t.Errorf("frame kind=%d since=%d, want delta since=%d", fr.Kind, fr.Since, cur)
+	}
+	if len(fr.Indices) != 0 {
+		t.Errorf("up-to-date delta carries %d changed entries", len(fr.Indices))
+	}
+}
+
+// TestDeltaSinceAheadServesFull: a base the leader has never seen (ahead
+// of its iteration — e.g. after a restore) degrades to a full frame.
+func TestDeltaSinceAheadServesFull(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	status, ct, body := rawCheckout(t, ts.URL, "d1", token, ContentTypeBinary, "?since=999")
+	if status != http.StatusOK || !isBinaryContentType(ct) {
+		t.Fatalf("status=%d ct=%q", status, ct)
+	}
+	fr, err := wirecodec.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kind != wirecodec.KindFull {
+		t.Errorf("kind = %d, want full frame fallback", fr.Kind)
+	}
+}
+
+// TestMalformedSinceRejected: a non-numeric or negative ?since is the
+// caller's error — 400, not 500.
+func TestMalformedSinceRejected(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	for _, q := range []string{"?since=abc", "?since=-3", "?since=1e9"} {
+		status, ct, _ := rawCheckout(t, ts.URL, "d1", token, ContentTypeBinary, q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", q, status)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s error Content-Type = %q, want JSON envelope", q, ct)
+		}
+	}
+}
+
+// TestMalformedBinaryCheckinRejected: garbage, truncated and
+// wrong-kind frames under the binary Content-Type are 400s, never 500s.
+func TestMalformedBinaryCheckinRejected(t *testing.T) {
+	hd, srv := newHandler(t)
+	token, _ := srv.RegisterDevice(context.Background(), "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+
+	valid := wirecodec.AppendCheckin(nil, []float64{1, 0, 0, 0}, 0, 1, 0, []int{1, 0}, false)
+	wrongKind := wirecodec.AppendFull(nil, []float64{1, 2}, 3, false, false)
+	cases := map[string][]byte{
+		"garbage":    []byte("not a frame at all"),
+		"empty":      {},
+		"truncated":  valid[:len(valid)-5],
+		"wrong-kind": wrongKind,
+	}
+	for name, payload := range cases {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+PathCheckin, bytes.NewReader(payload))
+		req.Header.Set("Content-Type", ContentTypeBinary)
+		req.Header.Set(headerDeviceID, "d1")
+		req.Header.Set(headerToken, token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if srv.Iteration() != 0 {
+		t.Error("malformed checkin advanced the model")
+	}
+}
+
+// TestBinaryCheckinReachesServer: a binary checkin applies exactly like
+// its JSON twin — two identical servers, one driven per wire, end equal.
+func TestBinaryCheckinReachesServer(t *testing.T) {
+	ctx := context.Background()
+	run := func(wire WireFormat) []float64 {
+		hd, srv := newHandler(t)
+		token, _ := srv.RegisterDevice(ctx, "d1")
+		ts := httptest.NewServer(hd)
+		defer ts.Close()
+		cl := NewHTTPClient(ts.URL, nil).WithWire(wire)
+		for i := 0; i < 4; i++ {
+			if err := cl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+				t.Fatalf("%v checkin: %v", wire, err)
+			}
+		}
+		if srv.Iteration() != 4 {
+			t.Fatalf("%v iterations = %d, want 4", wire, srv.Iteration())
+		}
+		co, err := cl.Checkout(ctx, "d1", token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return co.Params
+	}
+	sameParams(t, run(WireBinary), run(WireJSON))
+}
+
+// TestBinaryErrorStaysJSON is the negotiation regression test: error
+// responses on a binary-negotiated request keep the JSON envelope, and
+// the binary client maps them to the same sentinels as the JSON client.
+func TestBinaryErrorStaysJSON(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+
+	// On the wire: 401 with a JSON body despite Accept: binary.
+	status, ct, body := rawCheckout(t, ts.URL, "ghost", "bad", ContentTypeBinary, "")
+	if status != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", status)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error Content-Type = %q, want JSON envelope", ct)
+	}
+	if !bytes.Contains(body, []byte("error")) {
+		t.Errorf("error body = %q, want JSON error envelope", body)
+	}
+
+	// Through the client: sentinel mapping identical to the JSON wire.
+	for _, wire := range []WireFormat{WireBinary, WireBinaryDelta} {
+		cl := NewHTTPClient(ts.URL, nil).WithWire(wire)
+		if _, err := cl.Checkout(ctx, "ghost", "bad"); !errors.Is(err, core.ErrAuth) {
+			t.Errorf("%v checkout error = %v, want ErrAuth", wire, err)
+		}
+		if err := cl.Checkin(ctx, "ghost", "bad", checkinReq()); !errors.Is(err, core.ErrAuth) {
+			t.Errorf("%v checkin error = %v, want ErrAuth", wire, err)
+		}
+		bad := &core.CheckinRequest{Grad: []float64{1}, LabelCounts: []int{0, 0}}
+		if err := cl.Checkin(ctx, "d1", token, bad); !errors.Is(err, core.ErrBadCheckin) {
+			t.Errorf("%v bad checkin error = %v, want ErrBadCheckin", wire, err)
+		}
+	}
+}
+
+// TestWireFlateRoundTrip: compressed frames survive the full client flow
+// for both directions.
+func TestWireFlateRoundTrip(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	jsonCl := NewHTTPClient(ts.URL, nil)
+	cl := jsonCl.WithWire(WireBinaryDelta).WithWireFlate()
+
+	if err := cl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := jsonCl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, got.Params, want.Params)
+	if err := cl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := cl.Checkout(ctx, "d1", token) // delta against the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := jsonCl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, got2.Params, want2.Params)
+}
+
+// TestDeltaCacheResyncAfterImport: an ImportState that rewinds the
+// leader invalidates its delta ring; a delta client holding a now-alien
+// base resynchronizes transparently via the full-frame retry.
+func TestDeltaCacheResyncAfterImport(t *testing.T) {
+	hd, srv := newHandler(t)
+	ctx := context.Background()
+	token, _ := srv.RegisterDevice(ctx, "d1")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	jsonCl := NewHTTPClient(ts.URL, nil)
+	cl := jsonCl.WithWire(WireBinaryDelta)
+
+	for i := 0; i < 3; i++ {
+		if err := jsonCl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Checkout(ctx, "d1", token); err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll the leader back to its own exported state from iteration 3 —
+	// versions match but the ring is gone; then advance one step.
+	if err := srv.ImportState(srv.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonCl.Checkin(ctx, "d1", token, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatalf("checkout after import: %v", err)
+	}
+	want, err := jsonCl.Checkout(ctx, "d1", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version {
+		t.Fatalf("version = %d, want %d", got.Version, want.Version)
+	}
+	sameParams(t, got.Params, want.Params)
+}
+
+// TestShardedBinaryWire: the sharded tier negotiates the same protocol —
+// full binary frames and merged-view deltas — with values equal to the
+// JSON route.
+func TestShardedBinaryWire(t *testing.T) {
+	hd, g := newShardedHandler(t)
+	hd.EnableEnrollment("k")
+	ts := httptest.NewServer(hd)
+	defer ts.Close()
+	ctx := context.Background()
+	jsonCl := NewHTTPClient(ts.URL, nil).WithTask("act")
+	deltaCl := jsonCl.WithWire(WireBinaryDelta)
+
+	tok, err := jsonCl.Register(ctx, "device-002", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-frame checkout against the initial merged view.
+	first, err := deltaCl.Checkout(ctx, "device-002", tok)
+	if err != nil {
+		t.Fatalf("sharded binary checkout: %v", err)
+	}
+	want, err := jsonCl.Checkout(ctx, "device-002", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameParams(t, first.Params, want.Params)
+
+	// Advance a member, merge, and take the delta path.
+	if err := jsonCl.Checkin(ctx, "device-002", tok, checkinReq()); err != nil {
+		t.Fatal(err)
+	}
+	g.Merge()
+	got, err := deltaCl.Checkout(ctx, "device-002", tok)
+	if err != nil {
+		t.Fatalf("sharded delta checkout: %v", err)
+	}
+	want, err = jsonCl.Checkout(ctx, "device-002", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version {
+		t.Fatalf("version = %d, want %d", got.Version, want.Version)
+	}
+	sameParams(t, got.Params, want.Params)
+
+	// Binary checkin routes to the owning member like the JSON one.
+	binCl := jsonCl.WithWire(WireBinary)
+	if err := binCl.Checkin(ctx, "device-002", tok, checkinReq()); err != nil {
+		t.Fatalf("sharded binary checkin: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package wirecodec
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at Decode. The invariants: no
+// panic, no unvalidated success (a decoded frame must satisfy the
+// documented field constraints), and every valid encoder output decodes
+// back (seeded below, mutated by the fuzzer).
+func FuzzDecodeFrame(f *testing.F) {
+	params := []float64{1.5, -2.25, 0, math.Pi, 1e-300}
+	f.Add(AppendFull(nil, params, 7, true, false))
+	f.Add(AppendFull(nil, params, 7, false, true))
+	f.Add(AppendCheckout(nil, params, 9, false, 4, []uint32{1, 3}, []float64{8, -8}, false))
+	f.Add(AppendCheckout(nil, params, 9, false, 4, []uint32{0, 1, 2, 3, 4}, params, true))
+	f.Add(AppendCheckout(nil, params, 9, true, 9, nil, nil, false))
+	f.Add(AppendCheckin(nil, params, 3, 2, 1, []int{1, 0, 1}, false))
+	f.Add(AppendCheckin(nil, params, 3, 2, 1, []int{1, 0, 1}, true))
+	f.Add([]byte(magic))
+	f.Add(make([]byte, headerLen+crcLen))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if fr.Version < 0 || fr.Dims < 0 {
+			t.Fatalf("negative version/dims decoded: %+v", fr)
+		}
+		switch fr.Kind {
+		case KindFull:
+			if len(fr.Values) != fr.Dims || fr.Since != -1 {
+				t.Fatalf("inconsistent full frame: %+v", fr)
+			}
+		case KindDelta:
+			if fr.Since < 0 || fr.Since > fr.Version {
+				t.Fatalf("inconsistent delta since: %+v", fr)
+			}
+			if fr.Sparse {
+				if len(fr.Indices) != len(fr.Values) || len(fr.Indices) > fr.Dims {
+					t.Fatalf("inconsistent sparse delta: %+v", fr)
+				}
+				for _, idx := range fr.Indices {
+					if int(idx) >= fr.Dims {
+						t.Fatalf("sparse index %d out of range: %+v", idx, fr)
+					}
+				}
+				base := make([]float64, fr.Dims)
+				if _, err := ApplyDelta(base, fr); err != nil {
+					t.Fatalf("ApplyDelta rejected a decoded frame: %v", err)
+				}
+			} else if len(fr.Values) != fr.Dims {
+				t.Fatalf("inconsistent dense delta: %+v", fr)
+			}
+		case KindCheckin:
+			if len(fr.Values) != fr.Dims {
+				t.Fatalf("inconsistent checkin gradient: %+v", fr)
+			}
+		default:
+			t.Fatalf("unknown kind decoded: %+v", fr)
+		}
+	})
+}

@@ -1,0 +1,395 @@
+// Package wirecodec implements the compact binary wire format the
+// device hot path negotiates as an alternative to JSON (see
+// docs/WIRE.md). Every message is one self-delimiting frame:
+//
+//	offset  size  field
+//	0       4     magic "CMW1"
+//	4       1     codec version (1)
+//	5       1     kind (full=1, delta=2, checkin=3)
+//	6       2     flags (uint16 LE: compressed, done, sparse)
+//	8       8     version (int64 LE): the model iteration the frame
+//	              describes; for checkin frames, the echoed checkout
+//	              Version the gradient was computed against
+//	16      8     since (int64 LE): the delta base iteration; -1 when
+//	              the frame is not a delta
+//	24      4     dims (uint32 LE): the full vector length
+//	28      4     count (uint32 LE): payload element count — dims for
+//	              full frames, sparse-pair count for sparse deltas,
+//	              label-class count for checkins
+//	32      —     payload (flate-compressed when the flag is set)
+//	last 4        CRC32-IEEE (uint32 LE) over everything before it
+//
+// Payloads are little-endian float64s: a full frame carries dims
+// values; a sparse delta carries count (uint32 index, float64 value)
+// pairs holding the NEW absolute values at the changed coordinates
+// (absolute, not differences, so applying a delta reproduces the
+// server's vector bit for bit); a dense delta carries dims values like
+// a full frame but keeps the since echo; a checkin frame carries the
+// dims gradient values, then NumSamples and ErrCount as int64s, then
+// count int64 label counts.
+//
+// The package is dependency-free (stdlib only) and allocation-aware:
+// encoders append to caller-supplied buffers, so a pooled []byte makes
+// encoding zero-allocation on the hot path.
+package wirecodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+)
+
+// Frame kinds.
+const (
+	// KindFull is a complete parameter vector at one iteration.
+	KindFull = 1
+	// KindDelta is a change set against the base iteration in since:
+	// sparse (index, value) pairs, or a dense re-send of every value.
+	KindDelta = 2
+	// KindCheckin is a device's sanitized gradient contribution.
+	KindCheckin = 3
+)
+
+// Frame flags.
+const (
+	// FlagCompressed marks a flate-compressed payload.
+	FlagCompressed = 1 << 0
+	// FlagDone mirrors CheckoutResponse.Done: the task has stopped.
+	FlagDone = 1 << 1
+	// FlagSparse marks a delta payload of (index, value) pairs instead
+	// of a dense value re-send.
+	FlagSparse = 1 << 2
+)
+
+const (
+	magic     = "CMW1"
+	codecVer  = 1
+	headerLen = 32
+	crcLen    = 4
+
+	// MaxPayload bounds the decoded payload size (the HTTP layer limits
+	// request bodies identically), so a forged count field cannot make
+	// Decode allocate unbounded memory.
+	MaxPayload = 64 << 20
+
+	// compressMin is the smallest payload worth running through flate;
+	// below it the frame is sent raw even when compression was asked for.
+	compressMin = 64
+)
+
+// ErrFrame is wrapped by every Decode failure, so transports can map
+// any malformed frame to one protocol error (HTTP 400).
+var ErrFrame = errors.New("wirecodec: malformed frame")
+
+// Frame is one decoded message. Slices never alias the input buffer, so
+// callers may pool and reuse the raw bytes immediately after Decode.
+type Frame struct {
+	// Kind is KindFull, KindDelta or KindCheckin.
+	Kind byte
+	// Done mirrors FlagDone.
+	Done bool
+	// Sparse mirrors FlagSparse (meaningful for KindDelta only).
+	Sparse bool
+	// Version is the frame's model iteration (for checkins: the echoed
+	// checkout Version).
+	Version int
+	// Since is the delta base iteration; -1 for non-delta frames.
+	Since int
+	// Dims is the full vector length.
+	Dims int
+	// Values holds the payload float64s: the full vector (KindFull,
+	// dense KindDelta), the new values at the changed coordinates
+	// (sparse KindDelta), or the gradient (KindCheckin).
+	Values []float64
+	// Indices are the changed coordinates of a sparse delta, each < Dims.
+	Indices []uint32
+	// NumSamples, ErrCount and LabelCounts carry the checkin counters
+	// (KindCheckin only).
+	NumSamples  int
+	ErrCount    int
+	LabelCounts []int
+}
+
+// scratch pools raw-payload staging buffers for the compressing encoders.
+var scratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// flateWriters pools flate writers (their allocation dwarfs everything
+// else on a compressed encode).
+var flateWriters = sync.Pool{}
+
+func appendHeader(dst []byte, kind byte, flags uint16, version, since int64, dims, count uint32) []byte {
+	dst = append(dst, magic...)
+	dst = append(dst, codecVer, kind)
+	dst = binary.LittleEndian.AppendUint16(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(version))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(since))
+	dst = binary.LittleEndian.AppendUint32(dst, dims)
+	dst = binary.LittleEndian.AppendUint32(dst, count)
+	return dst
+}
+
+// appendPayload appends raw, flate-compressing when compress is set and
+// the compressed form is actually smaller; it reports whether it was.
+func appendPayload(dst, raw []byte, compress bool) ([]byte, bool) {
+	if !compress || len(raw) < compressMin {
+		return append(dst, raw...), false
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(raw))
+	fw, _ := flateWriters.Get().(*flate.Writer)
+	if fw == nil {
+		fw, _ = flate.NewWriter(&buf, flate.BestSpeed)
+	} else {
+		fw.Reset(&buf)
+	}
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriters.Put(fw)
+	if werr != nil || cerr != nil || buf.Len() >= len(raw) {
+		return append(dst, raw...), false
+	}
+	return append(dst, buf.Bytes()...), true
+}
+
+// finishFrame stamps the compressed flag (encoders only learn whether
+// compression won after the payload is in place) and appends the CRC
+// trailer over the frame built at dst[start:].
+func finishFrame(dst []byte, start int, compressed bool) []byte {
+	if compressed {
+		flags := binary.LittleEndian.Uint16(dst[start+6:])
+		binary.LittleEndian.PutUint16(dst[start+6:], flags|FlagCompressed)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+func appendFloats(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendFull appends a full-vector frame to dst and returns the
+// extended buffer.
+func AppendFull(dst []byte, params []float64, version int, done, compress bool) []byte {
+	start := len(dst)
+	var flags uint16
+	if done {
+		flags |= FlagDone
+	}
+	n := uint32(len(params))
+	dst = appendHeader(dst, KindFull, flags, int64(version), -1, n, n)
+	raw := (*scratch.Get().(*[]byte))[:0]
+	raw = appendFloats(raw, params)
+	dst, compressed := appendPayload(dst, raw, compress)
+	scratch.Put(&raw)
+	return finishFrame(dst, start, compressed)
+}
+
+// AppendCheckout appends the negotiated checkout frame: a full frame
+// when since < 0 (no usable delta base), otherwise the smaller of the
+// sparse and dense delta forms. indices/values list the coordinates
+// that changed between iteration since and version, carrying the NEW
+// absolute values; params is the complete current vector the dense
+// form falls back to.
+func AppendCheckout(dst []byte, params []float64, version int, done bool, since int, indices []uint32, values []float64, compress bool) []byte {
+	if since < 0 {
+		return AppendFull(dst, params, version, done, compress)
+	}
+	start := len(dst)
+	var flags uint16
+	if done {
+		flags |= FlagDone
+	}
+	n := uint32(len(params))
+	raw := (*scratch.Get().(*[]byte))[:0]
+	if sparseBytes := 12 * len(indices); sparseBytes < 8*len(params) {
+		flags |= FlagSparse
+		dst = appendHeader(dst, KindDelta, flags, int64(version), int64(since), n, uint32(len(indices)))
+		for i, idx := range indices {
+			raw = binary.LittleEndian.AppendUint32(raw, idx)
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(values[i]))
+		}
+	} else {
+		dst = appendHeader(dst, KindDelta, flags, int64(version), int64(since), n, n)
+		raw = appendFloats(raw, params)
+	}
+	dst, compressed := appendPayload(dst, raw, compress)
+	scratch.Put(&raw)
+	return finishFrame(dst, start, compressed)
+}
+
+// AppendCheckin appends a device checkin frame: the sanitized gradient,
+// the echoed checkout version, and the paper's counters.
+func AppendCheckin(dst []byte, grad []float64, version, numSamples, errCount int, labelCounts []int, compress bool) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindCheckin, 0, int64(version), -1,
+		uint32(len(grad)), uint32(len(labelCounts)))
+	raw := (*scratch.Get().(*[]byte))[:0]
+	raw = appendFloats(raw, grad)
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(int64(numSamples)))
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(int64(errCount)))
+	for _, c := range labelCounts {
+		raw = binary.LittleEndian.AppendUint64(raw, uint64(int64(c)))
+	}
+	dst, compressed := appendPayload(dst, raw, compress)
+	scratch.Put(&raw)
+	return finishFrame(dst, start, compressed)
+}
+
+// Decode parses and validates one frame. Every failure wraps ErrFrame:
+// a short buffer, a CRC mismatch (truncation or corruption), an unknown
+// magic/version/kind, a count field inconsistent with the payload, or a
+// sparse index out of range. The returned Frame owns its slices; b may
+// be reused immediately.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < headerLen+crcLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a frame", ErrFrame, len(b))
+	}
+	body := b[:len(b)-crcLen]
+	if got, want := binary.LittleEndian.Uint32(b[len(b)-crcLen:]), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (frame truncated or corrupted)", ErrFrame)
+	}
+	if string(b[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFrame)
+	}
+	if b[4] != codecVer {
+		return nil, fmt.Errorf("%w: unsupported codec version %d", ErrFrame, b[4])
+	}
+	flags := binary.LittleEndian.Uint16(b[6:])
+	fr := &Frame{
+		Kind:    b[5],
+		Done:    flags&FlagDone != 0,
+		Sparse:  flags&FlagSparse != 0,
+		Version: int(int64(binary.LittleEndian.Uint64(b[8:]))),
+		Since:   int(int64(binary.LittleEndian.Uint64(b[16:]))),
+		Dims:    int(binary.LittleEndian.Uint32(b[24:])),
+	}
+	count := int(binary.LittleEndian.Uint32(b[28:]))
+	if fr.Version < 0 || fr.Since < -1 {
+		return nil, fmt.Errorf("%w: negative version/since", ErrFrame)
+	}
+
+	// Work out the expected raw payload size per kind BEFORE touching the
+	// payload, so a forged header cannot trigger an oversized allocation.
+	var expect int
+	switch fr.Kind {
+	case KindFull:
+		if count != fr.Dims {
+			return nil, fmt.Errorf("%w: full frame count %d != dims %d", ErrFrame, count, fr.Dims)
+		}
+		if fr.Since != -1 {
+			return nil, fmt.Errorf("%w: full frame carries a since", ErrFrame)
+		}
+		expect = 8 * count
+	case KindDelta:
+		if fr.Since < 0 {
+			return nil, fmt.Errorf("%w: delta frame without a since", ErrFrame)
+		}
+		if fr.Since > fr.Version {
+			return nil, fmt.Errorf("%w: delta since %d ahead of version %d", ErrFrame, fr.Since, fr.Version)
+		}
+		if fr.Sparse {
+			if count > fr.Dims {
+				return nil, fmt.Errorf("%w: sparse delta with %d pairs for %d dims", ErrFrame, count, fr.Dims)
+			}
+			expect = 12 * count
+		} else {
+			if count != fr.Dims {
+				return nil, fmt.Errorf("%w: dense delta count %d != dims %d", ErrFrame, count, fr.Dims)
+			}
+			expect = 8 * count
+		}
+	case KindCheckin:
+		expect = 8*fr.Dims + 16 + 8*count
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrFrame, fr.Kind)
+	}
+	if fr.Dims < 0 || count < 0 || expect < 0 || expect > MaxPayload {
+		return nil, fmt.Errorf("%w: implausible payload size", ErrFrame)
+	}
+
+	payload := body[headerLen:]
+	if flags&FlagCompressed != 0 {
+		out := make([]byte, expect)
+		zr := flate.NewReader(bytes.NewReader(payload))
+		if _, err := io.ReadFull(zr, out); err != nil {
+			return nil, fmt.Errorf("%w: flate payload: %v", ErrFrame, err)
+		}
+		var tail [1]byte
+		if n, err := zr.Read(tail[:]); n != 0 || err != io.EOF {
+			return nil, fmt.Errorf("%w: trailing compressed data", ErrFrame)
+		}
+		payload = out
+	} else if len(payload) != expect {
+		return nil, fmt.Errorf("%w: payload %d bytes, want %d", ErrFrame, len(payload), expect)
+	}
+
+	switch fr.Kind {
+	case KindFull:
+		fr.Values = decodeFloats(payload, count)
+	case KindDelta:
+		if fr.Sparse {
+			fr.Indices = make([]uint32, count)
+			fr.Values = make([]float64, count)
+			for i := 0; i < count; i++ {
+				idx := binary.LittleEndian.Uint32(payload[12*i:])
+				if int(idx) >= fr.Dims {
+					return nil, fmt.Errorf("%w: sparse index %d out of range [0,%d)", ErrFrame, idx, fr.Dims)
+				}
+				fr.Indices[i] = idx
+				fr.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[12*i+4:]))
+			}
+		} else {
+			fr.Values = decodeFloats(payload, count)
+		}
+	case KindCheckin:
+		fr.Values = decodeFloats(payload, fr.Dims)
+		off := 8 * fr.Dims
+		fr.NumSamples = int(int64(binary.LittleEndian.Uint64(payload[off:])))
+		fr.ErrCount = int(int64(binary.LittleEndian.Uint64(payload[off+8:])))
+		fr.LabelCounts = make([]int, count)
+		for i := 0; i < count; i++ {
+			fr.LabelCounts[i] = int(int64(binary.LittleEndian.Uint64(payload[off+16+8*i:])))
+		}
+	}
+	return fr, nil
+}
+
+func decodeFloats(payload []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out
+}
+
+// ApplyDelta reconstructs the full vector a delta frame describes:
+// sparse deltas copy base and overwrite the changed coordinates (the
+// result is bit-identical to the server's snapshot at fr.Version);
+// dense deltas carry every value already and ignore base. The returned
+// slice is freshly allocated (or the frame's own for dense deltas) —
+// never an alias of base.
+func ApplyDelta(base []float64, fr *Frame) ([]float64, error) {
+	if fr.Kind != KindDelta {
+		return nil, fmt.Errorf("%w: ApplyDelta on kind %d", ErrFrame, fr.Kind)
+	}
+	if !fr.Sparse {
+		return fr.Values, nil
+	}
+	if len(base) != fr.Dims {
+		return nil, fmt.Errorf("%w: delta base has %d dims, frame %d", ErrFrame, len(base), fr.Dims)
+	}
+	out := make([]float64, len(base))
+	copy(out, base)
+	for i, idx := range fr.Indices {
+		out[idx] = fr.Values[i]
+	}
+	return out, nil
+}
